@@ -1,0 +1,126 @@
+#ifndef SBQA_BENCH_BENCH_COMMON_H_
+#define SBQA_BENCH_BENCH_COMMON_H_
+
+/// \file
+/// Shared helpers for the scenario bench binaries: consistent headers,
+/// optional CSV dumps and scale controls via environment variables.
+///
+///   SBQA_BENCH_VOLUNTEERS  population size  (default per bench)
+///   SBQA_BENCH_DURATION    simulated length (seconds)
+///   SBQA_BENCH_SEED        root seed
+///   SBQA_BENCH_CSV         directory for time-series / summary CSV dumps
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/demo_scenarios.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace sbqa::bench {
+
+inline uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Applies the environment scale knobs to a scenario config.
+inline experiments::ScenarioConfig ApplyEnv(
+    experiments::ScenarioConfig config) {
+  const uint64_t volunteers =
+      EnvOr("SBQA_BENCH_VOLUNTEERS", config.population.volunteers.count);
+  if (volunteers != config.population.volunteers.count) {
+    // Rescale arrival rates with the population so offered load stays put.
+    const double ratio = static_cast<double>(volunteers) /
+                         static_cast<double>(config.population.volunteers.count);
+    config.population.volunteers.count = volunteers;
+    for (auto& project : config.population.projects) {
+      project.arrival_rate *= ratio;
+    }
+  }
+  config.duration = static_cast<double>(
+      EnvOr("SBQA_BENCH_DURATION", static_cast<uint64_t>(config.duration)));
+  config.seed = EnvOr("SBQA_BENCH_SEED", config.seed);
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("%s\n", claim);
+  std::printf("================================================================\n\n");
+}
+
+inline void PrintConfig(const experiments::ScenarioConfig& config) {
+  std::printf(
+      "population: %zu volunteers, %zu projects | duration %.0fs | seed %llu\n\n",
+      config.population.volunteers.count, config.population.projects.size(),
+      config.duration, static_cast<unsigned long long>(config.seed));
+}
+
+/// When SBQA_BENCH_CSV is set, dumps one time-series CSV per method and one
+/// summary CSV for the experiment into that directory (for external
+/// plotting — the file-based counterpart of the demo GUI's live charts).
+inline void MaybeDumpCsv(const char* experiment,
+                         const std::vector<experiments::RunResult>& results) {
+  const char* dir = std::getenv("SBQA_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return;
+
+  util::CsvWriter summary;
+  if (summary.Open(util::StrFormat("%s/%s_summary.csv", dir, experiment))
+          .ok()) {
+    summary.WriteRow({"method", "consumer_satisfaction",
+                      "provider_satisfaction", "mean_response_time",
+                      "p95_response_time", "throughput", "provider_retention",
+                      "capacity_retention", "validated_fraction"});
+    for (const auto& r : results) {
+      const metrics::RunSummary& s = r.summary;
+      summary.WriteRow(
+          {s.method, util::FormatDouble(s.consumer_satisfaction, 6),
+           util::FormatDouble(s.provider_satisfaction, 6),
+           util::FormatDouble(s.mean_response_time, 6),
+           util::FormatDouble(s.p95_response_time, 6),
+           util::FormatDouble(s.throughput, 6),
+           util::FormatDouble(s.provider_retention, 6),
+           util::FormatDouble(s.capacity_retention, 6),
+           util::FormatDouble(s.validated_fraction, 6)});
+    }
+    summary.Close();
+  }
+
+  for (const auto& r : results) {
+    util::CsvWriter series;
+    if (!series
+             .Open(util::StrFormat("%s/%s_%s_series.csv", dir, experiment,
+                                   r.summary.method.c_str()))
+             .ok()) {
+      continue;
+    }
+    series.WriteRow({"time", "consumer_satisfaction",
+                     "provider_satisfaction", "alive_providers",
+                     "capacity_fraction", "mean_backlog", "backlog_gini",
+                     "recent_response_time", "throughput"});
+    const metrics::RunSeries& rs = r.series;
+    for (size_t i = 0; i < rs.consumer_satisfaction.size(); ++i) {
+      series.WriteNumericRow(
+          {rs.consumer_satisfaction.times()[i],
+           rs.consumer_satisfaction.values()[i],
+           rs.provider_satisfaction.values()[i],
+           rs.alive_providers.values()[i],
+           rs.alive_capacity_fraction.values()[i],
+           rs.mean_backlog.values()[i], rs.backlog_gini.values()[i],
+           rs.recent_response_time.values()[i], rs.throughput.values()[i]});
+    }
+    series.Close();
+  }
+}
+
+}  // namespace sbqa::bench
+
+#endif  // SBQA_BENCH_BENCH_COMMON_H_

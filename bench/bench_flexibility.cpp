@@ -1,0 +1,91 @@
+/// \file
+/// SQLB flexibility knobs (paper §I / [12]): consumers may trade their
+/// *preferences* for provider *reputation* (weight φ on preference) and
+/// providers may trade their *preferences* for their *utilization*
+/// (weight ψ on preference). This bench sweeps both trades.
+///
+/// φ sweep runs with a heavily malicious volunteer population: the more a
+/// project leans on reputation (small φ), the better it dodges invalid
+/// results. ψ sweep shows providers protecting their response times by
+/// blending load into their intentions (small ψ) at the cost of
+/// interest purity.
+
+#include "bench_common.h"
+
+using namespace sbqa;
+
+int main() {
+  bench::PrintHeader(
+      "SQLB flexibility: trading preferences for reputation (phi) and "
+      "utilization (psi)",
+      "Intention computation knobs, captive demo environment.");
+
+  // --- phi sweep, 15% malicious volunteers --------------------------------
+  {
+    experiments::ScenarioConfig config =
+        bench::ApplyEnv(experiments::Scenario3Config());
+    config.population.volunteers.malicious_fraction = 0.15;
+    config.population.volunteers.error_rate = 0.8;
+    bench::PrintConfig(config);
+
+    util::TextTable table;
+    table.SetHeader({"phi(pref weight)", "validated", "cons.sat", "prov.sat",
+                     "mean.rt(s)"});
+    for (double phi : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      experiments::ScenarioConfig c = config;
+      for (auto& project : c.population.projects) {
+        project.policy = model::ConsumerPolicyKind::kReputationTrading;
+        project.phi = phi;
+      }
+      c.method =
+          experiments::MethodSpec::Sbqa(experiments::DefaultSbqaParams());
+      const experiments::RunResult r = experiments::RunScenario(c);
+      table.AddNumericRow(util::StrFormat("phi=%.2f", phi),
+                          {r.summary.validated_fraction,
+                           r.summary.consumer_satisfaction,
+                           r.summary.provider_satisfaction,
+                           r.summary.mean_response_time});
+    }
+    std::printf("phi sweep (15%% malicious, error rate 0.8):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- psi sweep ------------------------------------------------------------
+  {
+    experiments::ScenarioConfig config =
+        bench::ApplyEnv(experiments::Scenario3Config());
+    // Stress the queues so the load half of the trade matters.
+    for (auto& project : config.population.projects) {
+      project.arrival_rate *= 1.4;
+    }
+
+    util::TextTable table;
+    table.SetHeader({"psi(pref weight)", "mean.rt(s)", "p95.rt", "prov.sat",
+                     "prov.adq", "cons.sat"});
+    for (double psi : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      experiments::ScenarioConfig c = config;
+      c.population.volunteers.policy =
+          model::ProviderPolicyKind::kUtilizationTrading;
+      c.population.volunteers.psi = psi;
+      c.method =
+          experiments::MethodSpec::Sbqa(experiments::DefaultSbqaParams());
+      const experiments::RunResult r = experiments::RunScenario(c);
+      table.AddNumericRow(
+          util::StrFormat("psi=%.2f", psi),
+          {r.summary.mean_response_time, r.summary.p95_response_time,
+           r.summary.provider_satisfaction, r.summary.provider_adequation,
+           r.summary.consumer_satisfaction});
+    }
+    std::printf("psi sweep (offered load x1.4):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  std::printf(
+      "Shape check: leaning on reputation (small phi) steers queries toward\n"
+      "validated hosts — consumer satisfaction climbs steeply and the\n"
+      "validated fraction edges up (KnBest already caps the damage);\n"
+      "leaning on load (small psi) buys response time and makes providers\n"
+      "trivially satisfiable. The demo defaults (phi=0.6, psi=0.85) keep\n"
+      "both trades in play.\n");
+  return 0;
+}

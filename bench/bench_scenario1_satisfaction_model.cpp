@@ -1,0 +1,61 @@
+/// \file
+/// Scenario 1 (paper §IV): analyze heterogeneous query allocation
+/// techniques — capacity-based [9] (≈ BOINC dispatch) vs an economic,
+/// Mariposa-style bidding technique [13] — through the satisfaction model,
+/// in a *captive* environment (participants cannot leave).
+///
+/// Claim reproduced: the satisfaction model quantifies how techniques with
+/// completely different allocation principles treat participants'
+/// interests, even though neither technique looks at intentions.
+
+#include "bench_common.h"
+
+using namespace sbqa;
+
+int main() {
+  bench::PrintHeader(
+      "Scenario 1: satisfaction model vs heterogeneous techniques (captive)",
+      "Capacity-based and economic allocation analyzed through the same "
+      "satisfaction lens.");
+
+  experiments::ScenarioConfig config =
+      bench::ApplyEnv(experiments::Scenario1Config());
+  bench::PrintConfig(config);
+
+  const std::vector<experiments::RunResult> results =
+      experiments::CompareMethods(config, experiments::BaselineMethods());
+
+  bench::MaybeDumpCsv("scenario1", results);
+  std::printf("%s\n",
+              experiments::SatisfactionTable(results).ToString().c_str());
+  std::printf("%s\n",
+              experiments::PerformanceTable(results).ToString().c_str());
+
+  std::printf("%s\n",
+              experiments::SeriesChart(
+                  results, experiments::ProviderSatisfactionSeries,
+                  "Provider satisfaction over time")
+                  .c_str());
+  std::printf("%s\n",
+              experiments::SeriesChart(
+                  results, experiments::ConsumerSatisfactionSeries,
+                  "Consumer satisfaction over time")
+                  .c_str());
+
+  // The distribution behind the means: how many providers sit below the
+  // Scenario-2 departure threshold under each technique.
+  std::printf("Providers below the 0.35 departure threshold (of %zu):\n",
+              config.population.volunteers.count);
+  for (const auto& r : results) {
+    int below = 0;
+    for (const auto& p : r.providers) {
+      if (p.satisfaction < 0.35) ++below;
+    }
+    std::printf("  %-10s %d\n", r.summary.method.c_str(), below);
+  }
+  std::printf(
+      "\nShape check: both techniques serve consumers similarly, but the\n"
+      "economic auction leaves far more providers under-satisfied — the\n"
+      "satisfaction model surfaces this without knowing how either works.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file
+/// Scenario 5 (paper §IV): participants change what they care about —
+/// projects become interested only in response times, volunteers only in
+/// their load.
+///
+/// Claim reproduced: SbQA adapts to the participants' expectations: with
+/// performance-oriented intentions it improves response times and balances
+/// queries much better, approaching the dedicated load balancers, because
+/// the intentions it optimizes now *encode* performance.
+
+#include "bench_common.h"
+
+using namespace sbqa;
+
+int main() {
+  bench::PrintHeader(
+      "Scenario 5: adapting to participants' expectations",
+      "Consumers: response-time-only intentions; providers: load-only "
+      "intentions.");
+
+  experiments::ScenarioConfig interest_config =
+      bench::ApplyEnv(experiments::Scenario3Config());
+  experiments::ScenarioConfig performance_config =
+      bench::ApplyEnv(experiments::Scenario5Config());
+  bench::PrintConfig(performance_config);
+
+  const experiments::MethodSpec sbqa =
+      experiments::MethodSpec::Sbqa(experiments::DefaultSbqaParams());
+
+  // SbQA under both intention regimes.
+  experiments::ScenarioConfig a = interest_config;
+  a.method = sbqa;
+  experiments::RunResult interest_run = experiments::RunScenario(a);
+  interest_run.summary.method = "SbQA/interest";
+  experiments::ScenarioConfig b = performance_config;
+  b.method = sbqa;
+  experiments::RunResult performance_run = experiments::RunScenario(b);
+  performance_run.summary.method = "SbQA/perf";
+
+  // Reference load balancers under the performance regime.
+  const std::vector<experiments::RunResult> refs = experiments::CompareMethods(
+      performance_config,
+      {experiments::MethodSpec::Qlb(), experiments::MethodSpec::Capacity()});
+
+  std::vector<experiments::RunResult> all;
+  all.push_back(std::move(interest_run));
+  all.push_back(std::move(performance_run));
+  for (const auto& r : refs) all.push_back(r);
+
+  bench::MaybeDumpCsv("scenario5", all);
+  std::printf("%s\n", experiments::PerformanceTable(all).ToString().c_str());
+  std::printf("%s\n", experiments::LoadBalanceTable(all).ToString().c_str());
+
+  util::TextTable backlog;
+  backlog.SetHeader({"method", "mean.backlog(s)", "mean.rt(s)", "p95.rt(s)"});
+  for (const auto& r : all) {
+    backlog.AddNumericRow(r.summary.method,
+                          {r.series.mean_backlog.MeanValue(),
+                           r.summary.mean_response_time,
+                           r.summary.p95_response_time});
+  }
+  std::printf("Queueing view (hot spots):\n%s\n",
+              backlog.ToString().c_str());
+
+  std::printf(
+      "Shape check: with performance-oriented intentions SbQA's queueing\n"
+      "(mean backlog) and response times — mean and tail — move toward the\n"
+      "dedicated load balancers'. The mediation did not change, the\n"
+      "intentions did. Note busy-time 'fairness' is the wrong lens: the\n"
+      "capacity baseline equalizes busy seconds while queues grow.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file
+/// Scenario 6 (paper §IV): application adaptability. A grid-computing
+/// application on volunteered resources (captive consumers, autonomous
+/// providers) wants low response times *and* enough provider satisfaction
+/// to keep the volunteers from quitting.
+///
+/// Claim reproduced: the deployment can tune SbQA to the application by
+/// varying KnBest's kn (how much load filtering survives into the scoring
+/// phase) and the scoring balance ω (fixed extremes vs the self-adaptive
+/// Equation 2). Small kn / load-heavy settings buy response time at the
+/// cost of provider satisfaction & retention; large kn / interest-heavy
+/// settings do the reverse; adaptive ω sits on the sweet spot.
+
+#include "bench_common.h"
+
+using namespace sbqa;
+
+namespace {
+
+experiments::RunResult RunVariant(const experiments::ScenarioConfig& base,
+                                  core::SbqaParams params,
+                                  const std::string& label) {
+  params.name = label;
+  experiments::ScenarioConfig config = base;
+  config.method = experiments::MethodSpec::Sbqa(params);
+  return experiments::RunScenario(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Scenario 6: adapting SbQA to the application (kn and omega sweeps)",
+      "Grid computing on volunteered resources: captive consumers, "
+      "autonomous providers.");
+
+  const experiments::ScenarioConfig base =
+      bench::ApplyEnv(experiments::Scenario6Config());
+  bench::PrintConfig(base);
+
+  // --- Sweep kn with k fixed at 20, adaptive omega ------------------------
+  std::vector<experiments::RunResult> kn_results;
+  for (size_t kn : {1u, 2u, 4u, 8u, 16u, 20u}) {
+    core::SbqaParams params = experiments::DefaultSbqaParams();
+    params.knbest = core::KnBestParams{20, kn};
+    kn_results.push_back(
+        RunVariant(base, params, util::StrFormat("kn=%zu", kn)));
+  }
+  bench::MaybeDumpCsv("scenario6_kn", kn_results);
+  std::printf("kn sweep (k=20, adaptive omega):\n");
+  util::TextTable kn_table;
+  kn_table.SetHeader({"variant", "mean.rt(s)", "p95.rt", "prov.sat",
+                      "prov.kept", "cons.sat", "thr(q/s)"});
+  for (const auto& r : kn_results) {
+    kn_table.AddNumericRow(
+        r.summary.method,
+        {r.summary.mean_response_time, r.summary.p95_response_time,
+         r.summary.provider_satisfaction, r.summary.provider_retention,
+         r.summary.consumer_satisfaction, r.summary.throughput});
+  }
+  std::printf("%s\n", kn_table.ToString().c_str());
+
+  // --- Sweep omega with the default KnBest filter -------------------------
+  std::vector<experiments::RunResult> omega_results;
+  for (double omega : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    core::SbqaParams params = experiments::DefaultSbqaParams();
+    params.omega_mode = core::OmegaMode::kFixed;
+    params.fixed_omega = omega;
+    omega_results.push_back(
+        RunVariant(base, params, util::StrFormat("omega=%.2f", omega)));
+  }
+  omega_results.push_back(RunVariant(
+      base, experiments::DefaultSbqaParams(), "omega=adaptive"));
+
+  bench::MaybeDumpCsv("scenario6_omega", omega_results);
+  std::printf("omega sweep (k=20, kn=8):\n");
+  util::TextTable omega_table;
+  omega_table.SetHeader({"variant", "cons.sat", "prov.sat", "prov.kept",
+                         "mean.rt(s)", "thr(q/s)"});
+  for (const auto& r : omega_results) {
+    omega_table.AddNumericRow(
+        r.summary.method,
+        {r.summary.consumer_satisfaction, r.summary.provider_satisfaction,
+         r.summary.provider_retention, r.summary.mean_response_time,
+         r.summary.throughput});
+  }
+  std::printf("%s\n", omega_table.ToString().c_str());
+
+  std::printf(
+      "Shape check: raising kn raises provider satisfaction/retention and\n"
+      "costs response time (crossover visible); omega=0 serves consumers,\n"
+      "omega=1 serves providers, and adaptive omega balances both without\n"
+      "hand-tuning.\n");
+  return 0;
+}

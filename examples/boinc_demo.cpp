@@ -1,0 +1,94 @@
+/// \file
+/// The paper's demonstration setting: BOINC with three research projects —
+/// SETI@home (popular), proteins@home (normal), Einstein@home (unpopular) —
+/// and a volunteer population with popularity-driven interests.
+///
+/// Runs the headline techniques (SbQA, capacity-based, economic) in both a
+/// captive and an autonomous environment and renders the same views the
+/// demo GUIs showed: satisfaction tables, per-project breakdowns, and
+/// on-line time-series charts (paper Fig. 2b).
+
+#include <cstdio>
+
+#include "experiments/demo_scenarios.h"
+#include "experiments/report.h"
+#include "util/ascii_chart.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace sbqa;
+using experiments::RunResult;
+
+namespace {
+
+void PrintPerProject(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"project", "method", "satisfaction", "adequation",
+                   "queries"});
+  for (const RunResult& r : results) {
+    for (const metrics::ParticipantSnapshot& c : r.consumers) {
+      table.AddRow({c.label, r.summary.method,
+                    util::FormatDouble(c.satisfaction, 3),
+                    util::FormatDouble(c.adequation, 3),
+                    util::StrFormat("%lld",
+                                    static_cast<long long>(c.interactions))});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SbQA on BOINC: three projects, 200 volunteers\n");
+  std::printf("=============================================\n\n");
+
+  const std::vector<experiments::MethodSpec> methods =
+      experiments::HeadlineMethods();
+
+  // --- Captive environment (paper Scenarios 1 & 3) -------------------------
+  std::printf("Captive environment (nobody may leave)\n");
+  std::printf("--------------------------------------\n");
+  const std::vector<RunResult> captive = experiments::CompareMethods(
+      experiments::Scenario3Config(/*seed=*/42), methods);
+  std::printf("%s\n",
+              experiments::SatisfactionTable(captive).ToString().c_str());
+  std::printf("%s\n",
+              experiments::PerformanceTable(captive).ToString().c_str());
+  std::printf("Per-project view:\n");
+  PrintPerProject(captive);
+
+  std::printf("%s\n",
+              experiments::SeriesChart(
+                  captive, experiments::ProviderSatisfactionSeries,
+                  "Provider satisfaction over time (captive)")
+                  .c_str());
+
+  // --- Autonomous environment (paper Scenarios 2 & 4) ----------------------
+  std::printf("Autonomous environment (providers leave < 0.35, consumers "
+              "stop < 0.5)\n");
+  std::printf("------------------------------------------------------------"
+              "--------\n");
+  const std::vector<RunResult> autonomous = experiments::CompareMethods(
+      experiments::Scenario4Config(/*seed=*/42), methods);
+  std::printf("%s\n",
+              experiments::RetentionTable(autonomous).ToString().c_str());
+  std::printf("%s\n",
+              experiments::OverviewTable(autonomous).ToString().c_str());
+
+  std::printf("%s\n",
+              experiments::SeriesChart(
+                  autonomous, experiments::AliveProvidersSeries,
+                  "Volunteers still online over time (autonomous)")
+                  .c_str());
+  std::printf("%s\n",
+              experiments::SeriesChart(
+                  autonomous, experiments::ResponseTimeSeries,
+                  "Recent mean response time (s) over time (autonomous)")
+                  .c_str());
+
+  std::printf(
+      "SbQA keeps dissatisfied volunteers rare, so the platform retains\n"
+      "capacity that the interest-blind baselines bleed away.\n");
+  return 0;
+}

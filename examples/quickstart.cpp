@@ -1,0 +1,108 @@
+/// \file
+/// Quickstart: wire the SbQA stack by hand — simulation, registry,
+/// mediator — submit queries, and inspect satisfaction. This walks exactly
+/// the architecture of paper Fig. 1 (consumer -> mediator -> KnBest ->
+/// SQLB scoring -> providers) without the experiment harness.
+
+#include <cstdio>
+
+#include "core/mediator.h"
+#include "core/sbqa.h"
+#include "model/reputation.h"
+#include "sim/simulation.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace sbqa;
+
+int main() {
+  std::printf("SbQA quickstart: one consumer, eight providers, 200 queries\n");
+  std::printf("============================================================\n\n");
+
+  // 1. The simulation substrate (event scheduler + latency-modelled
+  //    network). Everything is deterministic under the seed.
+  sim::SimulationConfig sim_config;
+  sim_config.seed = 7;
+  sim::Simulation simulation(sim_config);
+
+  // 2. Participants. One consumer that loves even-numbered providers and
+  //    dislikes odd ones; eight providers with mixed feelings about it.
+  core::Registry registry;
+
+  core::ConsumerParams consumer_params;
+  consumer_params.memory_k = 50;
+  consumer_params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+  consumer_params.n_results = 2;  // two replicas per query
+  consumer_params.label = "demo-consumer";
+  const model::ConsumerId consumer = registry.AddConsumer(consumer_params);
+
+  for (int i = 0; i < 8; ++i) {
+    core::ProviderParams provider_params;
+    provider_params.capacity = 1.0 + 0.25 * i;  // heterogeneous speeds
+    provider_params.memory_k = 50;
+    provider_params.policy_kind =
+        model::ProviderPolicyKind::kUtilizationTrading;
+    provider_params.psi = 0.8;
+    provider_params.label = util::StrFormat("provider-%d", i);
+    const model::ProviderId p = registry.AddProvider(provider_params);
+    // The consumer's preferences: +0.8 for even providers, -0.5 for odd.
+    registry.consumer(consumer).preferences().Set(p, i % 2 == 0 ? 0.8 : -0.5);
+    // The provider's preference for this consumer: providers 0-3 like it,
+    // 4-7 are lukewarm-to-negative.
+    registry.provider(p).preferences().Set(consumer, i < 4 ? 0.7 : -0.2);
+  }
+
+  // 3. Reputation registry (fed by result validation; everyone starts at
+  //    the 0.5 prior) and the mediator running the SbQA method.
+  model::ReputationRegistry reputation(registry.provider_count());
+
+  core::SbqaParams sbqa_params;
+  sbqa_params.knbest = core::KnBestParams{6, 4};  // k=6 random, kn=4 best
+  sbqa_params.omega_mode = core::OmegaMode::kAdaptive;
+  core::Mediator mediator(&simulation, &registry, &reputation,
+                          std::make_unique<core::SbqaMethod>(sbqa_params));
+
+  // 4. Submit 200 queries, one every 0.5 simulated seconds.
+  for (int i = 0; i < 200; ++i) {
+    simulation.scheduler().ScheduleAt(0.5 * i, [&mediator, consumer, i] {
+      model::Query query;
+      query.id = i + 1;
+      query.consumer = consumer;
+      query.n_results = 2;
+      query.cost = 2.0;  // seconds of work on a capacity-1 provider
+      mediator.SubmitQuery(query);
+    });
+  }
+  simulation.RunUntil(150.0);
+
+  // 5. Inspect the outcome: long-run satisfactions (Definitions 1 and 2).
+  const core::MediatorStats& stats = mediator.stats();
+  std::printf("queries finalized : %lld\n",
+              static_cast<long long>(stats.queries_finalized));
+  std::printf("mean response time: %.3f s\n", stats.response_time.mean());
+  std::printf("consumer satisfaction (Def. 1): %.3f\n\n",
+              registry.consumer(consumer).satisfaction());
+
+  util::TextTable table;
+  table.SetHeader({"provider", "cons.pref", "prov.pref", "satisfaction",
+                   "adequation", "performed", "busy(s)"});
+  for (const core::Provider& p : registry.providers()) {
+    table.AddRow({p.params().label,
+                  util::FormatDouble(
+                      registry.consumer(consumer).preferences().Get(p.id()), 2),
+                  util::FormatDouble(p.preferences().Get(consumer), 2),
+                  util::FormatDouble(p.satisfaction(), 3),
+                  util::FormatDouble(p.satisfaction_tracker().adequation(), 3),
+                  util::StrFormat("%lld", static_cast<long long>(
+                                              p.instances_performed())),
+                  util::FormatDouble(p.busy_seconds(), 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "Note how mutually interested pairs (providers 0 and 2) collect both\n"
+      "queries and satisfaction, one-sided interest still gets served when\n"
+      "the favorites are busy, and mutual disinterest (providers 5 and 7)\n"
+      "is correctly starved.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+/// \file
+/// sbqa_cli — run any allocation technique on the BOINC demo workload from
+/// the command line. The "give it to a user" binary: every scenario knob
+/// the bench harness uses is exposed as a flag.
+///
+///   sbqa_cli [--method=sbqa|sqlb|knbest|capacity|qlb|economic|
+///             interest|random|roundrobin]
+///            [--volunteers=N] [--duration=S] [--seed=N]
+///            [--env=captive|autonomous] [--mediators=N]
+///            [--k=N] [--kn=N] [--omega=adaptive|0..1]
+///            [--churn] [--joins] [--charts]
+///
+/// Defaults reproduce Scenario 3/4 at the paper scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/demo_scenarios.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "util/string_util.h"
+
+using namespace sbqa;
+
+namespace {
+
+struct Flags {
+  std::string method = "sbqa";
+  size_t volunteers = 200;
+  double duration = 600;
+  uint64_t seed = 42;
+  std::string env = "captive";
+  size_t mediators = 1;
+  size_t k = 20;
+  size_t kn = 8;
+  std::string omega = "adaptive";
+  bool churn = false;
+  bool joins = false;
+  bool charts = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sbqa_cli [--method=sbqa|sqlb|knbest|capacity|qlb|economic|"
+      "interest|random|roundrobin]\n"
+      "                [--volunteers=N] [--duration=S] [--seed=N]\n"
+      "                [--env=captive|autonomous] [--mediators=N]\n"
+      "                [--k=N] [--kn=N] [--omega=adaptive|0..1]\n"
+      "                [--churn] [--joins] [--charts]\n");
+  return 2;
+}
+
+experiments::MethodSpec MakeSpec(const Flags& flags) {
+  core::SbqaParams sbqa_params = experiments::DefaultSbqaParams();
+  sbqa_params.knbest = core::KnBestParams{flags.k, flags.kn};
+  if (flags.omega != "adaptive") {
+    sbqa_params.omega_mode = core::OmegaMode::kFixed;
+    sbqa_params.fixed_omega = std::atof(flags.omega.c_str());
+  }
+  if (flags.method == "sbqa") return experiments::MethodSpec::Sbqa(sbqa_params);
+  if (flags.method == "sqlb") return experiments::MethodSpec::Sqlb();
+  if (flags.method == "knbest") {
+    return experiments::MethodSpec::KnBest(core::KnBestParams{flags.k,
+                                                              flags.kn});
+  }
+  if (flags.method == "capacity") return experiments::MethodSpec::Capacity();
+  if (flags.method == "qlb") return experiments::MethodSpec::Qlb();
+  if (flags.method == "economic") return experiments::MethodSpec::Economic();
+  if (flags.method == "interest") {
+    return experiments::MethodSpec::InterestOnly();
+  }
+  if (flags.method == "random") return experiments::MethodSpec::Random();
+  if (flags.method == "roundrobin") {
+    return experiments::MethodSpec::RoundRobin();
+  }
+  std::fprintf(stderr, "unknown method: %s\n", flags.method.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--method", &value)) {
+      flags.method = value;
+    } else if (ParseFlag(argv[i], "--volunteers", &value)) {
+      flags.volunteers = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
+      flags.duration = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--env", &value)) {
+      flags.env = value;
+    } else if (ParseFlag(argv[i], "--mediators", &value)) {
+      flags.mediators = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--k", &value)) {
+      flags.k = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--kn", &value)) {
+      flags.kn = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--omega", &value)) {
+      flags.omega = value;
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      flags.churn = true;
+    } else if (std::strcmp(argv[i], "--joins") == 0) {
+      flags.joins = true;
+    } else if (std::strcmp(argv[i], "--charts") == 0) {
+      flags.charts = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (flags.volunteers == 0 || flags.duration <= 0 || flags.mediators == 0) {
+    return Usage();
+  }
+
+  experiments::ScenarioConfig config = experiments::BaseDemoConfig(
+      flags.seed, flags.volunteers, flags.duration);
+  config = flags.env == "autonomous"
+               ? experiments::WithAutonomousEnvironment(config)
+               : experiments::WithCaptiveEnvironment(config);
+  config.mediator_count = flags.mediators;
+  config.method = MakeSpec(flags);
+  if (flags.churn) {
+    config.churn.enabled = true;
+    config.churn.mean_online = 400;
+    config.churn.mean_offline = 60;
+  }
+  if (flags.joins) {
+    config.joins.enabled = true;
+    config.joins.rate =
+        0.05 * static_cast<double>(flags.volunteers) / 200.0;
+    config.joins.max_joins = flags.volunteers;
+  }
+
+  std::printf("sbqa_cli: %s, %zu volunteers, %.0fs, %s, %zu mediator(s), "
+              "seed %llu\n\n",
+              experiments::MethodName(config.method).c_str(),
+              flags.volunteers, flags.duration, flags.env.c_str(),
+              flags.mediators,
+              static_cast<unsigned long long>(flags.seed));
+
+  const experiments::RunResult result = experiments::RunScenario(config);
+  const std::vector<experiments::RunResult> results{result};
+  std::printf("%s\n", experiments::OverviewTable(results).ToString().c_str());
+  std::printf("%s\n",
+              experiments::PerformanceTable(results).ToString().c_str());
+  if (flags.env == "autonomous" || flags.churn || flags.joins) {
+    std::printf("%s\n",
+                experiments::RetentionTable(results).ToString().c_str());
+  }
+  if (flags.charts) {
+    std::printf("%s\n",
+                experiments::SeriesChart(
+                    results, experiments::ProviderSatisfactionSeries,
+                    "Provider satisfaction over time")
+                    .c_str());
+    std::printf("%s\n", experiments::SeriesChart(
+                            results, experiments::ResponseTimeSeries,
+                            "Recent mean response time (s) over time")
+                            .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "baselines/capacity_based.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mediator.h"
+
+namespace sbqa::baselines {
+
+core::AllocationDecision CapacityBasedMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const std::vector<double> backlogs = ctx.mediator->BacklogsOf(candidates);
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Randomize first so equal backlogs (e.g. all idle) break randomly.
+  ctx.mediator->rng().Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(),
+                   [&backlogs](size_t a, size_t b) {
+                     return backlogs[a] < backlogs[b];
+                   });
+
+  const size_t n = std::min(candidates.size(),
+                            static_cast<size_t>(ctx.query->n_results));
+  core::AllocationDecision decision;
+  decision.selected.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    decision.selected.push_back(candidates[order[i]]);
+  }
+  return decision;
+}
+
+}  // namespace sbqa::baselines

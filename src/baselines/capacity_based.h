@@ -1,0 +1,26 @@
+#ifndef SBQA_BASELINES_CAPACITY_BASED_H_
+#define SBQA_BASELINES_CAPACITY_BASED_H_
+
+/// \file
+/// Capacity-based allocation [Ganesan et al., VLDB 2004-style load
+/// balancing]: the query goes to the q.n providers with the most available
+/// capacity, i.e. the smallest queued backlog. The paper notes BOINC's
+/// dispatch is equivalent to this technique — volunteers with idle capacity
+/// pull work regardless of anyone's interests.
+
+#include <string>
+
+#include "core/allocation_method.h"
+
+namespace sbqa::baselines {
+
+/// Least-backlog-first allocation with randomized tie-breaking.
+class CapacityBasedMethod : public core::AllocationMethod {
+ public:
+  std::string name() const override { return "Capacity"; }
+  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+};
+
+}  // namespace sbqa::baselines
+
+#endif  // SBQA_BASELINES_CAPACITY_BASED_H_

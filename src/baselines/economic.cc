@@ -1,0 +1,68 @@
+#include "baselines/economic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mediator.h"
+#include "util/check.h"
+
+namespace sbqa::baselines {
+
+EconomicMethod::EconomicMethod(const EconomicParams& params)
+    : params_(params) {
+  SBQA_CHECK_GT(params.price_per_second, 0);
+  SBQA_CHECK_GE(params.load_markup, 0);
+  SBQA_CHECK_GT(params.budget_factor, 0);
+  SBQA_CHECK_GE(params.interest_discount, 0);
+  SBQA_CHECK_LT(params.interest_discount, 1);
+}
+
+double EconomicMethod::BidOf(const core::AllocationContext& ctx,
+                             model::ProviderId provider) const {
+  const core::Provider& p = ctx.mediator->registry().provider(provider);
+  const double processing_seconds = ctx.query->cost / p.capacity();
+  double bid = processing_seconds * params_.price_per_second *
+               (1.0 + params_.load_markup * p.UtilizationNorm(ctx.now));
+  if (params_.interest_discount > 0) {
+    // Interested providers (preference > 0) shave their margin.
+    const double pref = p.preferences().Get(ctx.query->consumer);
+    if (pref > 0) bid *= 1.0 - params_.interest_discount * pref;
+  }
+  return bid;
+}
+
+core::AllocationDecision EconomicMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+
+  // Budget per result: what the query would cost on a nominal-capacity,
+  // idle provider, scaled by the consumer's willingness to pay.
+  const double budget =
+      params_.budget_factor * ctx.query->cost * params_.price_per_second;
+
+  std::vector<double> bids;
+  bids.reserve(candidates.size());
+  for (model::ProviderId p : candidates) bids.push_back(BidOf(ctx, p));
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  ctx.mediator->rng().Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(), [&bids](size_t a, size_t b) {
+    return bids[a] < bids[b];
+  });
+
+  const size_t n = std::min(candidates.size(),
+                            static_cast<size_t>(ctx.query->n_results));
+  core::AllocationDecision decision;
+  decision.used_bid_round = true;  // the auction costs one round-trip
+  for (size_t i = 0; i < order.size() && decision.selected.size() < n; ++i) {
+    if (bids[order[i]] > budget) break;  // sorted: everything after is worse
+    decision.selected.push_back(candidates[order[i]]);
+  }
+  // Bids are prices, not expressed intentions: only the winners are
+  // "proposed" a query in the Definition-2 sense, so `consulted` is left to
+  // default to the selected set.
+  return decision;
+}
+
+}  // namespace sbqa::baselines

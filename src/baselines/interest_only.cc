@@ -1,0 +1,42 @@
+#include "baselines/interest_only.h"
+
+#include <algorithm>
+
+#include "core/mediator.h"
+#include "core/score.h"
+
+namespace sbqa::baselines {
+
+core::AllocationDecision InterestOnlyMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const core::Registry& registry = ctx.mediator->registry();
+  const core::Consumer& consumer =
+      registry.consumer(ctx.query->consumer);
+
+  std::vector<core::ScoredProvider> scored;
+  scored.reserve(candidates.size());
+  for (model::ProviderId p : candidates) {
+    const core::Provider& provider = registry.provider(p);
+    core::ScoredProvider sp;
+    sp.provider = p;
+    sp.provider_intention = provider.preferences().Get(ctx.query->consumer);
+    sp.consumer_intention = consumer.preferences().Get(p);
+    sp.omega = 0.5;
+    sp.score = core::ProviderScore(sp.provider_intention,
+                                   sp.consumer_intention, 0.5, epsilon_);
+    scored.push_back(sp);
+  }
+  core::RankByScore(&scored);
+
+  const size_t n = std::min(candidates.size(),
+                            static_cast<size_t>(ctx.query->n_results));
+  core::AllocationDecision decision;
+  decision.selected.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    decision.selected.push_back(scored[i].provider);
+  }
+  return decision;
+}
+
+}  // namespace sbqa::baselines

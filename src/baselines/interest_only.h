@@ -1,0 +1,30 @@
+#ifndef SBQA_BASELINES_INTEREST_ONLY_H_
+#define SBQA_BASELINES_INTEREST_ONLY_H_
+
+/// \file
+/// Interest-only allocation (ablation): scores every candidate with the
+/// Definition-3 balance at a fixed ω = 0.5 using the raw *preferences* of
+/// both sides — no load information anywhere, no KnBest filter, no adaptive
+/// ω. Isolates what pure interest matching does to response times.
+
+#include <string>
+
+#include "core/allocation_method.h"
+
+namespace sbqa::baselines {
+
+/// Best mutual preference wins; completely load-oblivious.
+class InterestOnlyMethod : public core::AllocationMethod {
+ public:
+  explicit InterestOnlyMethod(double epsilon = 1.0) : epsilon_(epsilon) {}
+
+  std::string name() const override { return "InterestOnly"; }
+  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace sbqa::baselines
+
+#endif  // SBQA_BASELINES_INTEREST_ONLY_H_

@@ -1,0 +1,34 @@
+#include "baselines/qlb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mediator.h"
+
+namespace sbqa::baselines {
+
+core::AllocationDecision QlbMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  // Expected completion through the mediator's (possibly stale) load view.
+  const std::vector<double> ect =
+      ctx.mediator->ExpectedCompletionsOf(*ctx.query, candidates);
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  ctx.mediator->rng().Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(), [&ect](size_t a, size_t b) {
+    return ect[a] < ect[b];
+  });
+
+  const size_t n = std::min(candidates.size(),
+                            static_cast<size_t>(ctx.query->n_results));
+  core::AllocationDecision decision;
+  decision.selected.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    decision.selected.push_back(candidates[order[i]]);
+  }
+  return decision;
+}
+
+}  // namespace sbqa::baselines

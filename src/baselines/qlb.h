@@ -1,0 +1,26 @@
+#ifndef SBQA_BASELINES_QLB_H_
+#define SBQA_BASELINES_QLB_H_
+
+/// \file
+/// Query load balancing: allocates to the q.n providers with the shortest
+/// *expected completion time* for this specific query (backlog plus this
+/// query's processing time on that provider). Unlike plain capacity-based
+/// allocation it accounts for heterogeneous capacities, so it is the
+/// strongest pure-performance baseline.
+
+#include <string>
+
+#include "core/allocation_method.h"
+
+namespace sbqa::baselines {
+
+/// Shortest-expected-completion-time allocation with randomized ties.
+class QlbMethod : public core::AllocationMethod {
+ public:
+  std::string name() const override { return "QLB"; }
+  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+};
+
+}  // namespace sbqa::baselines
+
+#endif  // SBQA_BASELINES_QLB_H_

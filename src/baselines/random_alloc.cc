@@ -1,0 +1,15 @@
+#include "baselines/random_alloc.h"
+
+#include "core/mediator.h"
+
+namespace sbqa::baselines {
+
+core::AllocationDecision RandomMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  core::AllocationDecision decision;
+  decision.selected = ctx.mediator->rng().SampleWithoutReplacement(
+      *ctx.candidates, static_cast<size_t>(ctx.query->n_results));
+  return decision;
+}
+
+}  // namespace sbqa::baselines

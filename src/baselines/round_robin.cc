@@ -1,0 +1,25 @@
+#include "baselines/round_robin.h"
+
+#include <algorithm>
+
+#include "core/mediator.h"
+
+namespace sbqa::baselines {
+
+core::AllocationDecision RoundRobinMethod::Allocate(
+    const core::AllocationContext& ctx) {
+  // Candidates are produced in ascending id order by the registry; rotate a
+  // persistent cursor across calls.
+  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const size_t n = std::min(candidates.size(),
+                            static_cast<size_t>(ctx.query->n_results));
+  core::AllocationDecision decision;
+  decision.selected.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    decision.selected.push_back(candidates[(cursor_ + i) % candidates.size()]);
+  }
+  cursor_ = (cursor_ + n) % std::max<size_t>(candidates.size(), 1);
+  return decision;
+}
+
+}  // namespace sbqa::baselines

@@ -1,0 +1,27 @@
+#ifndef SBQA_BASELINES_ROUND_ROBIN_H_
+#define SBQA_BASELINES_ROUND_ROBIN_H_
+
+/// \file
+/// Round-robin allocation: cycles a cursor over provider ids, skipping
+/// providers outside the candidate set. Perfectly even in query count but
+/// oblivious to cost, capacity and interests.
+
+#include <string>
+
+#include "core/allocation_method.h"
+
+namespace sbqa::baselines {
+
+/// Deterministic rotation over the provider id space.
+class RoundRobinMethod : public core::AllocationMethod {
+ public:
+  std::string name() const override { return "RoundRobin"; }
+  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace sbqa::baselines
+
+#endif  // SBQA_BASELINES_ROUND_ROBIN_H_

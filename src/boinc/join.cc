@@ -1,0 +1,57 @@
+#include "boinc/join.h"
+
+#include "util/check.h"
+
+namespace sbqa::boinc {
+
+VolunteerJoinProcess::VolunteerJoinProcess(
+    sim::Simulation* sim, core::Mediator* mediator,
+    model::ReputationRegistry* reputation, const BoincSpec& spec,
+    std::vector<model::ConsumerId> projects,
+    const VolunteerJoinParams& params, const workload::ChurnParams& churn)
+    : sim_(sim),
+      mediator_(mediator),
+      reputation_(reputation),
+      spec_(spec),
+      projects_(std::move(projects)),
+      params_(params),
+      churn_(churn),
+      rng_(sim->NewRng()) {
+  SBQA_CHECK(sim_ != nullptr);
+  SBQA_CHECK(mediator_ != nullptr);
+  SBQA_CHECK(reputation_ != nullptr);
+  SBQA_CHECK_GT(params.rate, 0);
+}
+
+void VolunteerJoinProcess::Start() {
+  if (!params_.enabled) return;
+  if (params_.start_time > sim_->now()) {
+    sim_->scheduler().ScheduleAt(params_.start_time,
+                                 [this] { ScheduleNext(); });
+  } else {
+    ScheduleNext();
+  }
+}
+
+void VolunteerJoinProcess::ScheduleNext() {
+  if (static_cast<size_t>(joined_) >= params_.max_joins) return;
+  sim_->scheduler().Schedule(rng_.Exponential(params_.rate),
+                             [this] { Join(); });
+}
+
+void VolunteerJoinProcess::Join() {
+  if (static_cast<size_t>(joined_) >= params_.max_joins) return;
+  const model::ProviderId id =
+      AddVolunteer(spec_, projects_, &mediator_->registry(), &rng_);
+  reputation_->GrowTo(mediator_->registry().provider_count());
+  ++joined_;
+  joined_ids_.push_back(id);
+  if (churn_.enabled) {
+    churn_processes_.push_back(std::make_unique<workload::ChurnProcess>(
+        sim_, mediator_, id, churn_));
+    churn_processes_.back()->Start();
+  }
+  ScheduleNext();
+}
+
+}  // namespace sbqa::boinc

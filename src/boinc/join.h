@@ -1,0 +1,70 @@
+#ifndef SBQA_BOINC_JOIN_H_
+#define SBQA_BOINC_JOIN_H_
+
+/// \file
+/// Open-system dynamics: new volunteers join the platform at runtime (the
+/// other half of the paper's "participants may join and leave at will").
+/// Joined volunteers are full citizens — preferences, reputation slot,
+/// optional availability churn — and become eligible for Pq immediately.
+
+#include <memory>
+#include <vector>
+
+#include "boinc/population.h"
+#include "core/mediator.h"
+#include "model/reputation.h"
+#include "sim/simulation.h"
+#include "workload/churn.h"
+
+namespace sbqa::boinc {
+
+/// Arrival process of new volunteers.
+struct VolunteerJoinParams {
+  bool enabled = false;
+  /// New volunteers per second (Poisson).
+  double rate = 0.05;
+  /// Hard cap on runtime joins.
+  size_t max_joins = 1000;
+  double start_time = 0.0;
+};
+
+/// Spawns volunteers into a running system.
+class VolunteerJoinProcess {
+ public:
+  /// `spec` describes the volunteers to draw; `projects` are the consumer
+  /// ids the newcomers form preferences about. All pointers must outlive
+  /// the process.
+  VolunteerJoinProcess(sim::Simulation* sim, core::Mediator* mediator,
+                       model::ReputationRegistry* reputation,
+                       const BoincSpec& spec,
+                       std::vector<model::ConsumerId> projects,
+                       const VolunteerJoinParams& params,
+                       const workload::ChurnParams& churn = {});
+
+  void Start();
+
+  int64_t joined() const { return joined_; }
+  const std::vector<model::ProviderId>& joined_ids() const {
+    return joined_ids_;
+  }
+
+ private:
+  void ScheduleNext();
+  void Join();
+
+  sim::Simulation* sim_;
+  core::Mediator* mediator_;
+  model::ReputationRegistry* reputation_;
+  BoincSpec spec_;
+  std::vector<model::ConsumerId> projects_;
+  VolunteerJoinParams params_;
+  workload::ChurnParams churn_;
+  util::Rng rng_;
+  int64_t joined_ = 0;
+  std::vector<model::ProviderId> joined_ids_;
+  std::vector<std::unique_ptr<workload::ChurnProcess>> churn_processes_;
+};
+
+}  // namespace sbqa::boinc
+
+#endif  // SBQA_BOINC_JOIN_H_

@@ -1,0 +1,78 @@
+#ifndef SBQA_CORE_ALLOCATION_METHOD_H_
+#define SBQA_CORE_ALLOCATION_METHOD_H_
+
+/// \file
+/// The pluggable query-allocation strategy interface. SbQA, pure SQLB,
+/// KnBest and every baseline (capacity-based, economic, ...) implement this
+/// interface and run inside the same mediator, which is what lets the
+/// satisfaction model "analyze different query allocation techniques no
+/// matter their query allocation principle" (paper Scenario 1).
+
+#include <string>
+#include <vector>
+
+#include "model/query.h"
+#include "model/types.h"
+
+namespace sbqa::core {
+
+class Mediator;
+
+/// Read-only view handed to an allocation method for one mediation.
+struct AllocationContext {
+  /// The query being allocated.
+  const model::Query* query = nullptr;
+  /// The paper's Pq: alive providers able to treat the query. Non-empty.
+  const std::vector<model::ProviderId>* candidates = nullptr;
+  /// Back-pointer for provider state, intentions, satisfaction and RNG.
+  Mediator* mediator = nullptr;
+  /// Current simulation time.
+  double now = 0;
+};
+
+/// The outcome of one allocation decision.
+struct AllocationDecision {
+  /// Providers the query is dispatched to, best-ranked first. The mediator
+  /// truncates to min(q.n_results, selected.size()).
+  std::vector<model::ProviderId> selected;
+
+  /// Providers that took part in the mediation (the paper's Kn): they are
+  /// notified of the mediation result and record the proposal in their
+  /// Definition-2 windows. Must be a superset of `selected`. When left
+  /// empty the mediator treats `selected` as the consulted set.
+  std::vector<model::ProviderId> consulted;
+
+  /// PI_q[p] for each entry of `consulted` (parallel array). When empty the
+  /// mediator computes the intentions itself for satisfaction bookkeeping.
+  std::vector<double> provider_intentions;
+
+  /// CI_q[p] for each entry of `consulted` (parallel array). When empty the
+  /// mediator computes the intentions itself.
+  std::vector<double> consumer_intentions;
+
+  /// True when the method performed an intention round-trip with the
+  /// consumer and the consulted providers (SQLB/SbQA); adds one RTT to the
+  /// mediation latency.
+  bool used_intention_round = false;
+
+  /// True when the method performed a bid round-trip (economic baseline);
+  /// adds one RTT to the mediation latency.
+  bool used_bid_round = false;
+};
+
+/// Strategy interface; implementations must be deterministic given the
+/// mediator's RNG stream.
+class AllocationMethod {
+ public:
+  virtual ~AllocationMethod() = default;
+
+  /// Short, stable identifier used in reports, e.g. "SbQA" or "Capacity".
+  virtual std::string name() const = 0;
+
+  /// Chooses providers for `ctx.query` from `ctx.candidates` (non-empty).
+  virtual AllocationDecision Allocate(const AllocationContext& ctx) = 0;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_ALLOCATION_METHOD_H_

@@ -1,0 +1,32 @@
+#include "core/consumer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbqa::core {
+
+Consumer::Consumer(model::ConsumerId id, const ConsumerParams& params)
+    : id_(id),
+      params_(params),
+      policy_(model::MakeConsumerPolicy(params.policy_kind, params.phi)),
+      tracker_(params.memory_k) {
+  SBQA_CHECK_GE(params.n_results, 1);
+}
+
+double Consumer::ComputeIntention(const model::Query& query,
+                                  model::ProviderId provider,
+                                  double reputation,
+                                  double expected_completion,
+                                  double max_expected_completion) const {
+  model::ConsumerIntentionContext ctx;
+  ctx.query = &query;
+  ctx.provider = provider;
+  ctx.preference = preferences_.Get(provider);
+  ctx.reputation = reputation;
+  ctx.expected_completion = expected_completion;
+  ctx.max_expected_completion = max_expected_completion;
+  return std::clamp(policy_->Compute(ctx), -1.0, 1.0);
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,92 @@
+#ifndef SBQA_CORE_CONSUMER_H_
+#define SBQA_CORE_CONSUMER_H_
+
+/// \file
+/// Consumer runtime state: preferences over providers, intention policy and
+/// the Definition-1 satisfaction memory. In the BOINC instantiation a
+/// consumer is a research project submitting work units.
+
+#include <memory>
+#include <string>
+
+#include "core/satisfaction.h"
+#include "model/intention.h"
+#include "model/preference.h"
+#include "model/query.h"
+#include "model/types.h"
+
+namespace sbqa::core {
+
+/// Static configuration of one consumer.
+struct ConsumerParams {
+  /// Interaction-memory length k for Definition 1.
+  size_t memory_k = 50;
+  /// How this consumer computes its intentions.
+  model::ConsumerPolicyKind policy_kind =
+      model::ConsumerPolicyKind::kReputationTrading;
+  /// Preference weight for the reputation-trading policy.
+  double phi = 0.7;
+  /// Results required per query (the replication factor q.n).
+  int n_results = 1;
+  /// Valid results needed for the query to count as validated (BOINC quorum,
+  /// <= n_results).
+  int quorum = 1;
+  /// Query class this consumer issues (BOINC: the project's application).
+  model::QueryClassId query_class = 0;
+  /// Human-readable label for reports (optional).
+  std::string label;
+};
+
+/// A consumer c ∈ C.
+class Consumer {
+ public:
+  Consumer(model::ConsumerId id, const ConsumerParams& params);
+
+  model::ConsumerId id() const { return id_; }
+  const ConsumerParams& params() const { return params_; }
+
+  /// Whether the consumer still uses the system (Scenario 2: a consumer
+  /// stops issuing queries when dissatisfied).
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  /// Preferences towards providers, in [-1, 1].
+  model::PreferenceProfile& preferences() { return preferences_; }
+  const model::PreferenceProfile& preferences() const { return preferences_; }
+
+  /// CI_q[p]: this consumer's intention to allocate `query` to `provider`.
+  /// `reputation` in [0,1]; `expected_completion`/`max_expected_completion`
+  /// in seconds (context for the response-time policy).
+  double ComputeIntention(const model::Query& query,
+                          model::ProviderId provider, double reputation,
+                          double expected_completion,
+                          double max_expected_completion) const;
+
+  ConsumerSatisfactionTracker& satisfaction_tracker() { return tracker_; }
+  const ConsumerSatisfactionTracker& satisfaction_tracker() const {
+    return tracker_;
+  }
+
+  /// Definition 1 shorthand.
+  double satisfaction() const { return tracker_.satisfaction(); }
+
+  // --- Run statistics -------------------------------------------------------
+  int64_t queries_issued() const { return queries_issued_; }
+  int64_t queries_completed() const { return queries_completed_; }
+  void OnQueryIssued() { ++queries_issued_; }
+  void OnQueryCompleted() { ++queries_completed_; }
+
+ private:
+  model::ConsumerId id_;
+  ConsumerParams params_;
+  bool active_ = true;
+  model::PreferenceProfile preferences_;
+  std::unique_ptr<model::ConsumerIntentionPolicy> policy_;
+  ConsumerSatisfactionTracker tracker_;
+  int64_t queries_issued_ = 0;
+  int64_t queries_completed_ = 0;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_CONSUMER_H_

@@ -1,0 +1,75 @@
+#include "core/knbest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mediator.h"
+#include "util/check.h"
+
+namespace sbqa::core {
+
+std::vector<model::ProviderId> SelectKnBest(
+    const std::vector<model::ProviderId>& candidates,
+    const std::vector<double>& backlogs, const KnBestParams& params,
+    util::Rng& rng) {
+  SBQA_CHECK_EQ(candidates.size(), backlogs.size());
+  if (candidates.empty()) return {};
+
+  // Step 1: the random sample K. Indices into `candidates` so the backlog
+  // array stays parallel.
+  std::vector<size_t> indices(candidates.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  const bool sample_all =
+      params.k_candidates == 0 || params.k_candidates >= candidates.size();
+  std::vector<size_t> k_set;
+  if (sample_all) {
+    // Shuffle so that backlog ties below resolve randomly instead of by id.
+    k_set = std::move(indices);
+    rng.Shuffle(&k_set);
+  } else {
+    k_set = rng.SampleWithoutReplacement(std::move(indices),
+                                         params.k_candidates);
+  }
+
+  // Step 2: keep the kn least-utilized of K. stable_sort preserves the
+  // random order among equal backlogs.
+  std::stable_sort(k_set.begin(), k_set.end(), [&backlogs](size_t a, size_t b) {
+    return backlogs[a] < backlogs[b];
+  });
+  size_t keep = params.kn_best == 0 ? k_set.size()
+                                    : std::min(params.kn_best, k_set.size());
+  std::vector<model::ProviderId> kn;
+  kn.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) kn.push_back(candidates[k_set[i]]);
+  return kn;
+}
+
+AllocationDecision KnBestMethod::Allocate(const AllocationContext& ctx) {
+  SBQA_CHECK(ctx.query != nullptr);
+  SBQA_CHECK(ctx.candidates != nullptr);
+  SBQA_CHECK(ctx.mediator != nullptr);
+
+  const std::vector<double> backlogs =
+      ctx.mediator->BacklogsOf(*ctx.candidates);
+  std::vector<model::ProviderId> kn =
+      SelectKnBest(*ctx.candidates, backlogs, params_, ctx.mediator->rng());
+
+  AllocationDecision decision;
+  decision.consulted = kn;
+  const size_t n = static_cast<size_t>(ctx.query->n_results);
+  if (params_.greedy_final) {
+    // Greedy variant: Kn comes back ordered by ascending backlog, so the
+    // first n are the least utilized.
+    kn.resize(std::min(n, kn.size()));
+    decision.selected = std::move(kn);
+  } else {
+    // DASFAA formulation: the final n providers are drawn at random within
+    // Kn (randomization avoids the herd effect of always picking the same
+    // least-loaded host).
+    decision.selected =
+        ctx.mediator->rng().SampleWithoutReplacement(std::move(kn), n);
+  }
+  return decision;
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,67 @@
+#ifndef SBQA_CORE_KNBEST_H_
+#define SBQA_CORE_KNBEST_H_
+
+/// \file
+/// The KnBest provider-selection strategy [Quiané-Ruiz et al., DASFAA 2007]
+/// that SbQA uses as its first mediation phase (paper §III):
+///
+///   1. select a set K of `k` providers uniformly at random from Pq;
+///   2. keep the `kn` least-utilized providers of K (set Kn).
+///
+/// Randomizing before load-filtering generalizes the classic
+/// "two random choices" balancer: small kn ≈ pure load balancing over a
+/// random sample, kn = k ≈ pure random allocation, and anything in between
+/// trades herd-avoidance for load awareness. As a standalone baseline,
+/// KnBest allocates the query to n providers chosen at random within Kn.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation_method.h"
+#include "model/types.h"
+#include "util/rng.h"
+
+namespace sbqa::core {
+
+/// Parameters of the two-step selection.
+struct KnBestParams {
+  /// Size of the random sample K. 0 means "all of Pq" (disables the random
+  /// step, turning the filter into global least-utilized).
+  size_t k_candidates = 10;
+  /// Number of least-utilized providers kept (|Kn|). 0 means "keep all of
+  /// K" (disables the load step, turning the filter into pure random).
+  size_t kn_best = 4;
+  /// Final pick of the *standalone* KnBestMethod within Kn: false = the
+  /// DASFAA randomized choice (herd-avoiding), true = greedily take the n
+  /// least utilized (ablation knob; SbQA's SQLB scoring ignores this).
+  bool greedy_final = false;
+};
+
+/// Runs the two-step KnBest selection and returns Kn ordered by ascending
+/// backlog (least utilized first). `backlogs` must be parallel to
+/// `candidates` (seconds of queued work per provider).
+std::vector<model::ProviderId> SelectKnBest(
+    const std::vector<model::ProviderId>& candidates,
+    const std::vector<double>& backlogs, const KnBestParams& params,
+    util::Rng& rng);
+
+/// KnBest as a standalone allocation method: Kn via SelectKnBest, then the
+/// final n providers drawn at random within Kn (the DASFAA formulation).
+class KnBestMethod : public AllocationMethod {
+ public:
+  explicit KnBestMethod(const KnBestParams& params) : params_(params) {}
+
+  std::string name() const override {
+    return params_.greedy_final ? "KnBest-greedy" : "KnBest";
+  }
+  AllocationDecision Allocate(const AllocationContext& ctx) override;
+
+  const KnBestParams& params() const { return params_; }
+
+ private:
+  KnBestParams params_;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_KNBEST_H_

@@ -1,0 +1,91 @@
+#ifndef SBQA_CORE_MEDIATION_H_
+#define SBQA_CORE_MEDIATION_H_
+
+/// \file
+/// Mediation event types and the observer interface through which the
+/// metrics layer and experiment harness watch a running mediator.
+
+#include <vector>
+
+#include "core/allocation_method.h"
+#include "model/query.h"
+#include "model/types.h"
+
+namespace sbqa::core {
+
+/// Everything known about a query once the mediator finalizes it.
+struct QueryOutcome {
+  model::Query query;
+  /// Simulation time of finalization.
+  double completed_at = 0;
+  /// completed_at - query.issued_at (includes mediation round-trips,
+  /// queueing and processing).
+  double response_time = 0;
+  /// Results the consumer required (q.n).
+  int results_required = 0;
+  /// Results actually received (|P̂q|).
+  int results_received = 0;
+  /// Results that passed validation (BOINC layer; equals results_received
+  /// when no provider is faulty).
+  int valid_results = 0;
+  /// Whether valid_results reached the consumer's quorum.
+  bool validated = false;
+  /// Whether the query was finalized by its timeout.
+  bool timed_out = false;
+  /// Whether no provider could be allocated at all.
+  bool unallocated = false;
+  /// δs(c, q) per Equation 1.
+  double satisfaction = 0;
+  /// Reconstructed per-query adequation over the consulted set.
+  double adequation = 0;
+  /// Reconstructed per-query allocation satisfaction.
+  double allocation_satisfaction = 0;
+  /// Providers that returned a result.
+  std::vector<model::ProviderId> performers;
+};
+
+/// Callback interface for mediation events. All methods have empty default
+/// implementations; implementations must not re-enter the mediator.
+class MediationObserver {
+ public:
+  virtual ~MediationObserver() = default;
+
+  /// A query was finalized (normally, partially, by timeout, or
+  /// unallocated — inspect the outcome flags).
+  virtual void OnQueryCompleted(const QueryOutcome& outcome) {
+    (void)outcome;
+  }
+
+  /// An allocation decision was made (before dispatch latency).
+  virtual void OnMediation(const model::Query& query,
+                           const AllocationDecision& decision, double now) {
+    (void)query;
+    (void)decision;
+    (void)now;
+  }
+
+  /// A provider left the system out of dissatisfaction.
+  virtual void OnProviderDeparted(model::ProviderId provider, double now) {
+    (void)provider;
+    (void)now;
+  }
+
+  /// A provider went offline / came back online (availability churn, not
+  /// dissatisfaction).
+  virtual void OnProviderAvailabilityChanged(model::ProviderId provider,
+                                             bool available, double now) {
+    (void)provider;
+    (void)available;
+    (void)now;
+  }
+
+  /// A consumer stopped issuing queries out of dissatisfaction.
+  virtual void OnConsumerRetired(model::ConsumerId consumer, double now) {
+    (void)consumer;
+    (void)now;
+  }
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_MEDIATION_H_

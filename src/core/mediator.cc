@@ -1,0 +1,489 @@
+#include "core/mediator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sbqa::core {
+
+Mediator::Mediator(sim::Simulation* sim, Registry* registry,
+                   model::ReputationRegistry* reputation,
+                   std::unique_ptr<AllocationMethod> method,
+                   const MediatorConfig& config)
+    : sim_(sim),
+      registry_(registry),
+      reputation_(reputation),
+      method_(std::move(method)),
+      config_(config),
+      rng_(sim->NewRng()) {
+  SBQA_CHECK(sim_ != nullptr);
+  SBQA_CHECK(registry_ != nullptr);
+  SBQA_CHECK(reputation_ != nullptr);
+  SBQA_CHECK(method_ != nullptr);
+  SBQA_CHECK_GT(config_.query_timeout, 0);
+}
+
+void Mediator::AddObserver(MediationObserver* observer) {
+  SBQA_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Mediator::SetDepartureModel(const DepartureConfig& config,
+                                 bool run_sweep) {
+  departure_ = std::make_unique<DepartureModel>(config);
+  if (run_sweep &&
+      (config.providers_can_leave || config.consumers_can_leave)) {
+    ScheduleDepartureSweep();
+  }
+}
+
+void Mediator::SetPeers(std::vector<Mediator*> peers) {
+  peers_.clear();
+  for (Mediator* peer : peers) {
+    if (peer != nullptr && peer != this) peers_.push_back(peer);
+  }
+}
+
+void Mediator::NotifyPeersProviderGone(model::ProviderId provider) {
+  for (Mediator* peer : peers_) {
+    peer->FailProviderInstances(provider);
+  }
+}
+
+void Mediator::ScheduleDepartureSweep() {
+  sim_->scheduler().Schedule(departure_->config().sweep_interval, [this] {
+    // Sweep everyone: dissatisfaction can build up without mediation events
+    // reaching a participant (e.g. a volunteer nobody proposes queries to
+    // has Definition-2 satisfaction 0).
+    for (const Provider& p : registry_->providers()) {
+      if (p.alive()) MaybeDepartProvider(p.id());
+    }
+    for (const Consumer& c : registry_->consumers()) {
+      if (c.active()) MaybeRetireConsumer(c.id());
+    }
+    ScheduleDepartureSweep();
+  });
+}
+
+void Mediator::After(double delay, std::function<void()> fn) {
+  sim_->scheduler().Schedule(delay, std::move(fn));
+}
+
+double Mediator::OneWayLatency() {
+  if (!config_.simulate_network) return 0;
+  return sim_->network().SampleLatency();
+}
+
+double Mediator::RoundTripLatency(size_t fanout) {
+  if (!config_.simulate_network) return 0;
+  double max_latency = 0;
+  for (size_t i = 0; i < fanout + 1; ++i) {
+    max_latency = std::max(max_latency, sim_->network().SampleLatency());
+  }
+  return 2 * max_latency;
+}
+
+void Mediator::SubmitQuery(model::Query query) {
+  query.issued_at = sim_->now();
+  ++stats_.queries_submitted;
+  registry_->consumer(query.consumer).OnQueryIssued();
+  // Consumer -> mediator hop.
+  After(OneWayLatency(), [this, query] { OnQueryArrival(query); });
+}
+
+void Mediator::OnQueryArrival(model::Query query) {
+  const std::vector<model::ProviderId> candidates =
+      registry_->ProvidersFor(query);
+  if (candidates.empty()) {
+    FinalizeUnallocated(query);
+    return;
+  }
+
+  AllocationContext ctx;
+  ctx.query = &query;
+  ctx.candidates = &candidates;
+  ctx.mediator = this;
+  ctx.now = sim_->now();
+  AllocationDecision decision = method_->Allocate(ctx);
+
+  // Normalize the decision: consulted defaults to selected; intentions are
+  // computed here when the method did not provide them, so the satisfaction
+  // model evaluates every technique identically.
+  if (decision.consulted.empty()) decision.consulted = decision.selected;
+  if (decision.provider_intentions.size() != decision.consulted.size()) {
+    decision.provider_intentions =
+        ComputeProviderIntentions(query, decision.consulted);
+  }
+  if (decision.consumer_intentions.size() != decision.consulted.size()) {
+    decision.consumer_intentions =
+        ComputeConsumerIntentions(query, decision.consulted);
+  }
+  // The mediator allocates to at most q.n providers (min(n, kn)).
+  if (decision.selected.size() > static_cast<size_t>(query.n_results)) {
+    decision.selected.resize(static_cast<size_t>(query.n_results));
+  }
+
+  for (MediationObserver* obs : observers_) {
+    obs->OnMediation(query, decision, sim_->now());
+  }
+
+  const double extra =
+      (decision.used_intention_round || decision.used_bid_round)
+          ? RoundTripLatency(decision.consulted.size())
+          : 0.0;
+  After(extra, [this, query, decision = std::move(decision)]() mutable {
+    Dispatch(query, std::move(decision));
+  });
+}
+
+void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
+  // Map consulted -> (PI, CI) for bookkeeping.
+  const size_t consulted_n = decision.consulted.size();
+  std::unordered_map<model::ProviderId, double> ci_of;
+  ci_of.reserve(consulted_n);
+  for (size_t i = 0; i < consulted_n; ++i) {
+    ci_of[decision.consulted[i]] = decision.consumer_intentions[i];
+  }
+
+  std::unordered_set<model::ProviderId> selected_set(
+      decision.selected.begin(), decision.selected.end());
+  SBQA_CHECK_EQ(selected_set.size(), decision.selected.size());
+
+  if (decision.selected.empty()) {
+    // The method could not (or chose not to) allocate anybody, e.g. an
+    // economic mediation with no affordable bid.
+    FinalizeUnallocated(query);
+  } else {
+    InFlight inflight;
+    inflight.query = query;
+    inflight.consulted_consumer_intentions = decision.consumer_intentions;
+    inflight.instances.reserve(decision.selected.size());
+    for (model::ProviderId p : decision.selected) {
+      Instance inst;
+      inst.provider = p;
+      auto it = ci_of.find(p);
+      inst.consumer_intention =
+          it != ci_of.end()
+              ? it->second
+              : ComputeConsumerIntentions(query, {p}).front();
+      inflight.instances.push_back(inst);
+    }
+    inflight.pending = static_cast<int>(inflight.instances.size());
+    const model::QueryId id = query.id;
+    inflight.timeout_event = sim_->scheduler().Schedule(
+        config_.query_timeout, [this, id] { OnTimeout(id); });
+    inflight_[id] = std::move(inflight);
+
+    // Mediator -> provider hops.
+    for (model::ProviderId p : decision.selected) {
+      ++stats_.instances_dispatched;
+      provider_inflight_[p].insert(id);
+      const double cost = query.cost;
+      After(OneWayLatency(),
+            [this, id, p, cost] { OnInstanceArrival(id, p, cost); });
+    }
+  }
+
+  // Notify all consulted providers of the mediation result: each records
+  // the proposal (Definition 2's PPI window) whether or not it was chosen.
+  for (size_t i = 0; i < consulted_n; ++i) {
+    const model::ProviderId p = decision.consulted[i];
+    Provider& provider = registry_->provider(p);
+    if (!provider.alive()) continue;
+    provider.satisfaction_tracker().RecordProposal(
+        decision.provider_intentions[i], selected_set.contains(p));
+  }
+  // Dissatisfied providers may now decide to leave (autonomous mode).
+  for (size_t i = 0; i < consulted_n; ++i) {
+    MaybeDepartProvider(decision.consulted[i]);
+  }
+}
+
+void Mediator::OnInstanceArrival(model::QueryId id, model::ProviderId provider,
+                                 double cost) {
+  auto it = inflight_.find(id);
+  Provider& p = registry_->provider(provider);
+  if (it == inflight_.end()) return;  // already finalized (timeout)
+  Instance* inst = nullptr;
+  for (Instance& candidate : it->second.instances) {
+    if (candidate.provider == provider &&
+        candidate.status == InstanceStatus::kPending) {
+      inst = &candidate;
+      break;
+    }
+  }
+  if (inst == nullptr) return;  // failed meanwhile (provider departure)
+  if (!p.alive()) {
+    inst->status = InstanceStatus::kFailed;
+    ++stats_.instances_failed;
+    provider_inflight_[provider].erase(id);
+    if (--it->second.pending == 0) Finalize(id, /*timed_out=*/false);
+    return;
+  }
+  const double finish_at = p.Enqueue(sim_->now(), cost);
+  const uint64_t epoch = p.queue_epoch();
+  sim_->scheduler().ScheduleAt(finish_at, [this, id, provider, cost, epoch] {
+    if (registry_->provider(provider).queue_epoch() != epoch) return;
+    OnInstanceProcessed(id, provider, cost);
+  });
+}
+
+void Mediator::OnInstanceProcessed(model::QueryId id,
+                                   model::ProviderId provider, double cost) {
+  Provider& p = registry_->provider(provider);
+  p.OnInstanceFinished(cost);
+  ++stats_.instances_completed;
+  // Result validation (BOINC layer): a faulty/malicious provider returns an
+  // invalid result with its configured error rate; reputation tracks this.
+  const bool valid = !rng_.Bernoulli(p.params().error_rate);
+  reputation_->Record(provider, valid ? 1.0 : 0.0);
+  // Provider -> consumer result hop.
+  After(OneWayLatency(),
+        [this, id, provider, valid] { OnResultReceived(id, provider, valid); });
+}
+
+void Mediator::OnResultReceived(model::QueryId id, model::ProviderId provider,
+                                bool valid) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // finalized by timeout; result dropped
+  for (Instance& inst : it->second.instances) {
+    if (inst.provider == provider &&
+        inst.status == InstanceStatus::kPending) {
+      inst.status = InstanceStatus::kCompleted;
+      inst.valid = valid;
+      provider_inflight_[provider].erase(id);
+      if (--it->second.pending == 0) Finalize(id, /*timed_out=*/false);
+      return;
+    }
+  }
+}
+
+void Mediator::OnTimeout(model::QueryId id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  it->second.timeout_event = 0;
+  ++stats_.queries_timed_out;
+  Finalize(id, /*timed_out=*/true);
+}
+
+void Mediator::Finalize(model::QueryId id, bool timed_out) {
+  auto it = inflight_.find(id);
+  SBQA_CHECK(it != inflight_.end());
+  InFlight inflight = std::move(it->second);
+  inflight_.erase(it);
+  if (inflight.timeout_event != 0) {
+    sim_->scheduler().Cancel(inflight.timeout_event);
+  }
+
+  QueryOutcome outcome;
+  outcome.query = inflight.query;
+  outcome.completed_at = sim_->now();
+  outcome.response_time = sim_->now() - inflight.query.issued_at;
+  outcome.results_required = inflight.query.n_results;
+  outcome.timed_out = timed_out;
+
+  std::vector<double> performer_intentions;
+  for (Instance& inst : inflight.instances) {
+    provider_inflight_[inst.provider].erase(id);
+    if (inst.status == InstanceStatus::kCompleted) {
+      outcome.performers.push_back(inst.provider);
+      performer_intentions.push_back(inst.consumer_intention);
+      if (inst.valid) ++outcome.valid_results;
+    }
+  }
+  outcome.results_received = static_cast<int>(outcome.performers.size());
+
+  const Consumer& consumer = registry_->consumer(inflight.query.consumer);
+  outcome.validated = outcome.valid_results >= consumer.params().quorum;
+
+  // Equation 1 over the providers that performed q.
+  outcome.satisfaction = ConsumerQuerySatisfaction(
+      performer_intentions, inflight.query.n_results);
+  outcome.adequation =
+      ConsumerQueryAdequation(inflight.consulted_consumer_intentions);
+  outcome.allocation_satisfaction = ConsumerQueryAllocationSatisfaction(
+      outcome.satisfaction, inflight.consulted_consumer_intentions,
+      inflight.query.n_results);
+
+  RecordConsumerOutcome(&outcome);
+}
+
+void Mediator::FinalizeUnallocated(const model::Query& query) {
+  ++stats_.queries_unallocated;
+  QueryOutcome outcome;
+  outcome.query = query;
+  outcome.completed_at = sim_->now();
+  outcome.response_time = sim_->now() - query.issued_at;
+  outcome.results_required = query.n_results;
+  outcome.unallocated = true;
+  outcome.satisfaction = 0;
+  outcome.adequation = 0;
+  outcome.allocation_satisfaction = 1;  // nothing was achievable
+  RecordConsumerOutcome(&outcome);
+}
+
+void Mediator::RecordConsumerOutcome(QueryOutcome* outcome) {
+  ++stats_.queries_finalized;
+  if (outcome->results_received >= outcome->results_required) {
+    ++stats_.queries_fully_served;
+  }
+  if (outcome->results_received >= 1) {
+    stats_.response_time.Add(outcome->response_time);
+  }
+  stats_.query_satisfaction.Add(outcome->satisfaction);
+
+  Consumer& consumer = registry_->consumer(outcome->query.consumer);
+  consumer.satisfaction_tracker().RecordQuery(
+      outcome->satisfaction, outcome->adequation,
+      outcome->allocation_satisfaction);
+  consumer.OnQueryCompleted();
+
+  NotifyCompleted(*outcome);
+  MaybeRetireConsumer(outcome->query.consumer);
+}
+
+void Mediator::FailProviderInstances(model::ProviderId provider) {
+  auto it = provider_inflight_.find(provider);
+  if (it == provider_inflight_.end()) return;
+  const std::unordered_set<model::QueryId> queries = std::move(it->second);
+  provider_inflight_.erase(it);
+  for (model::QueryId id : queries) {
+    auto qit = inflight_.find(id);
+    if (qit == inflight_.end()) continue;
+    for (Instance& inst : qit->second.instances) {
+      if (inst.provider == provider &&
+          inst.status == InstanceStatus::kPending) {
+        inst.status = InstanceStatus::kFailed;
+        ++stats_.instances_failed;
+        --qit->second.pending;
+      }
+    }
+    if (qit->second.pending == 0) Finalize(id, /*timed_out=*/false);
+  }
+}
+
+void Mediator::SetProviderAvailability(model::ProviderId provider,
+                                       bool available) {
+  Provider& p = registry_->provider(provider);
+  if (p.departed()) return;  // dissatisfaction departures are final
+  if (available == p.alive()) return;
+  if (available) {
+    p.set_alive(true);
+  } else {
+    // Going offline loses the queued work, exactly like a departure, but
+    // the provider may come back later.
+    p.set_alive(false);
+    p.DropQueue(sim_->now());
+    ++stats_.provider_offline_events;
+    FailProviderInstances(provider);
+    NotifyPeersProviderGone(provider);
+  }
+  for (MediationObserver* obs : observers_) {
+    obs->OnProviderAvailabilityChanged(provider, available, sim_->now());
+  }
+}
+
+void Mediator::MaybeDepartProvider(model::ProviderId provider) {
+  if (departure_ == nullptr) return;
+  Provider& p = registry_->provider(provider);
+  if (!departure_->ShouldProviderLeave(p, sim_->now())) return;
+
+  p.MarkDeparted();
+  p.DropQueue(sim_->now());
+  ++stats_.provider_departures;
+  FailProviderInstances(provider);
+  NotifyPeersProviderGone(provider);
+
+  for (MediationObserver* obs : observers_) {
+    obs->OnProviderDeparted(provider, sim_->now());
+  }
+}
+
+void Mediator::MaybeRetireConsumer(model::ConsumerId consumer) {
+  if (departure_ == nullptr) return;
+  Consumer& c = registry_->consumer(consumer);
+  if (!departure_->ShouldConsumerRetire(c, sim_->now())) return;
+  c.set_active(false);
+  ++stats_.consumer_retirements;
+  for (MediationObserver* obs : observers_) {
+    obs->OnConsumerRetired(consumer, sim_->now());
+  }
+}
+
+void Mediator::NotifyCompleted(const QueryOutcome& outcome) {
+  for (MediationObserver* obs : observers_) {
+    obs->OnQueryCompleted(outcome);
+  }
+}
+
+double Mediator::ViewedBacklog(model::ProviderId provider) {
+  const double now = sim_->now();
+  if (config_.load_view_staleness <= 0) {
+    return registry_->provider(provider).Backlog(now);
+  }
+  LoadReport& report = load_view_[provider];
+  if (report.reported_at < 0 ||
+      now - report.reported_at >= config_.load_view_staleness) {
+    report.reported_at = now;
+    report.backlog = registry_->provider(provider).Backlog(now);
+    return report.backlog;
+  }
+  // Stale report, linearly drained: the mediator can at least assume the
+  // provider kept processing since it last reported.
+  const double drained = report.backlog - (now - report.reported_at);
+  return drained > 0 ? drained : 0.0;
+}
+
+std::vector<double> Mediator::BacklogsOf(
+    const std::vector<model::ProviderId>& providers) {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (model::ProviderId p : providers) {
+    out.push_back(ViewedBacklog(p));
+  }
+  return out;
+}
+
+std::vector<double> Mediator::ExpectedCompletionsOf(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers) {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (model::ProviderId p : providers) {
+    out.push_back(ViewedBacklog(p) +
+                  query.cost / registry_->provider(p).capacity());
+  }
+  return out;
+}
+
+std::vector<double> Mediator::ComputeProviderIntentions(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers) const {
+  std::vector<double> out;
+  out.reserve(providers.size());
+  const double now = sim_->now();
+  for (model::ProviderId p : providers) {
+    out.push_back(registry_->provider(p).ComputeIntention(query, now));
+  }
+  return out;
+}
+
+std::vector<double> Mediator::ComputeConsumerIntentions(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers) {
+  const std::vector<double> ects = ExpectedCompletionsOf(query, providers);
+  double max_ect = 0;
+  for (double ect : ects) max_ect = std::max(max_ect, ect);
+  const Consumer& consumer = registry_->consumer(query.consumer);
+  std::vector<double> out;
+  out.reserve(providers.size());
+  for (size_t i = 0; i < providers.size(); ++i) {
+    out.push_back(consumer.ComputeIntention(query, providers[i],
+                                            reputation_->Get(providers[i]),
+                                            ects[i], max_ect));
+  }
+  return out;
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,235 @@
+#ifndef SBQA_CORE_MEDIATOR_H_
+#define SBQA_CORE_MEDIATOR_H_
+
+/// \file
+/// The mediator entity (paper Fig. 1): receives queries from consumers,
+/// runs the pluggable allocation method, dispatches work to providers over
+/// the simulated network, collects results, and maintains the satisfaction
+/// bookkeeping that the whole framework revolves around.
+///
+/// The satisfaction model is evaluated identically for every allocation
+/// method (that is Scenario 1's point): the mediator computes the
+/// consumer's and providers' intentions for the consulted providers even
+/// when the method itself ignored them.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/allocation_method.h"
+#include "core/departure.h"
+#include "core/mediation.h"
+#include "core/registry.h"
+#include "core/satisfaction.h"
+#include "model/query.h"
+#include "model/reputation.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbqa::core {
+
+/// Mediator-level configuration.
+struct MediatorConfig {
+  /// When false, all message latencies are zero (useful for unit tests and
+  /// micro-benchmarks; processing time still elapses).
+  bool simulate_network = true;
+  /// A query is finalized with whatever results arrived this many seconds
+  /// after dispatch (safety net; provider departures already fail fast).
+  double query_timeout = 600.0;
+  /// Age (seconds) of the mediator's view of provider load: backlogs used
+  /// for KnBest / capacity-based / QLB decisions refresh at most this
+  /// often per provider, modelling periodic load reports instead of
+  /// omniscient queue knowledge. 0 = always fresh. Providers' *own*
+  /// utilization (used in their intentions) is always fresh.
+  double load_view_staleness = 0.0;
+};
+
+/// Aggregate counters maintained by the mediator.
+struct MediatorStats {
+  int64_t queries_submitted = 0;
+  int64_t queries_finalized = 0;
+  int64_t queries_unallocated = 0;
+  int64_t queries_timed_out = 0;
+  int64_t queries_fully_served = 0;  ///< received == required
+  int64_t instances_dispatched = 0;
+  int64_t instances_completed = 0;
+  int64_t instances_failed = 0;
+  int64_t provider_departures = 0;
+  int64_t provider_offline_events = 0;  ///< churn, not dissatisfaction
+  int64_t consumer_retirements = 0;
+  util::RunningStats response_time;
+  util::RunningStats query_satisfaction;
+};
+
+/// The mediation pipeline. One mediator per simulated system.
+class Mediator {
+ public:
+  /// All raw pointers must outlive the mediator. `method` is owned.
+  Mediator(sim::Simulation* sim, Registry* registry,
+           model::ReputationRegistry* reputation,
+           std::unique_ptr<AllocationMethod> method,
+           const MediatorConfig& config = {});
+
+  Mediator(const Mediator&) = delete;
+  Mediator& operator=(const Mediator&) = delete;
+
+  /// Optional hooks.
+  void AddObserver(MediationObserver* observer);
+  /// Enables the departure model; `run_sweep` additionally schedules the
+  /// periodic whole-population evaluation (in a federation exactly one
+  /// mediator should run the sweep).
+  void SetDepartureModel(const DepartureConfig& config, bool run_sweep = true);
+
+  /// Federation: mediators sharing one registry split the consumer
+  /// population. Peers get their in-flight instances failed when this
+  /// mediator takes a provider out (departure or churn). `peers` may
+  /// contain `this`; it is ignored.
+  void SetPeers(std::vector<Mediator*> peers);
+
+  /// Entry point: the consumer issues `query` at the current simulation
+  /// time (query.issued_at is stamped here). The mediation proceeds through
+  /// scheduled events; results land in the satisfaction trackers, observers
+  /// and stats.
+  void SubmitQuery(model::Query query);
+
+  /// Availability (churn) control: taking a provider offline fails its
+  /// pending instances and drops its queue; bringing it back online makes
+  /// it eligible for Pq again. Departed providers (dissatisfaction) stay
+  /// gone. No-op when the state does not change.
+  void SetProviderAvailability(model::ProviderId provider, bool available);
+
+  // --- Helpers for allocation methods --------------------------------------
+
+  Registry& registry() { return *registry_; }
+  const Registry& registry() const { return *registry_; }
+  model::ReputationRegistry& reputation() { return *reputation_; }
+  util::Rng& rng() { return rng_; }
+  double now() const { return sim_->now(); }
+
+  /// The mediator's (possibly stale) view of one provider's backlog.
+  double ViewedBacklog(model::ProviderId provider);
+
+  /// Seconds of queued work for each provider (parallel to `providers`),
+  /// through the staleness-bounded load view.
+  std::vector<double> BacklogsOf(
+      const std::vector<model::ProviderId>& providers);
+
+  /// Expected completion delay of `query` on each provider (viewed backlog
+  /// plus the query's processing time at that provider's capacity).
+  std::vector<double> ExpectedCompletionsOf(
+      const model::Query& query,
+      const std::vector<model::ProviderId>& providers);
+
+  /// PI_q[p] for each provider (parallel array).
+  std::vector<double> ComputeProviderIntentions(
+      const model::Query& query,
+      const std::vector<model::ProviderId>& providers) const;
+
+  /// CI_q[p] for each provider (parallel array). Supplies the consumer
+  /// policy with reputation and expected-completion context (through the
+  /// staleness-bounded load view).
+  std::vector<double> ComputeConsumerIntentions(
+      const model::Query& query,
+      const std::vector<model::ProviderId>& providers);
+
+  // --- Introspection --------------------------------------------------------
+
+  const MediatorStats& stats() const { return stats_; }
+  AllocationMethod& method() { return *method_; }
+  const MediatorConfig& config() const { return config_; }
+  /// Queries submitted but not yet finalized.
+  size_t inflight_count() const { return inflight_.size(); }
+
+ private:
+  enum class InstanceStatus { kPending, kCompleted, kFailed };
+
+  struct Instance {
+    model::ProviderId provider = model::kInvalidId;
+    InstanceStatus status = InstanceStatus::kPending;
+    double consumer_intention = 0;  ///< CI_q[p], for Equation 1
+    bool valid = false;             ///< result passed validation
+    sim::EventId completion_event = 0;
+  };
+
+  struct InFlight {
+    model::Query query;
+    std::vector<Instance> instances;
+    int pending = 0;
+    sim::EventId timeout_event = 0;
+    /// CI over the consulted set, for per-query adequation/allocation-
+    /// satisfaction reconstruction.
+    std::vector<double> consulted_consumer_intentions;
+  };
+
+  /// Schedules `fn` after `delay` (or runs it via a zero-delay event when
+  /// network simulation is off).
+  void After(double delay, std::function<void()> fn);
+  double OneWayLatency();
+  /// 2 * max over `fanout`+1 sampled one-way latencies (an intention or bid
+  /// round-trip to the consumer and the consulted providers in parallel).
+  double RoundTripLatency(size_t fanout);
+
+  void OnQueryArrival(model::Query query);
+  void Dispatch(model::Query query, AllocationDecision decision);
+  void OnInstanceArrival(model::QueryId id, model::ProviderId provider,
+                         double cost);
+  void OnInstanceProcessed(model::QueryId id, model::ProviderId provider,
+                           double cost);
+  void OnResultReceived(model::QueryId id, model::ProviderId provider,
+                        bool valid);
+  void OnTimeout(model::QueryId id);
+  void Finalize(model::QueryId id, bool timed_out);
+  /// Finalizes a query that never got any provider.
+  void FinalizeUnallocated(const model::Query& query);
+
+  /// Records the consumer-side satisfaction values for a finalized query
+  /// and runs the consumer departure check.
+  void RecordConsumerOutcome(QueryOutcome* outcome);
+
+  /// Fails every pending instance held by `provider` (departure or churn),
+  /// finalizing queries whose last instance died.
+  void FailProviderInstances(model::ProviderId provider);
+  /// Runs the departure check for one provider; performs the departure
+  /// (failing its in-flight instances) when triggered.
+  void MaybeDepartProvider(model::ProviderId provider);
+  void MaybeRetireConsumer(model::ConsumerId consumer);
+  /// Periodic whole-population departure evaluation (autonomous mode).
+  void ScheduleDepartureSweep();
+
+  void NotifyCompleted(const QueryOutcome& outcome);
+
+  /// Fails the pending instances of `provider` on every federation peer.
+  void NotifyPeersProviderGone(model::ProviderId provider);
+
+  sim::Simulation* sim_;
+  Registry* registry_;
+  model::ReputationRegistry* reputation_;
+  std::unique_ptr<AllocationMethod> method_;
+  MediatorConfig config_;
+  util::Rng rng_;
+  std::vector<MediationObserver*> observers_;
+  std::vector<Mediator*> peers_;
+  std::unique_ptr<DepartureModel> departure_;
+
+  /// Cached load reports for the staleness-bounded view.
+  struct LoadReport {
+    double reported_at = -1;
+    double backlog = 0;
+  };
+  std::unordered_map<model::ProviderId, LoadReport> load_view_;
+
+  std::unordered_map<model::QueryId, InFlight> inflight_;
+  /// Which in-flight queries have pending instances on each provider
+  /// (consulted on provider departure).
+  std::unordered_map<model::ProviderId,
+                     std::unordered_set<model::QueryId>>
+      provider_inflight_;
+  MediatorStats stats_;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_MEDIATOR_H_

@@ -1,0 +1,62 @@
+#include "core/provider.h"
+
+#include <algorithm>
+
+namespace sbqa::core {
+
+Provider::Provider(model::ProviderId id, const ProviderParams& params)
+    : id_(id),
+      params_(params),
+      policy_(model::MakeProviderPolicy(params.policy_kind, params.psi)),
+      tracker_(params.memory_k, params.satisfaction_mode) {
+  SBQA_CHECK_GT(params.capacity, 0);
+  SBQA_CHECK_GT(params.tau_utilization, 0);
+  SBQA_CHECK_GE(params.error_rate, 0);
+  SBQA_CHECK_LE(params.error_rate, 1);
+}
+
+double Provider::Backlog(double now) const {
+  return std::max(0.0, busy_until_ - now);
+}
+
+double Provider::ExpectedCompletion(double now, double cost) const {
+  SBQA_DCHECK_GE(cost, 0);
+  return Backlog(now) + cost / params_.capacity;
+}
+
+double Provider::Enqueue(double now, double cost) {
+  SBQA_DCHECK_GE(cost, 0);
+  const double start = std::max(busy_until_, now);
+  busy_until_ = start + cost / params_.capacity;
+  ++outstanding_;
+  return busy_until_;
+}
+
+void Provider::OnInstanceFinished(double cost) {
+  SBQA_DCHECK_GT(outstanding_, 0);
+  --outstanding_;
+  busy_seconds_ += cost / params_.capacity;
+  ++instances_performed_;
+}
+
+void Provider::DropQueue(double now) {
+  busy_until_ = now;
+  outstanding_ = 0;
+  ++queue_epoch_;
+}
+
+double Provider::UtilizationNorm(double now) const {
+  const double backlog = Backlog(now);
+  return backlog / (backlog + params_.tau_utilization);
+}
+
+double Provider::ComputeIntention(const model::Query& query,
+                                  double now) const {
+  model::ProviderIntentionContext ctx;
+  ctx.query = &query;
+  ctx.preference = preferences_.Get(query.consumer);
+  ctx.utilization = UtilizationNorm(now);
+  return std::clamp(policy_->Compute(ctx), -1.0, 1.0);
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,152 @@
+#ifndef SBQA_CORE_PROVIDER_H_
+#define SBQA_CORE_PROVIDER_H_
+
+/// \file
+/// Provider runtime state: processing queue, utilization, preferences,
+/// intention policy and the Definition-2 satisfaction memory. In the BOINC
+/// instantiation a provider is one volunteer host.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "core/satisfaction.h"
+#include "model/intention.h"
+#include "model/preference.h"
+#include "model/query.h"
+#include "model/types.h"
+#include "util/check.h"
+
+namespace sbqa::core {
+
+/// Static configuration of one provider.
+struct ProviderParams {
+  /// Processing speed in work units per second (heterogeneous across the
+  /// population). A query of cost c takes c / capacity seconds.
+  double capacity = 1.0;
+  /// Interaction-memory length k for Definition 2.
+  size_t memory_k = 50;
+  /// Denominator convention for Definition 2 (see satisfaction.h).
+  ProviderSatisfactionDenominator satisfaction_mode =
+      ProviderSatisfactionDenominator::kPerformedOnly;
+  /// How this provider computes its intentions.
+  model::ProviderPolicyKind policy_kind =
+      model::ProviderPolicyKind::kUtilizationTrading;
+  /// Preference weight for the utilization-trading policy.
+  double psi = 0.7;
+  /// Backlog normalization constant (seconds): utilization is
+  /// backlog / (backlog + tau_utilization), so tau is the backlog at which a
+  /// provider reports 50% utilization.
+  double tau_utilization = 10.0;
+  /// BOINC layer: probability that a returned result is invalid (malicious
+  /// or faulty host). Drives reputation through validation.
+  double error_rate = 0.0;
+  /// Human-readable label for reports (optional).
+  std::string label;
+};
+
+/// A provider p ∈ P. Owns a FIFO work queue modelled as an absolute
+/// busy-until horizon (sufficient because instances are non-preemptive and
+/// ordered).
+class Provider {
+ public:
+  Provider(model::ProviderId id, const ProviderParams& params);
+
+  model::ProviderId id() const { return id_; }
+  const ProviderParams& params() const { return params_; }
+  double capacity() const { return params_.capacity; }
+
+  /// Whether the provider currently accepts work (false while offline or
+  /// after departing).
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// Whether the provider left permanently out of dissatisfaction
+  /// (Scenario 2). A departed provider never comes back online; a churned
+  /// (temporarily offline) one does.
+  bool departed() const { return departed_; }
+  void MarkDeparted() {
+    departed_ = true;
+    alive_ = false;
+  }
+
+  /// Preferences towards consumers (BOINC: towards projects), in [-1, 1].
+  model::PreferenceProfile& preferences() { return preferences_; }
+  const model::PreferenceProfile& preferences() const { return preferences_; }
+
+  /// Restricts the query classes this provider can treat; empty = all.
+  void RestrictClasses(std::unordered_set<model::QueryClassId> classes) {
+    allowed_classes_ = std::move(classes);
+  }
+  bool CanTreat(model::QueryClassId query_class) const {
+    return allowed_classes_.empty() || allowed_classes_.contains(query_class);
+  }
+
+  // --- Queueing -----------------------------------------------------------
+
+  /// Seconds of queued work remaining at time `now` (0 when idle).
+  double Backlog(double now) const;
+
+  /// Expected completion delay (seconds from `now`) if a query of `cost`
+  /// work units were enqueued now: backlog + cost / capacity.
+  double ExpectedCompletion(double now, double cost) const;
+
+  /// Enqueues an instance of `cost` work units at time `now`; returns the
+  /// absolute finish time. The caller schedules the completion event.
+  double Enqueue(double now, double cost);
+
+  /// Accounting hook on instance completion.
+  void OnInstanceFinished(double cost);
+
+  /// Drops all queued work (provider departure) and bumps the queue epoch,
+  /// invalidating any already-scheduled completion events.
+  void DropQueue(double now);
+
+  /// Incremented by DropQueue; completion events capture the epoch at
+  /// enqueue time and no-op when it changed (stale events of dropped work).
+  uint64_t queue_epoch() const { return queue_epoch_; }
+
+  /// Normalized utilization in [0, 1): backlog / (backlog + tau).
+  double UtilizationNorm(double now) const;
+
+  /// Instances currently queued or in service.
+  int outstanding() const { return outstanding_; }
+
+  /// Total seconds of work completed (for run-level utilization stats).
+  double busy_seconds() const { return busy_seconds_; }
+  int64_t instances_performed() const { return instances_performed_; }
+
+  // --- Intentions & satisfaction -------------------------------------------
+
+  /// PI_q[p]: this provider's intention to perform `q` at time `now`.
+  double ComputeIntention(const model::Query& query, double now) const;
+
+  ProviderSatisfactionTracker& satisfaction_tracker() { return tracker_; }
+  const ProviderSatisfactionTracker& satisfaction_tracker() const {
+    return tracker_;
+  }
+
+  /// Definition 2 shorthand.
+  double satisfaction() const { return tracker_.satisfaction(); }
+
+ private:
+  model::ProviderId id_;
+  ProviderParams params_;
+  bool alive_ = true;
+  bool departed_ = false;
+  model::PreferenceProfile preferences_;
+  std::unordered_set<model::QueryClassId> allowed_classes_;
+  std::unique_ptr<model::ProviderIntentionPolicy> policy_;
+  ProviderSatisfactionTracker tracker_;
+
+  double busy_until_ = 0;  ///< absolute time the queue drains
+  uint64_t queue_epoch_ = 0;
+  int outstanding_ = 0;
+  double busy_seconds_ = 0;
+  int64_t instances_performed_ = 0;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_PROVIDER_H_

@@ -1,0 +1,83 @@
+#include "core/registry.h"
+
+#include "util/check.h"
+
+namespace sbqa::core {
+
+model::ProviderId Registry::AddProvider(const ProviderParams& params) {
+  const auto id = static_cast<model::ProviderId>(providers_.size());
+  providers_.emplace_back(id, params);
+  return id;
+}
+
+model::ConsumerId Registry::AddConsumer(const ConsumerParams& params) {
+  const auto id = static_cast<model::ConsumerId>(consumers_.size());
+  consumers_.emplace_back(id, params);
+  return id;
+}
+
+Provider& Registry::provider(model::ProviderId id) {
+  SBQA_CHECK_GE(id, 0);
+  SBQA_CHECK_LT(static_cast<size_t>(id), providers_.size());
+  return providers_[static_cast<size_t>(id)];
+}
+
+const Provider& Registry::provider(model::ProviderId id) const {
+  SBQA_CHECK_GE(id, 0);
+  SBQA_CHECK_LT(static_cast<size_t>(id), providers_.size());
+  return providers_[static_cast<size_t>(id)];
+}
+
+Consumer& Registry::consumer(model::ConsumerId id) {
+  SBQA_CHECK_GE(id, 0);
+  SBQA_CHECK_LT(static_cast<size_t>(id), consumers_.size());
+  return consumers_[static_cast<size_t>(id)];
+}
+
+const Consumer& Registry::consumer(model::ConsumerId id) const {
+  SBQA_CHECK_GE(id, 0);
+  SBQA_CHECK_LT(static_cast<size_t>(id), consumers_.size());
+  return consumers_[static_cast<size_t>(id)];
+}
+
+std::vector<model::ProviderId> Registry::ProvidersFor(
+    const model::Query& query) const {
+  std::vector<model::ProviderId> out;
+  out.reserve(providers_.size());
+  for (const Provider& p : providers_) {
+    if (p.alive() && p.CanTreat(query.query_class)) out.push_back(p.id());
+  }
+  return out;
+}
+
+size_t Registry::alive_provider_count() const {
+  size_t n = 0;
+  for (const Provider& p : providers_) {
+    if (p.alive()) ++n;
+  }
+  return n;
+}
+
+size_t Registry::active_consumer_count() const {
+  size_t n = 0;
+  for (const Consumer& c : consumers_) {
+    if (c.active()) ++n;
+  }
+  return n;
+}
+
+double Registry::AliveCapacity() const {
+  double sum = 0;
+  for (const Provider& p : providers_) {
+    if (p.alive()) sum += p.capacity();
+  }
+  return sum;
+}
+
+double Registry::TotalCapacity() const {
+  double sum = 0;
+  for (const Provider& p : providers_) sum += p.capacity();
+  return sum;
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,61 @@
+#ifndef SBQA_CORE_REGISTRY_H_
+#define SBQA_CORE_REGISTRY_H_
+
+/// \file
+/// Participant registry: owns all consumers and providers of a simulated
+/// system and answers the mediator's "which providers can treat q" queries
+/// (the paper's set Pq).
+
+#include <memory>
+#include <vector>
+
+#include "core/consumer.h"
+#include "core/provider.h"
+#include "model/query.h"
+#include "model/types.h"
+
+namespace sbqa::core {
+
+/// Owns participants; ids are dense indices assigned on insertion.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  model::ProviderId AddProvider(const ProviderParams& params);
+  model::ConsumerId AddConsumer(const ConsumerParams& params);
+
+  size_t provider_count() const { return providers_.size(); }
+  size_t consumer_count() const { return consumers_.size(); }
+
+  Provider& provider(model::ProviderId id);
+  const Provider& provider(model::ProviderId id) const;
+  Consumer& consumer(model::ConsumerId id);
+  const Consumer& consumer(model::ConsumerId id) const;
+
+  /// The paper's Pq: alive providers able to treat the query's class.
+  std::vector<model::ProviderId> ProvidersFor(const model::Query& query) const;
+
+  size_t alive_provider_count() const;
+  size_t active_consumer_count() const;
+
+  /// Sum of capacities of alive providers (the paper's "total system
+  /// capacity" that dissatisfaction erodes).
+  double AliveCapacity() const;
+  /// Sum of capacities of all providers ever registered.
+  double TotalCapacity() const;
+
+  std::vector<Provider>& providers() { return providers_; }
+  const std::vector<Provider>& providers() const { return providers_; }
+  std::vector<Consumer>& consumers() { return consumers_; }
+  const std::vector<Consumer>& consumers() const { return consumers_; }
+
+ private:
+  std::vector<Provider> providers_;
+  std::vector<Consumer> consumers_;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_REGISTRY_H_

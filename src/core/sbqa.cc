@@ -1,0 +1,83 @@
+#include "core/sbqa.h"
+
+#include <algorithm>
+
+#include "core/mediator.h"
+#include "util/check.h"
+
+namespace sbqa::core {
+
+SbqaParams SqlbParams(OmegaMode omega_mode, double fixed_omega) {
+  SbqaParams params;
+  params.knbest = KnBestParams{0, 0};  // consult all of Pq
+  params.omega_mode = omega_mode;
+  params.fixed_omega = fixed_omega;
+  params.name = "SQLB";
+  return params;
+}
+
+SbqaMethod::SbqaMethod(const SbqaParams& params) : params_(params) {
+  SBQA_CHECK_GT(params.epsilon, 0);
+  SBQA_CHECK_GE(params.fixed_omega, 0);
+  SBQA_CHECK_LE(params.fixed_omega, 1);
+}
+
+AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
+  SBQA_CHECK(ctx.query != nullptr);
+  SBQA_CHECK(ctx.candidates != nullptr);
+  SBQA_CHECK(ctx.mediator != nullptr);
+  Mediator& mediator = *ctx.mediator;
+  const model::Query& query = *ctx.query;
+
+  // Phase 1 (KnBest): random sample K, keep the kn least utilized (Kn).
+  const std::vector<double> backlogs = mediator.BacklogsOf(*ctx.candidates);
+  std::vector<model::ProviderId> kn =
+      SelectKnBest(*ctx.candidates, backlogs, params_.knbest, mediator.rng());
+  SBQA_CHECK(!kn.empty());
+
+  // Phase 2 (SQLB): one round-trip gathers CI_q[p] from the consumer and
+  // PI_q[p] from every p in Kn.
+  const std::vector<double> pi = mediator.ComputeProviderIntentions(query, kn);
+  const std::vector<double> ci = mediator.ComputeConsumerIntentions(query, kn);
+
+  const Consumer& consumer = mediator.registry().consumer(query.consumer);
+  const double consumer_satisfaction =
+      consumer.satisfaction_tracker().sample_count() == 0
+          ? params_.cold_start_consumer_satisfaction
+          : consumer.satisfaction();
+
+  std::vector<ScoredProvider> scored;
+  scored.reserve(kn.size());
+  for (size_t i = 0; i < kn.size(); ++i) {
+    const Provider& provider = mediator.registry().provider(kn[i]);
+    double omega = params_.fixed_omega;
+    if (params_.omega_mode == OmegaMode::kAdaptive) {
+      // Equation 2, evaluated per (consumer, provider) pair.
+      omega = AdaptiveOmega(consumer_satisfaction, provider.satisfaction());
+    }
+    ScoredProvider sp;
+    sp.provider = kn[i];
+    sp.provider_intention = pi[i];
+    sp.consumer_intention = ci[i];
+    sp.omega = omega;
+    sp.score = ProviderScore(pi[i], ci[i], omega, params_.epsilon);
+    scored.push_back(sp);
+  }
+  RankByScore(&scored);
+
+  // Allocate to the min(q.n, kn) best-scored providers.
+  const size_t take =
+      std::min(static_cast<size_t>(query.n_results), scored.size());
+  AllocationDecision decision;
+  decision.selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    decision.selected.push_back(scored[i].provider);
+  }
+  decision.consulted = std::move(kn);
+  decision.provider_intentions = pi;
+  decision.consumer_intentions = ci;
+  decision.used_intention_round = true;
+  return decision;
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,40 @@
+#include "core/score.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbqa::core {
+
+double ProviderScore(double provider_intention, double consumer_intention,
+                     double omega, double epsilon) {
+  SBQA_DCHECK_GE(omega, 0);
+  SBQA_DCHECK_LE(omega, 1);
+  SBQA_CHECK_GT(epsilon, 0);
+  const double pi = std::clamp(provider_intention, -1.0, 1.0);
+  const double ci = std::clamp(consumer_intention, -1.0, 1.0);
+  if (pi > 0 && ci > 0) {
+    // pow(x, 0) == 1 even for x == 0, matching "weight 0 ignores the term";
+    // both bases are > 0 here anyway.
+    return std::pow(pi, omega) * std::pow(ci, 1.0 - omega);
+  }
+  return -(std::pow(1.0 - pi + epsilon, omega) *
+           std::pow(1.0 - ci + epsilon, 1.0 - omega));
+}
+
+double AdaptiveOmega(double consumer_satisfaction,
+                     double provider_satisfaction) {
+  const double omega =
+      ((consumer_satisfaction - provider_satisfaction) + 1.0) / 2.0;
+  return std::clamp(omega, 0.0, 1.0);
+}
+
+void RankByScore(std::vector<ScoredProvider>* scored) {
+  SBQA_CHECK(scored != nullptr);
+  std::sort(scored->begin(), scored->end(),
+            [](const ScoredProvider& a, const ScoredProvider& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.provider < b.provider;
+            });
+}
+
+}  // namespace sbqa::core

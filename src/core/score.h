@@ -1,0 +1,62 @@
+#ifndef SBQA_CORE_SCORE_H_
+#define SBQA_CORE_SCORE_H_
+
+/// \file
+/// Provider scoring (paper Definition 3) and the self-adaptive balance
+/// parameter ω (paper Equation 2).
+///
+/// Definition 3 balances the provider's intention PI_q[p] against the
+/// consumer's intention CI_q[p]:
+///
+///   scr_q(p) = (PI)^ω · (CI)^(1-ω)                      when PI>0 and CI>0
+///   scr_q(p) = -((1-PI+ε)^ω · (1-CI+ε)^(1-ω))           otherwise
+///
+/// with ε > 0 (default 1) keeping the negative branch away from zero when an
+/// intention equals 1. Scores only *rank* providers; the positive branch
+/// lies in (0, 1] and the negative branch is strictly negative, so any
+/// mutually interested pairing beats any non-interested one.
+///
+/// Equation 2 sets ω from the pair's current satisfactions:
+///   ω = ((δs(c) - δs(p)) + 1) / 2
+/// so a satisfied consumer facing an unsatisfied provider yields ω → 1
+/// (provider's intention dominates) and vice versa.
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sbqa::core {
+
+/// How the mediator chooses ω when scoring (Scenario 6 varies this).
+enum class OmegaMode {
+  /// Equation 2: ω from the live consumer/provider satisfactions.
+  kAdaptive,
+  /// A fixed application-chosen ω (0 = consumer interests only,
+  /// 1 = provider interests only).
+  kFixed,
+};
+
+/// Definition 3. `omega` in [0,1]; `epsilon` > 0.
+double ProviderScore(double provider_intention, double consumer_intention,
+                     double omega, double epsilon = 1.0);
+
+/// Equation 2, clamped into [0, 1] (inputs outside [0,1] are tolerated).
+double AdaptiveOmega(double consumer_satisfaction,
+                     double provider_satisfaction);
+
+/// A scored candidate, used when ranking.
+struct ScoredProvider {
+  int32_t provider = -1;
+  double score = 0;
+  double provider_intention = 0;
+  double consumer_intention = 0;
+  double omega = 0.5;
+};
+
+/// Sorts best-score-first with deterministic tie-breaking by provider id.
+void RankByScore(std::vector<ScoredProvider>* scored);
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_SCORE_H_

@@ -1,0 +1,59 @@
+#ifndef SBQA_EXPERIMENTS_DEMO_SCENARIOS_H_
+#define SBQA_EXPERIMENTS_DEMO_SCENARIOS_H_
+
+/// \file
+/// Ready-made configurations for the seven demonstration scenarios of the
+/// paper (§IV). Every bench binary builds on these, so the parameters are
+/// centralized and the tests can assert the same shapes the benches print.
+
+#include <vector>
+
+#include "experiments/runner.h"
+#include "experiments/scenario.h"
+
+namespace sbqa::experiments {
+
+/// The default SbQA parameterization used across the demo scenarios:
+/// k = 20 random candidates, kn = 8 least-utilized, adaptive ω, ε = 1.
+core::SbqaParams DefaultSbqaParams();
+
+/// The shared BOINC workload every scenario starts from: three projects
+/// (popular / normal / unpopular) over `volunteers` volunteers, captive
+/// environment, reputation-/utilization-trading participants, ~55% offered
+/// load. `duration` is the simulated run length.
+ScenarioConfig BaseDemoConfig(uint64_t seed = 42, size_t volunteers = 200,
+                              double duration = 600.0);
+
+/// Scenario 1: captive environment, baseline techniques (capacity-based vs
+/// economic) analyzed through the satisfaction model.
+ScenarioConfig Scenario1Config(uint64_t seed = 42);
+/// Scenario 2: the same comparison in an autonomous environment
+/// (providers leave < 0.35, consumers stop < 0.5).
+ScenarioConfig Scenario2Config(uint64_t seed = 42);
+/// Scenario 3: SbQA joins the comparison, captive environment.
+ScenarioConfig Scenario3Config(uint64_t seed = 42);
+/// Scenario 4: SbQA in the autonomous environment.
+ScenarioConfig Scenario4Config(uint64_t seed = 42);
+/// Scenario 5: participants switch to performance-oriented intentions
+/// (consumers: response time only; providers: load only).
+ScenarioConfig Scenario5Config(uint64_t seed = 42);
+/// Scenario 6 base: grid-computing application (captive consumers,
+/// autonomous providers); the bench sweeps kn and ω on top of it.
+ScenarioConfig Scenario6Config(uint64_t seed = 42);
+/// Scenario 7 base: plants one scripted "guest" volunteer (selective
+/// interests: Einstein@home only) and one scripted guest project with
+/// strong per-provider preferences; the bench compares mediations from
+/// their point of view. Returns the config; the guest ids are the last
+/// project and the last volunteer.
+ScenarioConfig Scenario7Config(uint64_t seed = 42);
+
+/// The two baseline techniques of Scenarios 1-2.
+std::vector<MethodSpec> BaselineMethods();
+/// Baselines + SbQA (Scenarios 3-5).
+std::vector<MethodSpec> HeadlineMethods();
+/// Every technique in the repository (overview tables).
+std::vector<MethodSpec> AllMethods();
+
+}  // namespace sbqa::experiments
+
+#endif  // SBQA_EXPERIMENTS_DEMO_SCENARIOS_H_

@@ -1,0 +1,43 @@
+#include "experiments/methods.h"
+
+#include "baselines/capacity_based.h"
+#include "baselines/interest_only.h"
+#include "baselines/qlb.h"
+#include "baselines/random_alloc.h"
+#include "baselines/round_robin.h"
+
+namespace sbqa::experiments {
+
+std::unique_ptr<core::AllocationMethod> MakeMethod(const MethodSpec& spec) {
+  switch (spec.kind) {
+    case MethodKind::kRandom:
+      return std::make_unique<baselines::RandomMethod>();
+    case MethodKind::kRoundRobin:
+      return std::make_unique<baselines::RoundRobinMethod>();
+    case MethodKind::kCapacity:
+      return std::make_unique<baselines::CapacityBasedMethod>();
+    case MethodKind::kQlb:
+      return std::make_unique<baselines::QlbMethod>();
+    case MethodKind::kEconomic:
+      return std::make_unique<baselines::EconomicMethod>(spec.economic);
+    case MethodKind::kKnBest:
+      return std::make_unique<core::KnBestMethod>(spec.knbest);
+    case MethodKind::kInterestOnly:
+      return std::make_unique<baselines::InterestOnlyMethod>();
+    case MethodKind::kSqlb: {
+      core::SbqaParams params = spec.sbqa;
+      params.knbest = core::KnBestParams{0, 0};
+      params.name = "SQLB";
+      return std::make_unique<core::SbqaMethod>(params);
+    }
+    case MethodKind::kSbqa:
+      return std::make_unique<core::SbqaMethod>(spec.sbqa);
+  }
+  return std::make_unique<baselines::RandomMethod>();
+}
+
+std::string MethodName(const MethodSpec& spec) {
+  return MakeMethod(spec)->name();
+}
+
+}  // namespace sbqa::experiments

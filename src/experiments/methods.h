@@ -1,0 +1,76 @@
+#ifndef SBQA_EXPERIMENTS_METHODS_H_
+#define SBQA_EXPERIMENTS_METHODS_H_
+
+/// \file
+/// Config-driven construction of allocation methods, so scenarios and
+/// benches can sweep over techniques by value.
+
+#include <memory>
+#include <string>
+
+#include "baselines/economic.h"
+#include "core/allocation_method.h"
+#include "core/knbest.h"
+#include "core/sbqa.h"
+
+namespace sbqa::experiments {
+
+/// Every allocation technique in the repository.
+enum class MethodKind {
+  kRandom,
+  kRoundRobin,
+  kCapacity,      ///< capacity-based [9]; ≈ BOINC dispatch
+  kQlb,           ///< shortest expected completion time
+  kEconomic,      ///< Mariposa-style bidding [13]
+  kKnBest,        ///< KnBest alone [11]
+  kInterestOnly,  ///< pure interest matching (ablation)
+  kSqlb,          ///< SQLB without the KnBest filter [12]
+  kSbqa,          ///< the full framework (KnBest + SQLB)
+};
+
+/// Value-type method specification.
+struct MethodSpec {
+  MethodKind kind = MethodKind::kSbqa;
+  /// Used by kSbqa and kSqlb.
+  core::SbqaParams sbqa;
+  /// Used by kKnBest.
+  core::KnBestParams knbest{10, 4};
+  /// Used by kEconomic.
+  baselines::EconomicParams economic;
+
+  static MethodSpec Random() { return {MethodKind::kRandom, {}, {}, {}}; }
+  static MethodSpec RoundRobin() {
+    return {MethodKind::kRoundRobin, {}, {}, {}};
+  }
+  static MethodSpec Capacity() { return {MethodKind::kCapacity, {}, {}, {}}; }
+  static MethodSpec Qlb() { return {MethodKind::kQlb, {}, {}, {}}; }
+  static MethodSpec Economic() { return {MethodKind::kEconomic, {}, {}, {}}; }
+  static MethodSpec KnBest(const core::KnBestParams& params = {10, 4}) {
+    return {MethodKind::kKnBest, {}, params, {}};
+  }
+  static MethodSpec InterestOnly() {
+    return {MethodKind::kInterestOnly, {}, {}, {}};
+  }
+  static MethodSpec Sqlb() {
+    MethodSpec spec;
+    spec.kind = MethodKind::kSqlb;
+    spec.sbqa = core::SqlbParams();
+    return spec;
+  }
+  static MethodSpec Sbqa(const core::SbqaParams& params = {}) {
+    MethodSpec spec;
+    spec.kind = MethodKind::kSbqa;
+    spec.sbqa = params;
+    return spec;
+  }
+};
+
+/// Instantiates the method described by `spec`.
+std::unique_ptr<core::AllocationMethod> MakeMethod(const MethodSpec& spec);
+
+/// Stable display name ("SbQA", "Capacity", ...).
+std::string MethodName(const MethodSpec& spec);
+
+}  // namespace sbqa::experiments
+
+#endif  // SBQA_EXPERIMENTS_METHODS_H_

@@ -1,0 +1,122 @@
+#include "experiments/report.h"
+
+#include "util/string_util.h"
+
+namespace sbqa::experiments {
+
+util::TextTable SatisfactionTable(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"method", "cons.sat", "prov.sat", "prov.sat(all)",
+                   "cons.adq", "prov.adq", "cons.alloc", "prov.alloc",
+                   "min.cons", "min.prov"});
+  for (const RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    table.AddNumericRow(
+        s.method,
+        {s.consumer_satisfaction, s.provider_satisfaction,
+         s.provider_satisfaction_all, s.consumer_adequation,
+         s.provider_adequation, s.consumer_allocation_satisfaction,
+         s.provider_allocation_satisfaction, s.min_consumer_satisfaction,
+         s.min_provider_satisfaction});
+  }
+  return table;
+}
+
+util::TextTable PerformanceTable(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"method", "mean.rt(s)", "p50.rt", "p95.rt", "p99.rt",
+                   "thr(q/s)", "served", "unalloc", "timeout"});
+  for (const RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    table.AddRow({s.method, util::FormatDouble(s.mean_response_time, 3),
+                  util::FormatDouble(s.p50_response_time, 3),
+                  util::FormatDouble(s.p95_response_time, 3),
+                  util::FormatDouble(s.p99_response_time, 3),
+                  util::FormatDouble(s.throughput, 2),
+                  util::FormatDouble(s.fully_served_fraction, 3),
+                  util::StrFormat("%lld", static_cast<long long>(
+                                              s.queries_unallocated)),
+                  util::StrFormat("%lld", static_cast<long long>(
+                                              s.queries_timed_out))});
+  }
+  return table;
+}
+
+util::TextTable RetentionTable(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"method", "prov.departed", "cons.retired", "prov.kept",
+                   "cons.kept", "capacity.kept", "thr(q/s)"});
+  for (const RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    table.AddRow(
+        {s.method,
+         util::StrFormat("%lld", static_cast<long long>(s.provider_departures)),
+         util::StrFormat("%lld",
+                         static_cast<long long>(s.consumer_retirements)),
+         util::FormatDouble(s.provider_retention, 3),
+         util::FormatDouble(s.consumer_retention, 3),
+         util::FormatDouble(s.capacity_retention, 3),
+         util::FormatDouble(s.throughput, 2)});
+  }
+  return table;
+}
+
+util::TextTable LoadBalanceTable(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"method", "busy.gini", "busy.jain", "inst.cv",
+                   "mean.busy.frac", "mean.rt(s)"});
+  for (const RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    table.AddNumericRow(s.method,
+                        {s.busy_gini, s.busy_jain, s.instances_cv,
+                         s.mean_provider_busy_fraction,
+                         s.mean_response_time});
+  }
+  return table;
+}
+
+util::TextTable OverviewTable(const std::vector<RunResult>& results) {
+  util::TextTable table;
+  table.SetHeader({"method", "cons.sat", "prov.sat", "mean.rt(s)", "thr(q/s)",
+                   "prov.kept", "capacity.kept", "validated"});
+  for (const RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    table.AddNumericRow(
+        s.method, {s.consumer_satisfaction, s.provider_satisfaction,
+                   s.mean_response_time, s.throughput, s.provider_retention,
+                   s.capacity_retention, s.validated_fraction});
+  }
+  return table;
+}
+
+std::string SeriesChart(
+    const std::vector<RunResult>& results,
+    const metrics::TimeSeries& (*selector)(const RunResult&),
+    const std::string& title) {
+  std::vector<util::ChartSeries> series;
+  series.reserve(results.size());
+  for (const RunResult& r : results) {
+    util::ChartSeries s;
+    s.name = r.summary.method;
+    s.values = selector(r).values();
+    series.push_back(std::move(s));
+  }
+  std::string out = title + "\n";
+  out += util::RenderLineChart(series);
+  return out;
+}
+
+const metrics::TimeSeries& ConsumerSatisfactionSeries(const RunResult& r) {
+  return r.series.consumer_satisfaction;
+}
+const metrics::TimeSeries& ProviderSatisfactionSeries(const RunResult& r) {
+  return r.series.provider_satisfaction;
+}
+const metrics::TimeSeries& AliveProvidersSeries(const RunResult& r) {
+  return r.series.alive_providers;
+}
+const metrics::TimeSeries& ResponseTimeSeries(const RunResult& r) {
+  return r.series.recent_response_time;
+}
+
+}  // namespace sbqa::experiments

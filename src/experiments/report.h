@@ -1,0 +1,48 @@
+#ifndef SBQA_EXPERIMENTS_REPORT_H_
+#define SBQA_EXPERIMENTS_REPORT_H_
+
+/// \file
+/// Turns RunResults into the tables and charts the bench binaries print —
+/// the terminal counterpart of the demo GUIs.
+
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "util/ascii_chart.h"
+#include "util/table.h"
+
+namespace sbqa::experiments {
+
+/// Satisfaction-model view (Scenarios 1-3): one row per method with
+/// consumer/provider satisfaction, adequation and allocation satisfaction.
+util::TextTable SatisfactionTable(const std::vector<RunResult>& results);
+
+/// Performance view: response times, throughput, served fractions.
+util::TextTable PerformanceTable(const std::vector<RunResult>& results);
+
+/// Autonomy view (Scenarios 2, 4): departures, retention, capacity kept.
+util::TextTable RetentionTable(const std::vector<RunResult>& results);
+
+/// Load-balance view (Scenario 5): busy-time fairness and imbalance.
+util::TextTable LoadBalanceTable(const std::vector<RunResult>& results);
+
+/// One-line-per-method overview with the headline numbers.
+util::TextTable OverviewTable(const std::vector<RunResult>& results);
+
+/// ASCII chart of one named series across methods over time (the Fig. 2b
+/// stand-in). `selector` picks the series from each result.
+std::string SeriesChart(
+    const std::vector<RunResult>& results,
+    const metrics::TimeSeries& (*selector)(const RunResult&),
+    const std::string& title);
+
+/// Selectors for SeriesChart.
+const metrics::TimeSeries& ConsumerSatisfactionSeries(const RunResult& r);
+const metrics::TimeSeries& ProviderSatisfactionSeries(const RunResult& r);
+const metrics::TimeSeries& AliveProvidersSeries(const RunResult& r);
+const metrics::TimeSeries& ResponseTimeSeries(const RunResult& r);
+
+}  // namespace sbqa::experiments
+
+#endif  // SBQA_EXPERIMENTS_REPORT_H_

@@ -1,0 +1,121 @@
+#include "experiments/runner.h"
+
+#include <memory>
+
+#include "metrics/collector.h"
+#include "model/reputation.h"
+#include "util/check.h"
+
+namespace sbqa::experiments {
+
+RunResult RunScenario(const ScenarioConfig& config) {
+  SBQA_CHECK_GT(config.duration, 0);
+
+  // Substrate.
+  sim::SimulationConfig sim_config = config.sim;
+  sim_config.seed = config.seed;
+  sim::Simulation simulation(sim_config);
+
+  // Population (identical across methods for a fixed seed: the population
+  // stream is split off before any method-dependent randomness).
+  core::Registry registry;
+  util::Rng population_rng = simulation.NewRng();
+  const boinc::BuiltPopulation population =
+      boinc::BuildPopulation(config.population, &registry, &population_rng);
+  if (config.population_hook) {
+    config.population_hook(&registry, population, &population_rng);
+  }
+
+  model::ReputationRegistry reputation(registry.provider_count());
+
+  // Mediator federation with the method under test (each mediator gets its
+  // own method instance so per-method state like round-robin cursors stays
+  // local, as it would on separate machines).
+  const size_t mediator_count = std::max<size_t>(config.mediator_count, 1);
+  std::vector<std::unique_ptr<core::Mediator>> mediators;
+  std::vector<core::Mediator*> mediator_ptrs;
+  mediators.reserve(mediator_count);
+  for (size_t m = 0; m < mediator_count; ++m) {
+    mediators.push_back(std::make_unique<core::Mediator>(
+        &simulation, &registry, &reputation, MakeMethod(config.method),
+        config.mediator));
+    mediator_ptrs.push_back(mediators.back().get());
+  }
+  for (const auto& mediator : mediators) {
+    mediator->SetPeers(mediator_ptrs);
+  }
+  if (config.departure.providers_can_leave ||
+      config.departure.consumers_can_leave) {
+    for (size_t m = 0; m < mediators.size(); ++m) {
+      // Exactly one mediator runs the periodic sweep; all of them check on
+      // their own mediation events.
+      mediators[m]->SetDepartureModel(config.departure, /*run_sweep=*/m == 0);
+    }
+  }
+
+  // Metrics.
+  metrics::Collector collector(&simulation, &registry, mediator_ptrs,
+                               config.sample_interval);
+  for (core::MediationObserver* observer : config.observers) {
+    for (const auto& mediator : mediators) {
+      mediator->AddObserver(observer);
+    }
+  }
+
+  // Workload: one generator per project, sharded over the federation.
+  workload::QueryIdSource ids;
+  std::vector<std::unique_ptr<workload::QueryGenerator>> generators;
+  SBQA_CHECK_EQ(population.projects.size(), config.population.projects.size());
+  for (size_t i = 0; i < population.projects.size(); ++i) {
+    const boinc::ProjectSpec& project = config.population.projects[i];
+    workload::ArrivalParams arrivals;
+    arrivals.rate = project.arrival_rate;
+    arrivals.end_time = config.duration;
+    generators.push_back(std::make_unique<workload::QueryGenerator>(
+        &simulation, mediator_ptrs[i % mediator_count], &ids,
+        population.projects[i], arrivals, project.cost));
+    generators.back()->Start();
+  }
+
+  // Open-system dynamics (driven through the first mediator; availability
+  // and join effects propagate through the shared registry and peers).
+  const std::vector<std::unique_ptr<workload::ChurnProcess>> churn =
+      workload::StartChurn(&simulation, mediator_ptrs.front(),
+                           population.volunteers, config.churn);
+  std::unique_ptr<boinc::VolunteerJoinProcess> joins;
+  if (config.joins.enabled) {
+    boinc::VolunteerJoinParams join_params = config.joins;
+    joins = std::make_unique<boinc::VolunteerJoinProcess>(
+        &simulation, mediator_ptrs.front(), &reputation, config.population,
+        population.projects, join_params, config.churn);
+    joins->Start();
+  }
+
+  collector.Start(config.duration);
+  simulation.RunUntil(config.duration);
+  // Drain in-flight queries so satisfaction/response accounting is complete
+  // (no new queries are generated past `duration`).
+  const double drain_horizon = config.duration + config.mediator.query_timeout;
+  simulation.RunUntil(drain_horizon);
+
+  RunResult result;
+  result.summary = collector.Summarize(config.duration);
+  result.series = collector.series();
+  result.consumers = collector.ConsumerSnapshots();
+  result.providers = collector.ProviderSnapshots();
+  return result;
+}
+
+std::vector<RunResult> CompareMethods(const ScenarioConfig& base,
+                                      const std::vector<MethodSpec>& methods) {
+  std::vector<RunResult> results;
+  results.reserve(methods.size());
+  for (const MethodSpec& method : methods) {
+    ScenarioConfig config = base;
+    config.method = method;
+    results.push_back(RunScenario(config));
+  }
+  return results;
+}
+
+}  // namespace sbqa::experiments

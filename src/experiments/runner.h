@@ -1,0 +1,35 @@
+#ifndef SBQA_EXPERIMENTS_RUNNER_H_
+#define SBQA_EXPERIMENTS_RUNNER_H_
+
+/// \file
+/// Builds a full simulated system from a ScenarioConfig, runs it, and
+/// returns the aggregated results. This is the single entry point used by
+/// the bench binaries, the examples and the integration tests.
+
+#include <vector>
+
+#include "experiments/scenario.h"
+#include "metrics/summary.h"
+#include "metrics/timeseries.h"
+
+namespace sbqa::experiments {
+
+/// Everything a run produces.
+struct RunResult {
+  metrics::RunSummary summary;
+  metrics::RunSeries series;
+  std::vector<metrics::ParticipantSnapshot> consumers;
+  std::vector<metrics::ParticipantSnapshot> providers;
+};
+
+/// Runs one scenario to completion (synchronously) and aggregates.
+RunResult RunScenario(const ScenarioConfig& config);
+
+/// Runs the same scenario once per method, holding everything else equal
+/// (including the seed, so populations are identical across techniques).
+std::vector<RunResult> CompareMethods(const ScenarioConfig& base,
+                                      const std::vector<MethodSpec>& methods);
+
+}  // namespace sbqa::experiments
+
+#endif  // SBQA_EXPERIMENTS_RUNNER_H_

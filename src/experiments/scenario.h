@@ -1,0 +1,101 @@
+#ifndef SBQA_EXPERIMENTS_SCENARIO_H_
+#define SBQA_EXPERIMENTS_SCENARIO_H_
+
+/// \file
+/// A complete experiment configuration: population, workload, allocation
+/// method, environment (captive vs autonomous) and run controls.
+
+#include <cstdint>
+#include <functional>
+
+#include "boinc/join.h"
+#include "boinc/population.h"
+#include "core/departure.h"
+#include "core/mediator.h"
+#include "experiments/methods.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace sbqa::experiments {
+
+/// Everything needed to reproduce one run.
+struct ScenarioConfig {
+  /// Root seed: two runs with equal configs and seeds are bit-identical.
+  uint64_t seed = 42;
+  /// Simulated run length in seconds.
+  double duration = 600.0;
+  /// Metrics snapshot interval in seconds.
+  double sample_interval = 10.0;
+
+  /// Network latency model (see sim::SimulationConfig).
+  sim::SimulationConfig sim;
+
+  /// Participant population (projects + volunteers).
+  boinc::BoincSpec population = boinc::DemoBoincSpec();
+
+  /// Allocation technique under test.
+  MethodSpec method;
+
+  /// Mediator knobs (network simulation on/off, query timeout).
+  core::MediatorConfig mediator;
+
+  /// Federation size: consumers are sharded round-robin over this many
+  /// mediators, all sharing the registry/reputation. Each mediator keeps
+  /// its own RNG stream and (stale) load view.
+  size_t mediator_count = 1;
+
+  /// Captive (disabled) vs autonomous (enabled) environment.
+  core::DepartureConfig departure;
+
+  /// Volunteer availability churn (hosts go offline and return).
+  workload::ChurnParams churn;
+
+  /// Runtime volunteer arrivals (open system).
+  boinc::VolunteerJoinParams joins;
+
+  /// Optional post-build hook to customize the generated population (e.g.
+  /// Scenario 7 plants a scripted participant with hand-picked
+  /// preferences). Runs once, right after BuildPopulation.
+  std::function<void(core::Registry*, const boinc::BuiltPopulation&,
+                     util::Rng*)>
+      population_hook;
+
+  /// Extra mediation observers attached to the mediator for the run (not
+  /// owned; must outlive RunScenario). Used by invariant-checking tests
+  /// and custom metrics.
+  std::vector<core::MediationObserver*> observers;
+};
+
+/// Marks the environment captive: nobody may leave (paper Scenarios 1, 3).
+inline ScenarioConfig WithCaptiveEnvironment(ScenarioConfig config) {
+  config.departure.providers_can_leave = false;
+  config.departure.consumers_can_leave = false;
+  return config;
+}
+
+/// Marks the environment autonomous with the paper's Scenario-2 thresholds:
+/// providers leave below 0.35, consumers stop below 0.5.
+inline ScenarioConfig WithAutonomousEnvironment(ScenarioConfig config) {
+  config.departure.providers_can_leave = true;
+  config.departure.consumers_can_leave = true;
+  config.departure.provider_threshold = 0.35;
+  config.departure.consumer_threshold = 0.5;
+  return config;
+}
+
+/// Swaps every participant to the performance-oriented Scenario-5 policies:
+/// consumers only care about response time, providers only about load.
+inline ScenarioConfig WithPerformanceOrientedParticipants(
+    ScenarioConfig config) {
+  for (auto& project : config.population.projects) {
+    project.policy = model::ConsumerPolicyKind::kResponseTimeOnly;
+  }
+  config.population.volunteers.policy =
+      model::ProviderPolicyKind::kLoadOnly;
+  return config;
+}
+
+}  // namespace sbqa::experiments
+
+#endif  // SBQA_EXPERIMENTS_SCENARIO_H_

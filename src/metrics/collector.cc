@@ -1,0 +1,284 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbqa::metrics {
+
+Collector::Collector(sim::Simulation* sim, core::Registry* registry,
+                     core::Mediator* mediator, double sample_interval)
+    : Collector(sim, registry, std::vector<core::Mediator*>{mediator},
+                sample_interval) {}
+
+Collector::Collector(sim::Simulation* sim, core::Registry* registry,
+                     std::vector<core::Mediator*> mediators,
+                     double sample_interval)
+    : sim_(sim),
+      registry_(registry),
+      mediators_(std::move(mediators)),
+      sample_interval_(sample_interval),
+      response_hist_(0.0, 120.0, 480),
+      recent_response_(256) {
+  SBQA_CHECK(sim_ != nullptr);
+  SBQA_CHECK(registry_ != nullptr);
+  SBQA_CHECK(!mediators_.empty());
+  SBQA_CHECK_GT(sample_interval, 0);
+  initial_provider_count_ = registry_->provider_count();
+  for (core::Mediator* mediator : mediators_) {
+    SBQA_CHECK(mediator != nullptr);
+    mediator->AddObserver(this);
+  }
+}
+
+core::MediatorStats Collector::AggregateStats() const {
+  core::MediatorStats total;
+  for (const core::Mediator* mediator : mediators_) {
+    const core::MediatorStats& s = mediator->stats();
+    total.queries_submitted += s.queries_submitted;
+    total.queries_finalized += s.queries_finalized;
+    total.queries_unallocated += s.queries_unallocated;
+    total.queries_timed_out += s.queries_timed_out;
+    total.queries_fully_served += s.queries_fully_served;
+    total.instances_dispatched += s.instances_dispatched;
+    total.instances_completed += s.instances_completed;
+    total.instances_failed += s.instances_failed;
+    total.provider_departures += s.provider_departures;
+    total.provider_offline_events += s.provider_offline_events;
+    total.consumer_retirements += s.consumer_retirements;
+    total.response_time.Merge(s.response_time);
+    total.query_satisfaction.Merge(s.query_satisfaction);
+  }
+  return total;
+}
+
+void Collector::Start(double until) {
+  sample_until_ = until;
+  Snapshot();  // t = now baseline
+  ScheduleTick();
+}
+
+void Collector::ScheduleTick() {
+  if (sim_->now() + sample_interval_ > sample_until_) return;
+  sim_->scheduler().Schedule(sample_interval_, [this] {
+    Snapshot();
+    ScheduleTick();
+  });
+}
+
+void Collector::OnQueryCompleted(const core::QueryOutcome& outcome) {
+  ++completed_;
+  if (outcome.validated) ++validated_;
+  satisfaction_stats_.Add(outcome.satisfaction);
+  if (outcome.results_received >= 1) {
+    response_hist_.Add(outcome.response_time);
+    recent_response_.Push(outcome.response_time);
+  }
+}
+
+void Collector::OnProviderDeparted(model::ProviderId provider, double) {
+  departed_provider_satisfaction_.push_back(
+      registry_->provider(provider).satisfaction());
+}
+
+void Collector::OnConsumerRetired(model::ConsumerId, double) {}
+
+void Collector::Snapshot() {
+  const double now = sim_->now();
+
+  // Consumer-side aggregates (consumers with at least one completed query).
+  double c_sat = 0, c_adq = 0;
+  size_t c_n = 0;
+  for (const core::Consumer& c : registry_->consumers()) {
+    if (c.satisfaction_tracker().sample_count() == 0) continue;
+    c_sat += c.satisfaction();
+    c_adq += c.satisfaction_tracker().adequation();
+    ++c_n;
+  }
+  series_.consumer_satisfaction.Add(now, c_n ? c_sat / c_n : 0.0);
+  series_.consumer_adequation.Add(now, c_n ? c_adq / c_n : 0.0);
+
+  // Provider-side aggregates over alive providers.
+  double p_sat = 0, p_adq = 0, backlog_sum = 0;
+  std::vector<double> backlogs;
+  size_t p_alive = 0;
+  for (const core::Provider& p : registry_->providers()) {
+    if (!p.alive()) continue;
+    p_sat += p.satisfaction();
+    p_adq += p.satisfaction_tracker().adequation();
+    const double b = p.Backlog(now);
+    backlog_sum += b;
+    backlogs.push_back(b);
+    ++p_alive;
+  }
+  series_.provider_satisfaction.Add(now, p_alive ? p_sat / p_alive : 0.0);
+  series_.provider_adequation.Add(now, p_alive ? p_adq / p_alive : 0.0);
+  series_.alive_providers.Add(now, static_cast<double>(p_alive));
+  series_.active_consumers.Add(
+      now, static_cast<double>(registry_->active_consumer_count()));
+  const double total_capacity = registry_->TotalCapacity();
+  series_.alive_capacity_fraction.Add(
+      now, total_capacity > 0 ? registry_->AliveCapacity() / total_capacity
+                              : 0.0);
+  series_.mean_backlog.Add(now, p_alive ? backlog_sum / p_alive : 0.0);
+  series_.backlog_gini.Add(now, util::GiniCoefficient(backlogs));
+  series_.recent_response_time.Add(now, recent_response_.Mean(0.0));
+
+  const double completed_delta =
+      static_cast<double>(completed_ - completed_at_last_sample_);
+  completed_at_last_sample_ = completed_;
+  series_.throughput.Add(now, completed_delta / sample_interval_);
+}
+
+RunSummary Collector::Summarize(double duration) const {
+  SBQA_CHECK_GT(duration, 0);
+  RunSummary s;
+  s.method = mediators_.front()->method().name();
+  s.duration = duration;
+
+  // Consumer side.
+  double c_sat = 0, c_adq = 0, c_alloc = 0;
+  double c_min = 1.0;
+  size_t c_n = 0;
+  for (const core::Consumer& c : registry_->consumers()) {
+    if (c.satisfaction_tracker().sample_count() == 0) continue;
+    const double v = c.satisfaction();
+    c_sat += v;
+    c_min = std::min(c_min, v);
+    c_adq += c.satisfaction_tracker().adequation();
+    c_alloc += c.satisfaction_tracker().allocation_satisfaction();
+    ++c_n;
+  }
+  s.consumer_satisfaction = c_n ? c_sat / c_n : 0.0;
+  s.consumer_adequation = c_n ? c_adq / c_n : 0.0;
+  s.consumer_allocation_satisfaction = c_n ? c_alloc / c_n : 0.0;
+  s.min_consumer_satisfaction = c_n ? c_min : 0.0;
+
+  // Provider side.
+  double p_sat = 0, p_adq = 0, p_alloc = 0, busy = 0;
+  double p_min = 1.0;
+  size_t p_alive = 0;
+  std::vector<double> busy_seconds;
+  std::vector<double> instance_counts;
+  double p_sat_all = 0;
+  for (const core::Provider& p : registry_->providers()) {
+    busy_seconds.push_back(p.busy_seconds());
+    instance_counts.push_back(static_cast<double>(p.instances_performed()));
+    busy += p.busy_seconds();
+    if (!p.alive()) continue;
+    const double v = p.satisfaction();
+    p_sat += v;
+    p_sat_all += v;
+    p_min = std::min(p_min, v);
+    p_adq += p.satisfaction_tracker().adequation();
+    p_alloc += p.satisfaction_tracker().allocation_satisfaction();
+    ++p_alive;
+  }
+  for (double v : departed_provider_satisfaction_) p_sat_all += v;
+  const size_t p_total = registry_->provider_count();
+  s.provider_satisfaction = p_alive ? p_sat / p_alive : 0.0;
+  s.provider_satisfaction_all =
+      p_total ? p_sat_all / static_cast<double>(p_total) : 0.0;
+  s.provider_adequation = p_alive ? p_adq / p_alive : 0.0;
+  s.provider_allocation_satisfaction = p_alive ? p_alloc / p_alive : 0.0;
+  s.min_provider_satisfaction = p_alive ? p_min : 0.0;
+
+  // Performance.
+  const core::MediatorStats ms = AggregateStats();
+  s.mean_response_time = response_hist_.mean();
+  s.p50_response_time = response_hist_.Percentile(0.50);
+  s.p95_response_time = response_hist_.Percentile(0.95);
+  s.p99_response_time = response_hist_.Percentile(0.99);
+  s.queries_submitted = ms.queries_submitted;
+  s.queries_finalized = ms.queries_finalized;
+  s.queries_fully_served = ms.queries_fully_served;
+  s.queries_unallocated = ms.queries_unallocated;
+  s.queries_timed_out = ms.queries_timed_out;
+  s.throughput = static_cast<double>(ms.queries_finalized) / duration;
+  s.fully_served_fraction =
+      ms.queries_finalized
+          ? static_cast<double>(ms.queries_fully_served) /
+                static_cast<double>(ms.queries_finalized)
+          : 0.0;
+
+  // Autonomy.
+  s.provider_departures = ms.provider_departures;
+  s.provider_offline_events = ms.provider_offline_events;
+  s.provider_joins = static_cast<int64_t>(registry_->provider_count()) -
+                     static_cast<int64_t>(initial_provider_count_);
+  s.consumer_retirements = ms.consumer_retirements;
+  s.provider_retention =
+      p_total ? static_cast<double>(p_alive) / static_cast<double>(p_total)
+              : 1.0;
+  s.provider_survival =
+      p_total ? 1.0 - static_cast<double>(ms.provider_departures) /
+                          static_cast<double>(p_total)
+              : 1.0;
+  const size_t c_total = registry_->consumer_count();
+  s.consumer_retention =
+      c_total ? static_cast<double>(registry_->active_consumer_count()) /
+                    static_cast<double>(c_total)
+              : 1.0;
+  const double total_capacity = registry_->TotalCapacity();
+  s.capacity_retention =
+      total_capacity > 0 ? registry_->AliveCapacity() / total_capacity : 1.0;
+
+  // Fairness over the whole population (including departed providers:
+  // their busy history is part of the run).
+  s.busy_gini = util::GiniCoefficient(busy_seconds);
+  s.busy_jain = util::JainFairnessIndex(busy_seconds);
+  util::RunningStats inst_stats;
+  for (double v : instance_counts) inst_stats.Add(v);
+  s.instances_cv = inst_stats.cv();
+  s.mean_provider_busy_fraction =
+      p_total ? busy / (static_cast<double>(p_total) * duration) : 0.0;
+
+  s.validated_fraction =
+      completed_ ? static_cast<double>(validated_) /
+                       static_cast<double>(completed_)
+                 : 0.0;
+  s.messages_sent = sim_->network().messages_sent();
+  return s;
+}
+
+std::vector<ParticipantSnapshot> Collector::ConsumerSnapshots() const {
+  std::vector<ParticipantSnapshot> out;
+  out.reserve(registry_->consumer_count());
+  for (const core::Consumer& c : registry_->consumers()) {
+    ParticipantSnapshot snap;
+    snap.id = c.id();
+    snap.label = c.params().label;
+    snap.alive = c.active();
+    snap.satisfaction = c.satisfaction();
+    snap.adequation = c.satisfaction_tracker().adequation();
+    snap.allocation_satisfaction =
+        c.satisfaction_tracker().allocation_satisfaction();
+    snap.interactions = c.queries_completed();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<ParticipantSnapshot> Collector::ProviderSnapshots() const {
+  std::vector<ParticipantSnapshot> out;
+  out.reserve(registry_->provider_count());
+  const double now = sim_->now();
+  for (const core::Provider& p : registry_->providers()) {
+    ParticipantSnapshot snap;
+    snap.id = p.id();
+    snap.label = p.params().label;
+    snap.alive = p.alive();
+    snap.satisfaction = p.satisfaction();
+    snap.adequation = p.satisfaction_tracker().adequation();
+    snap.allocation_satisfaction =
+        p.satisfaction_tracker().allocation_satisfaction();
+    snap.interactions =
+        static_cast<int64_t>(p.satisfaction_tracker().proposal_count());
+    snap.performed = p.instances_performed();
+    snap.busy_fraction = now > 0 ? p.busy_seconds() / now : 0.0;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace sbqa::metrics

@@ -1,0 +1,86 @@
+#ifndef SBQA_METRICS_COLLECTOR_H_
+#define SBQA_METRICS_COLLECTOR_H_
+
+/// \file
+/// The metrics collector observes a running mediator and periodically
+/// snapshots the participant population, producing both the on-line time
+/// series (paper Fig. 2b) and the end-of-run summary tables.
+
+#include <memory>
+#include <vector>
+
+#include "core/mediation.h"
+#include "core/mediator.h"
+#include "core/registry.h"
+#include "metrics/summary.h"
+#include "metrics/timeseries.h"
+#include "sim/simulation.h"
+#include "util/sliding_window.h"
+#include "util/stats.h"
+
+namespace sbqa::metrics {
+
+/// Observes one mediator for the duration of a run.
+class Collector : public core::MediationObserver {
+ public:
+  /// `sample_interval` seconds between population snapshots. All pointers
+  /// must outlive the collector; the collector registers itself as an
+  /// observer of `mediator`.
+  Collector(sim::Simulation* sim, core::Registry* registry,
+            core::Mediator* mediator, double sample_interval = 10.0);
+
+  /// Federation flavour: observes several mediators sharing one registry
+  /// and aggregates their statistics.
+  Collector(sim::Simulation* sim, core::Registry* registry,
+            std::vector<core::Mediator*> mediators,
+            double sample_interval = 10.0);
+
+  /// Schedules periodic snapshots until `until` (simulation time).
+  void Start(double until);
+
+  // MediationObserver:
+  void OnQueryCompleted(const core::QueryOutcome& outcome) override;
+  void OnProviderDeparted(model::ProviderId provider, double now) override;
+  void OnConsumerRetired(model::ConsumerId consumer, double now) override;
+
+  /// Takes one population snapshot now (also called periodically).
+  void Snapshot();
+
+  /// Builds the end-of-run aggregate. `duration` is the simulated run
+  /// length used for throughput and busy fractions.
+  RunSummary Summarize(double duration) const;
+
+  /// Per-participant final states for detailed views.
+  std::vector<ParticipantSnapshot> ConsumerSnapshots() const;
+  std::vector<ParticipantSnapshot> ProviderSnapshots() const;
+
+  const RunSeries& series() const { return series_; }
+  const util::Histogram& response_histogram() const { return response_hist_; }
+
+ private:
+  void ScheduleTick();
+  /// Sums counters and merges distributions across the observed mediators.
+  core::MediatorStats AggregateStats() const;
+
+  sim::Simulation* sim_;
+  core::Registry* registry_;
+  std::vector<core::Mediator*> mediators_;
+  double sample_interval_;
+  double sample_until_ = 0;
+
+  RunSeries series_;
+  util::Histogram response_hist_;
+  util::RunningStats satisfaction_stats_;
+  util::WindowedMean recent_response_;
+  int64_t completed_ = 0;
+  int64_t validated_ = 0;
+  int64_t completed_at_last_sample_ = 0;
+  size_t initial_provider_count_ = 0;
+  /// Satisfaction of departed providers frozen at departure time, so the
+  /// "all providers" aggregate includes them.
+  std::vector<double> departed_provider_satisfaction_;
+};
+
+}  // namespace sbqa::metrics
+
+#endif  // SBQA_METRICS_COLLECTOR_H_

@@ -1,0 +1,62 @@
+#ifndef SBQA_METRICS_TIMESERIES_H_
+#define SBQA_METRICS_TIMESERIES_H_
+
+/// \file
+/// Simple sampled time series for the on-line result views (paper Fig. 2b).
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sbqa::metrics {
+
+/// (time, value) samples in nondecreasing time order.
+class TimeSeries {
+ public:
+  void Add(double time, double value) {
+    SBQA_DCHECK(times_.empty() || time >= times_.back());
+    times_.push_back(time);
+    values_.push_back(value);
+  }
+
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double last_value(double empty_value = 0.0) const {
+    return values_.empty() ? empty_value : values_.back();
+  }
+
+  /// Mean of the values (time-unweighted); `empty_value` when empty.
+  double MeanValue(double empty_value = 0.0) const {
+    if (values_.empty()) return empty_value;
+    double sum = 0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// The standard set of series every experiment samples at a fixed interval.
+struct RunSeries {
+  TimeSeries consumer_satisfaction;   ///< mean δs over consumers with samples
+  TimeSeries provider_satisfaction;   ///< mean δs over alive providers
+  TimeSeries consumer_adequation;     ///< mean reconstructed adequation
+  TimeSeries provider_adequation;
+  TimeSeries alive_providers;         ///< count
+  TimeSeries active_consumers;        ///< count
+  TimeSeries alive_capacity_fraction; ///< alive capacity / total capacity
+  TimeSeries mean_backlog;            ///< mean provider backlog (s)
+  TimeSeries backlog_gini;            ///< load imbalance across alive providers
+  TimeSeries recent_response_time;    ///< windowed mean response time (s)
+  TimeSeries throughput;              ///< completed queries/s since last sample
+};
+
+}  // namespace sbqa::metrics
+
+#endif  // SBQA_METRICS_TIMESERIES_H_

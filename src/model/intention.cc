@@ -1,0 +1,55 @@
+#include "model/intention.h"
+
+namespace sbqa::model {
+
+std::unique_ptr<ConsumerIntentionPolicy> MakeConsumerPolicy(
+    ConsumerPolicyKind kind, double phi) {
+  switch (kind) {
+    case ConsumerPolicyKind::kPreferenceOnly:
+      return std::make_unique<PreferenceConsumerPolicy>();
+    case ConsumerPolicyKind::kReputationTrading:
+      return std::make_unique<ReputationTradingConsumerPolicy>(phi);
+    case ConsumerPolicyKind::kResponseTimeOnly:
+      return std::make_unique<ResponseTimeConsumerPolicy>();
+  }
+  return std::make_unique<PreferenceConsumerPolicy>();
+}
+
+std::unique_ptr<ProviderIntentionPolicy> MakeProviderPolicy(
+    ProviderPolicyKind kind, double psi) {
+  switch (kind) {
+    case ProviderPolicyKind::kPreferenceOnly:
+      return std::make_unique<PreferenceProviderPolicy>();
+    case ProviderPolicyKind::kUtilizationTrading:
+      return std::make_unique<UtilizationTradingProviderPolicy>(psi);
+    case ProviderPolicyKind::kLoadOnly:
+      return std::make_unique<LoadOnlyProviderPolicy>();
+  }
+  return std::make_unique<PreferenceProviderPolicy>();
+}
+
+const char* ToString(ConsumerPolicyKind kind) {
+  switch (kind) {
+    case ConsumerPolicyKind::kPreferenceOnly:
+      return "preference-only";
+    case ConsumerPolicyKind::kReputationTrading:
+      return "reputation-trading";
+    case ConsumerPolicyKind::kResponseTimeOnly:
+      return "response-time-only";
+  }
+  return "?";
+}
+
+const char* ToString(ProviderPolicyKind kind) {
+  switch (kind) {
+    case ProviderPolicyKind::kPreferenceOnly:
+      return "preference-only";
+    case ProviderPolicyKind::kUtilizationTrading:
+      return "utilization-trading";
+    case ProviderPolicyKind::kLoadOnly:
+      return "load-only";
+  }
+  return "?";
+}
+
+}  // namespace sbqa::model

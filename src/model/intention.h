@@ -1,0 +1,195 @@
+#ifndef SBQA_MODEL_INTENTION_H_
+#define SBQA_MODEL_INTENTION_H_
+
+/// \file
+/// Intention policies: how participants turn their private state into the
+/// signed intention values in [-1, 1] that drive SbQA.
+///
+/// The demo paper defers the exact computation to the SQLB paper [12] and
+/// only fixes the semantics: consumers may trade their *preferences* for
+/// provider *reputation*; providers may trade their *preferences* for their
+/// *utilization*. We implement those trades with the same multiplicative
+/// balance operator the paper uses for scoring (see util/balance.h), plus
+/// the pure policies Scenario 5 switches to (consumers interested only in
+/// response time, providers only in their load).
+
+#include <memory>
+#include <string>
+
+#include "model/query.h"
+#include "model/types.h"
+#include "util/balance.h"
+#include "util/check.h"
+
+namespace sbqa::model {
+
+/// Everything a consumer-side policy may look at when computing CI_q[p].
+struct ConsumerIntentionContext {
+  /// The query being allocated.
+  const Query* query = nullptr;
+  /// Candidate provider.
+  ProviderId provider = kInvalidId;
+  /// Consumer's static preference for the provider, in [-1, 1].
+  double preference = 0.0;
+  /// Provider reputation in [0, 1].
+  double reputation = 0.5;
+  /// Provider's expected completion time for this query (seconds).
+  double expected_completion = 0.0;
+  /// Max expected completion time among the candidate set (normalizer, > 0).
+  double max_expected_completion = 1.0;
+};
+
+/// Computes the consumer's intention CI_q[p] in [-1, 1].
+class ConsumerIntentionPolicy {
+ public:
+  virtual ~ConsumerIntentionPolicy() = default;
+  virtual double Compute(const ConsumerIntentionContext& ctx) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Everything a provider-side policy may look at when computing PI_q[p].
+struct ProviderIntentionContext {
+  const Query* query = nullptr;
+  /// Provider's static preference for the issuing consumer (BOINC: the
+  /// project), in [-1, 1].
+  double preference = 0.0;
+  /// Provider's own normalized utilization in [0, 1).
+  double utilization = 0.0;
+};
+
+/// Computes the provider's intention PI_q[p] in [-1, 1].
+class ProviderIntentionPolicy {
+ public:
+  virtual ~ProviderIntentionPolicy() = default;
+  virtual double Compute(const ProviderIntentionContext& ctx) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Consumer policies
+// ---------------------------------------------------------------------------
+
+/// CI = preference (context-independent interests only).
+class PreferenceConsumerPolicy : public ConsumerIntentionPolicy {
+ public:
+  double Compute(const ConsumerIntentionContext& ctx) const override {
+    return ctx.preference;
+  }
+  std::string name() const override { return "consumer/preference"; }
+};
+
+/// CI = balance(preference, reputation) with weight `phi` on preference
+/// (phi = 1 ignores reputation, phi = 0 follows reputation only).
+/// Reputation in [0, 1] is mapped to [-1, 1] before blending.
+class ReputationTradingConsumerPolicy : public ConsumerIntentionPolicy {
+ public:
+  explicit ReputationTradingConsumerPolicy(double phi) : phi_(phi) {
+    SBQA_CHECK_GE(phi, 0);
+    SBQA_CHECK_LE(phi, 1);
+  }
+  double Compute(const ConsumerIntentionContext& ctx) const override {
+    const double rep_signed = util::DenormalizeSigned(ctx.reputation);
+    return util::WeightedGeometricBlend(ctx.preference, rep_signed, phi_);
+  }
+  std::string name() const override { return "consumer/reputation-trading"; }
+  double phi() const { return phi_; }
+
+ private:
+  double phi_;
+};
+
+/// Scenario 5: the consumer only cares about response time. Intention is a
+/// linear map of the provider's expected completion time relative to the
+/// slowest candidate: the fastest candidate gets +1, the slowest -1.
+class ResponseTimeConsumerPolicy : public ConsumerIntentionPolicy {
+ public:
+  double Compute(const ConsumerIntentionContext& ctx) const override {
+    const double denom =
+        ctx.max_expected_completion > 0 ? ctx.max_expected_completion : 1.0;
+    double frac = ctx.expected_completion / denom;
+    if (frac < 0) frac = 0;
+    if (frac > 1) frac = 1;
+    return 1.0 - 2.0 * frac;
+  }
+  std::string name() const override { return "consumer/response-time"; }
+};
+
+// ---------------------------------------------------------------------------
+// Provider policies
+// ---------------------------------------------------------------------------
+
+/// PI = preference (context-independent interests only).
+class PreferenceProviderPolicy : public ProviderIntentionPolicy {
+ public:
+  double Compute(const ProviderIntentionContext& ctx) const override {
+    return ctx.preference;
+  }
+  std::string name() const override { return "provider/preference"; }
+};
+
+/// PI = balance(preference, 1 - 2*utilization) with weight `psi` on
+/// preference: a loaded provider's willingness decays even for interesting
+/// queries (psi = 1 ignores load entirely).
+class UtilizationTradingProviderPolicy : public ProviderIntentionPolicy {
+ public:
+  explicit UtilizationTradingProviderPolicy(double psi) : psi_(psi) {
+    SBQA_CHECK_GE(psi, 0);
+    SBQA_CHECK_LE(psi, 1);
+  }
+  double Compute(const ProviderIntentionContext& ctx) const override {
+    const double load_signed = 1.0 - 2.0 * ctx.utilization;
+    return util::WeightedGeometricBlend(ctx.preference, load_signed, psi_);
+  }
+  std::string name() const override { return "provider/utilization-trading"; }
+  double psi() const { return psi_; }
+
+ private:
+  double psi_;
+};
+
+/// Scenario 5: the provider only cares about its load; an idle provider
+/// wants any query (+1), a saturated one wants none (-1).
+class LoadOnlyProviderPolicy : public ProviderIntentionPolicy {
+ public:
+  double Compute(const ProviderIntentionContext& ctx) const override {
+    double u = ctx.utilization;
+    if (u < 0) u = 0;
+    if (u > 1) u = 1;
+    return 1.0 - 2.0 * u;
+  }
+  std::string name() const override { return "provider/load-only"; }
+};
+
+// ---------------------------------------------------------------------------
+// Config-driven construction
+// ---------------------------------------------------------------------------
+
+/// Consumer policy selector for scenario configuration.
+enum class ConsumerPolicyKind {
+  kPreferenceOnly,
+  kReputationTrading,
+  kResponseTimeOnly,
+};
+
+/// Provider policy selector for scenario configuration.
+enum class ProviderPolicyKind {
+  kPreferenceOnly,
+  kUtilizationTrading,
+  kLoadOnly,
+};
+
+/// Builds a consumer policy; `phi` only applies to kReputationTrading.
+std::unique_ptr<ConsumerIntentionPolicy> MakeConsumerPolicy(
+    ConsumerPolicyKind kind, double phi = 0.7);
+
+/// Builds a provider policy; `psi` only applies to kUtilizationTrading.
+std::unique_ptr<ProviderIntentionPolicy> MakeProviderPolicy(
+    ProviderPolicyKind kind, double psi = 0.7);
+
+/// Human-readable names for reports.
+const char* ToString(ConsumerPolicyKind kind);
+const char* ToString(ProviderPolicyKind kind);
+
+}  // namespace sbqa::model
+
+#endif  // SBQA_MODEL_INTENTION_H_

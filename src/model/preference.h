@@ -1,0 +1,61 @@
+#ifndef SBQA_MODEL_PREFERENCE_H_
+#define SBQA_MODEL_PREFERENCE_H_
+
+/// \file
+/// Preference profiles: context-independent, signed interest values in
+/// [-1, 1] that participants hold towards each other (consumers towards
+/// providers, providers towards consumers/projects).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace sbqa::model {
+
+/// Sparse map from target id to preference in [-1, 1] with a default for
+/// unlisted targets. -1 = strongly against, 0 = indifferent, 1 = strongly
+/// interested.
+class PreferenceProfile {
+ public:
+  /// `default_value` applies to ids without an explicit entry.
+  explicit PreferenceProfile(double default_value = 0.0)
+      : default_value_(Clamp(default_value)) {}
+
+  /// Sets the preference for `target` (clamped into [-1, 1]).
+  void Set(int32_t target, double preference) {
+    prefs_[target] = Clamp(preference);
+  }
+
+  /// Preference for `target`, or the default when unset.
+  double Get(int32_t target) const {
+    auto it = prefs_.find(target);
+    return it == prefs_.end() ? default_value_ : it->second;
+  }
+
+  bool Has(int32_t target) const { return prefs_.contains(target); }
+  double default_value() const { return default_value_; }
+  size_t explicit_count() const { return prefs_.size(); }
+
+  /// Mean of the explicitly set preferences (default when none set).
+  double MeanExplicit() const {
+    if (prefs_.empty()) return default_value_;
+    double sum = 0;
+    for (const auto& [id, v] : prefs_) sum += v;
+    return sum / static_cast<double>(prefs_.size());
+  }
+
+ private:
+  static double Clamp(double v) {
+    if (v < -1.0) return -1.0;
+    if (v > 1.0) return 1.0;
+    return v;
+  }
+
+  double default_value_;
+  std::unordered_map<int32_t, double> prefs_;
+};
+
+}  // namespace sbqa::model
+
+#endif  // SBQA_MODEL_PREFERENCE_H_

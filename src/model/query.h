@@ -1,0 +1,33 @@
+#ifndef SBQA_MODEL_QUERY_H_
+#define SBQA_MODEL_QUERY_H_
+
+/// \file
+/// The unit of allocation: an independent task issued by a consumer,
+/// replicated over `n_results` providers (the paper's q.n). In the BOINC
+/// instantiation a query is one work-unit instance batch.
+
+#include "model/types.h"
+
+namespace sbqa::model {
+
+/// An incoming query q. Plain value type; the mediator owns per-query
+/// runtime state separately.
+struct Query {
+  QueryId id = 0;
+  /// Issuing consumer, the paper's q.c.
+  ConsumerId consumer = kInvalidId;
+  /// Class/topic of the query (BOINC: the project application).
+  QueryClassId query_class = 0;
+  /// Number of results the consumer requires (replication factor), the
+  /// paper's q.n and the divisor of Equation 1.
+  int n_results = 1;
+  /// Work demand in abstract work units; processing time on provider p is
+  /// cost / p.capacity seconds.
+  double cost = 1.0;
+  /// Simulation time at which the consumer issued the query.
+  double issued_at = 0.0;
+};
+
+}  // namespace sbqa::model
+
+#endif  // SBQA_MODEL_QUERY_H_

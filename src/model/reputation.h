@@ -1,0 +1,83 @@
+#ifndef SBQA_MODEL_REPUTATION_H_
+#define SBQA_MODEL_REPUTATION_H_
+
+/// \file
+/// Provider reputation tracking. Consumers may trade their preferences for
+/// provider reputation when computing intentions (SQLB); in the BOINC
+/// instantiation reputation is fed by result validation (a malicious
+/// volunteer returning invalid results loses reputation).
+
+#include <vector>
+
+#include "model/types.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace sbqa::model {
+
+/// Per-provider reputation in [0, 1], maintained as an EWMA over interaction
+/// outcomes. New providers start at a configurable prior (default 0.5,
+/// "unknown").
+class ReputationRegistry {
+ public:
+  /// `alpha` is the EWMA weight of the newest outcome; `prior` the initial
+  /// reputation of every provider.
+  explicit ReputationRegistry(size_t provider_count, double alpha = 0.05,
+                              double prior = 0.5)
+      : alpha_(alpha), prior_(prior),
+        values_(provider_count, prior),
+        observations_(provider_count, 0) {
+    SBQA_CHECK_GT(alpha, 0);
+    SBQA_CHECK_LE(alpha, 1);
+    SBQA_CHECK_GE(prior, 0);
+    SBQA_CHECK_LE(prior, 1);
+  }
+
+  size_t size() const { return values_.size(); }
+
+  /// Extends the registry to cover `provider_count` providers (new entries
+  /// start at the prior). Supports open systems where volunteers join at
+  /// runtime; never shrinks.
+  void GrowTo(size_t provider_count) {
+    if (provider_count > values_.size()) {
+      values_.resize(provider_count, prior_);
+      observations_.resize(provider_count, 0);
+    }
+  }
+
+  /// Records an interaction outcome in [0, 1] (1 = fully successful /
+  /// validated result, 0 = failure or invalid result).
+  void Record(ProviderId provider, double outcome) {
+    SBQA_CHECK_GE(provider, 0);
+    SBQA_CHECK_LT(static_cast<size_t>(provider), values_.size());
+    SBQA_DCHECK_GE(outcome, 0);
+    SBQA_DCHECK_LE(outcome, 1);
+    double& v = values_[static_cast<size_t>(provider)];
+    v = alpha_ * outcome + (1 - alpha_) * v;
+    ++observations_[static_cast<size_t>(provider)];
+  }
+
+  /// Current reputation in [0, 1].
+  double Get(ProviderId provider) const {
+    SBQA_CHECK_GE(provider, 0);
+    SBQA_CHECK_LT(static_cast<size_t>(provider), values_.size());
+    return values_[static_cast<size_t>(provider)];
+  }
+
+  /// Number of recorded outcomes for `provider`.
+  int64_t Observations(ProviderId provider) const {
+    return observations_[static_cast<size_t>(provider)];
+  }
+
+  double prior() const { return prior_; }
+
+ private:
+  double alpha_;
+  double prior_;
+  std::vector<double> values_;
+  std::vector<int64_t> observations_;
+};
+
+}  // namespace sbqa::model
+
+#endif  // SBQA_MODEL_REPUTATION_H_

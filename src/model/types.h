@@ -1,0 +1,28 @@
+#ifndef SBQA_MODEL_TYPES_H_
+#define SBQA_MODEL_TYPES_H_
+
+/// \file
+/// Identifier types shared across the SbQA domain model.
+
+#include <cstdint>
+
+namespace sbqa::model {
+
+/// Index of a consumer (the paper's c ∈ C). Dense, assigned at build time.
+using ConsumerId = int32_t;
+
+/// Index of a provider (the paper's p ∈ P). Dense, assigned at build time.
+using ProviderId = int32_t;
+
+/// Monotonically increasing query identifier.
+using QueryId = int64_t;
+
+/// Query class / topic (in the BOINC instantiation: the project's
+/// application). Providers may restrict which classes they can treat.
+using QueryClassId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+}  // namespace sbqa::model
+
+#endif  // SBQA_MODEL_TYPES_H_

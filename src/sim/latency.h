@@ -1,0 +1,73 @@
+#ifndef SBQA_SIM_LATENCY_H_
+#define SBQA_SIM_LATENCY_H_
+
+/// \file
+/// Network latency models for the simulated message channels.
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sbqa::sim {
+
+/// Samples a one-way message delay in seconds.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual double Sample(util::Rng& rng) = 0;
+};
+
+/// Fixed one-way delay.
+class ConstantLatency : public LatencyModel {
+ public:
+  explicit ConstantLatency(double delay) : delay_(delay) {
+    SBQA_CHECK_GE(delay, 0);
+  }
+  double Sample(util::Rng&) override { return delay_; }
+
+ private:
+  double delay_;
+};
+
+/// Uniform delay in [lo, hi].
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+    SBQA_CHECK_GE(lo, 0);
+    SBQA_CHECK_LE(lo, hi);
+  }
+  double Sample(util::Rng& rng) override { return rng.Uniform(lo_, hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Log-normal delay with a floor, the classic heavy-ish-tail WAN model.
+class LogNormalLatency : public LatencyModel {
+ public:
+  /// `median` is the median delay; `sigma` the log-space spread;
+  /// `floor` a hard minimum.
+  LogNormalLatency(double median, double sigma, double floor = 0.0)
+      : mu_(0), sigma_(sigma), floor_(floor) {
+    SBQA_CHECK_GT(median, 0);
+    SBQA_CHECK_GE(sigma, 0);
+    SBQA_CHECK_GE(floor, 0);
+    mu_ = std::log(median);
+  }
+  double Sample(util::Rng& rng) override {
+    const double v = rng.LogNormal(mu_, sigma_);
+    return v < floor_ ? floor_ : v;
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+  double floor_;
+};
+
+}  // namespace sbqa::sim
+
+#endif  // SBQA_SIM_LATENCY_H_

@@ -1,0 +1,26 @@
+#include "sim/network.h"
+
+namespace sbqa::sim {
+
+Network::Network(Scheduler* scheduler, util::Rng rng,
+                 std::unique_ptr<LatencyModel> latency)
+    : scheduler_(scheduler), rng_(rng), latency_(std::move(latency)) {
+  SBQA_CHECK(scheduler_ != nullptr);
+  SBQA_CHECK(latency_ != nullptr);
+}
+
+EventId Network::Send(std::function<void()> deliver) {
+  return SendWithLatency(SampleLatency(), std::move(deliver));
+}
+
+EventId Network::SendWithLatency(double latency,
+                                 std::function<void()> deliver) {
+  SBQA_CHECK_GE(latency, 0);
+  ++messages_sent_;
+  total_latency_ += latency;
+  return scheduler_->Schedule(latency, std::move(deliver));
+}
+
+double Network::SampleLatency() { return latency_->Sample(rng_); }
+
+}  // namespace sbqa::sim

@@ -1,0 +1,58 @@
+#ifndef SBQA_SIM_NETWORK_H_
+#define SBQA_SIM_NETWORK_H_
+
+/// \file
+/// Simulated message-passing network. Deliveries are callbacks scheduled
+/// after a sampled one-way latency; the mediation protocol's round trips are
+/// built from these primitives.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/latency.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace sbqa::sim {
+
+/// Message fabric between simulation entities. One latency model applies to
+/// all links (heterogeneous per-link models can be layered on top by giving
+/// entities their own LatencyModel and calling SendWithLatency).
+class Network {
+ public:
+  /// `scheduler` and `rng` must outlive the network.
+  Network(Scheduler* scheduler, util::Rng rng,
+          std::unique_ptr<LatencyModel> latency);
+
+  /// Delivers `deliver` after one sampled one-way latency.
+  /// Returns the event id (cancellable until delivery).
+  EventId Send(std::function<void()> deliver);
+
+  /// Delivers after an explicit latency (for callers that sampled or
+  /// computed the delay themselves, e.g. a max over parallel requests).
+  EventId SendWithLatency(double latency, std::function<void()> deliver);
+
+  /// Samples a one-way latency without sending; used to compute the
+  /// completion time of a parallel request fan-out (max over links).
+  double SampleLatency();
+
+  /// Messages sent since construction.
+  uint64_t messages_sent() const { return messages_sent_; }
+  /// Sum of sampled latencies (for mean-latency accounting).
+  double total_latency() const { return total_latency_; }
+
+  Scheduler* scheduler() { return scheduler_; }
+
+ private:
+  Scheduler* scheduler_;
+  util::Rng rng_;
+  std::unique_ptr<LatencyModel> latency_;
+  uint64_t messages_sent_ = 0;
+  double total_latency_ = 0;
+};
+
+}  // namespace sbqa::sim
+
+#endif  // SBQA_SIM_NETWORK_H_

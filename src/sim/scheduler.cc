@@ -1,0 +1,71 @@
+#include "sim/scheduler.h"
+
+#include <limits>
+#include <utility>
+
+namespace sbqa::sim {
+
+EventId Scheduler::Schedule(Time delay, Callback cb) {
+  SBQA_CHECK_GE(delay, 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Scheduler::ScheduleAt(Time when, Callback cb) {
+  SBQA_CHECK_GE(when, now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  return id;
+}
+
+bool Scheduler::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: remember the id, skip when popped.
+  return cancelled_.insert(id).second;
+}
+
+void Scheduler::SkipCancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Scheduler::Step() {
+  SkipCancelled();
+  if (queue_.empty()) return false;
+  // Move the callback out before popping so self-scheduling callbacks are
+  // safe.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+size_t Scheduler::RunUntil(Time t) {
+  SBQA_CHECK_GE(t, now_);
+  size_t n = 0;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    SkipCancelled();
+    if (queue_.empty() || queue_.top().when > t) break;
+    Step();
+    ++n;
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+  return n;
+}
+
+size_t Scheduler::RunFor(Time d) { return RunUntil(now_ + d); }
+
+size_t Scheduler::Run(size_t max_events) {
+  size_t n = 0;
+  stop_requested_ = false;
+  while (n < max_events && !stop_requested_ && Step()) ++n;
+  return n;
+}
+
+}  // namespace sbqa::sim

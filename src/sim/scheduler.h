@@ -1,0 +1,97 @@
+#ifndef SBQA_SIM_SCHEDULER_H_
+#define SBQA_SIM_SCHEDULER_H_
+
+/// \file
+/// Discrete-event scheduler: the heart of the simulation substrate that
+/// replaces SimJava from the paper's demo. Events are (time, sequence)
+/// ordered, so simultaneous events run in submission order and every run is
+/// deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sbqa::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Handle identifying a scheduled event; usable with Cancel().
+using EventId = uint64_t;
+
+/// Binary-heap discrete-event scheduler with stable FIFO ordering among
+/// same-timestamp events and lazy cancellation.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Schedules `cb` to fire `delay` seconds from now. Requires delay >= 0.
+  EventId Schedule(Time delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `when`. Requires when >= now().
+  EventId ScheduleAt(Time when, Callback cb);
+
+  /// Cancels a pending event. Returns false when the event already fired or
+  /// was cancelled. O(1) amortized (lazy removal on pop).
+  bool Cancel(EventId id);
+
+  /// Runs the single next event, if any. Returns false when the queue is
+  /// empty (time does not advance in that case).
+  bool Step();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  /// Returns the number of events executed.
+  size_t RunUntil(Time t);
+
+  /// RunUntil(now() + d).
+  size_t RunFor(Time d);
+
+  /// Runs until the queue drains or `max_events` were executed (a safety
+  /// valve against runaway self-scheduling loops). Returns events executed.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  /// Requests Run/RunUntil loops to stop after the current event.
+  void RequestStop() { stop_requested_ = true; }
+
+  Time now() const { return now_; }
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  /// Pending (non-cancelled) events.
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Total events executed since construction.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    Callback cb;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap by time
+      return a.id > b.id;                            // FIFO among equals
+    }
+  };
+
+  /// Pops cancelled events off the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace sbqa::sim
+
+#endif  // SBQA_SIM_SCHEDULER_H_

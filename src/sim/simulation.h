@@ -1,0 +1,53 @@
+#ifndef SBQA_SIM_SIMULATION_H_
+#define SBQA_SIM_SIMULATION_H_
+
+/// \file
+/// Top-level simulation context bundling the scheduler, network fabric and
+/// the root random stream. Every experiment builds exactly one Simulation.
+
+#include <memory>
+
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace sbqa::sim {
+
+/// Configuration of the simulation substrate.
+struct SimulationConfig {
+  uint64_t seed = 42;         ///< root seed; all streams derive from it
+  double latency_median = 0.020;  ///< one-way message latency median (s)
+  double latency_sigma = 0.35;    ///< log-space spread; 0 = constant latency
+  double latency_floor = 0.001;   ///< hard minimum latency (s)
+};
+
+/// Owns the event scheduler, the network and the root RNG.
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& config = {});
+
+  Scheduler& scheduler() { return scheduler_; }
+  Network& network() { return *network_; }
+
+  /// Root random stream (use NewRng() for per-entity streams).
+  util::Rng& rng() { return rng_; }
+
+  /// Derives an independent random stream for an entity.
+  util::Rng NewRng() { return rng_.Split(); }
+
+  Time now() const { return scheduler_.now(); }
+  void RunUntil(Time t) { scheduler_.RunUntil(t); }
+  void RunFor(Time d) { scheduler_.RunFor(d); }
+
+  const SimulationConfig& config() const { return config_; }
+
+ private:
+  SimulationConfig config_;
+  util::Rng rng_;
+  Scheduler scheduler_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace sbqa::sim
+
+#endif  // SBQA_SIM_SIMULATION_H_

@@ -1,0 +1,126 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sbqa::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+/// Bucket-mean down-sampling of `values` to at most `width` points.
+std::vector<double> Resample(const std::vector<double>& values, int width) {
+  if (values.empty() || static_cast<int>(values.size()) <= width) {
+    return values;
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(width));
+  const double step =
+      static_cast<double>(values.size()) / static_cast<double>(width);
+  for (int i = 0; i < width; ++i) {
+    const size_t lo = static_cast<size_t>(std::floor(i * step));
+    size_t hi = static_cast<size_t>(std::floor((i + 1) * step));
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, values.size());
+    double sum = 0;
+    for (size_t j = lo; j < hi; ++j) sum += values[j];
+    out.push_back(sum / static_cast<double>(hi - lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderLineChart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options) {
+  SBQA_CHECK_GE(options.width, 8);
+  SBQA_CHECK_GE(options.height, 2);
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  if (options.y_auto) {
+    y_min = std::numeric_limits<double>::infinity();
+    y_max = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series) {
+      for (double v : s.values) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+      }
+    }
+    if (!std::isfinite(y_min)) {
+      y_min = 0;
+      y_max = 1;
+    }
+    if (y_max - y_min < 1e-12) y_max = y_min + 1.0;
+  }
+
+  const int h = options.height;
+  const int w = options.width;
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const std::vector<double> ys = Resample(series[si].values, w);
+    for (size_t x = 0; x < ys.size(); ++x) {
+      double t = (ys[x] - y_min) / (y_max - y_min);
+      t = std::clamp(t, 0.0, 1.0);
+      const int row = static_cast<int>(std::lround(t * (h - 1)));
+      grid[static_cast<size_t>(h - 1 - row)][x] = glyph;
+    }
+  }
+
+  std::string out;
+  for (int r = 0; r < h; ++r) {
+    const double y_val =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (h - 1);
+    out += StrFormat("%8.3f |", y_val);
+    out += grid[static_cast<size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(9, ' ');
+  out += '+';
+  out.append(static_cast<size_t>(w), '-');
+  out += '\n';
+  // Legend.
+  out += std::string(10, ' ');
+  for (size_t si = 0; si < series.size(); ++si) {
+    if (si > 0) out += "   ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = ";
+    out += series[si].name;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values, int width) {
+  SBQA_CHECK_EQ(labels.size(), values.size());
+  SBQA_CHECK_GE(width, 1);
+  double max_v = 0;
+  size_t label_w = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    max_v = std::max(max_v, values[i]);
+    label_w = std::max(label_w, labels[i].size());
+  }
+  if (max_v <= 0) max_v = 1;
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::lround(values[i] / max_v * static_cast<double>(width)));
+    out += labels[i];
+    out.append(label_w - labels[i].size(), ' ');
+    out += " |";
+    out.append(static_cast<size_t>(std::max(bar, 0)), '#');
+    out += StrFormat(" %.3f", values[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sbqa::util

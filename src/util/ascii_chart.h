@@ -1,0 +1,41 @@
+#ifndef SBQA_UTIL_ASCII_CHART_H_
+#define SBQA_UTIL_ASCII_CHART_H_
+
+/// \file
+/// Terminal time-series rendering. This is the repository's stand-in for the
+/// demo's "drawing results on-line" GUI (paper Fig. 2b): examples render the
+/// same satisfaction / response-time series as ASCII charts.
+
+#include <string>
+#include <vector>
+
+namespace sbqa::util {
+
+/// One named series of y-values (x is the sample index, assumed uniform).
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Options controlling chart geometry.
+struct ChartOptions {
+  int width = 72;    ///< plot columns (excluding axis labels)
+  int height = 16;   ///< plot rows
+  bool y_auto = true;
+  double y_min = 0;  ///< used when y_auto is false
+  double y_max = 1;
+};
+
+/// Renders one or more series into a multi-line ASCII chart. Each series is
+/// drawn with its own glyph and a legend line is appended. Series are
+/// down-sampled (bucket means) to fit the width.
+std::string RenderLineChart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options = {});
+
+/// Renders a horizontal bar chart: one labelled bar per (label, value).
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values, int width = 48);
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_ASCII_CHART_H_

@@ -1,0 +1,54 @@
+#ifndef SBQA_UTIL_BALANCE_H_
+#define SBQA_UTIL_BALANCE_H_
+
+/// \file
+/// Weighted geometric blending of two signals in [-1, 1].
+///
+/// SQLB's "trading" operators (consumers trade preferences for reputation,
+/// providers trade preferences for utilization) and the SbQA score
+/// (Definition 3) all share a multiplicative balance of two terms with an
+/// exponent weight. This header provides the normalized variant used by the
+/// intention policies; the exact Definition 3 score (with its negative
+/// branch and epsilon) lives in core/score.h.
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sbqa::util {
+
+/// Maps an intention/preference value from [-1, 1] to [0, 1].
+inline double NormalizeSigned(double v) {
+  return (std::clamp(v, -1.0, 1.0) + 1.0) / 2.0;
+}
+
+/// Maps a [0, 1] value back to [-1, 1].
+inline double DenormalizeSigned(double v) {
+  return 2.0 * std::clamp(v, 0.0, 1.0) - 1.0;
+}
+
+/// Weighted geometric blend of x and y (both in [-1, 1]) with weight `w` on
+/// x, computed in normalized [0, 1] space and mapped back to [-1, 1]:
+///
+///   blend = 2 * ( ((x+1)/2)^w * ((y+1)/2)^(1-w) ) - 1
+///
+/// Properties: blend(x, y, 1) == x, blend(x, y, 0) == y, monotone
+/// non-decreasing in both arguments, and -1 is absorbing for any weighted
+/// input (multiplicative semantics, matching Definition 3's character).
+inline double WeightedGeometricBlend(double x, double y, double w) {
+  SBQA_DCHECK_GE(w, 0);
+  SBQA_DCHECK_LE(w, 1);
+  const double xn = NormalizeSigned(x);
+  const double yn = NormalizeSigned(y);
+  // pow(0, 0) is defined as 1 here via explicit handling: weight 0 means
+  // "ignore the argument" even when it is exactly -1.
+  double acc = 1.0;
+  if (w > 0) acc *= std::pow(xn, w);
+  if (w < 1) acc *= std::pow(yn, 1.0 - w);
+  return DenormalizeSigned(acc);
+}
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_BALANCE_H_

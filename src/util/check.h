@@ -1,0 +1,68 @@
+#ifndef SBQA_UTIL_CHECK_H_
+#define SBQA_UTIL_CHECK_H_
+
+/// \file
+/// Lightweight CHECK/DCHECK macros in the spirit of glog.
+///
+/// The SbQA public API does not throw exceptions (recoverable errors are
+/// reported through sbqa::util::Status); CHECK is reserved for programming
+/// errors and invariant violations that make continuing meaningless.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbqa::util {
+
+/// Prints a fatal-check failure message and aborts the process.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sbqa::util
+
+/// Aborts the process when `condition` evaluates to false. Always enabled.
+#define SBQA_CHECK(condition)                                        \
+  do {                                                               \
+    if (!(condition)) {                                              \
+      ::sbqa::util::CheckFailed(__FILE__, __LINE__, #condition);     \
+    }                                                                \
+  } while (0)
+
+/// Binary comparison checks. Evaluate operands once.
+#define SBQA_CHECK_OP(op, a, b)                                      \
+  do {                                                               \
+    if (!((a)op(b))) {                                               \
+      ::sbqa::util::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b); \
+    }                                                                \
+  } while (0)
+
+#define SBQA_CHECK_EQ(a, b) SBQA_CHECK_OP(==, a, b)
+#define SBQA_CHECK_NE(a, b) SBQA_CHECK_OP(!=, a, b)
+#define SBQA_CHECK_LT(a, b) SBQA_CHECK_OP(<, a, b)
+#define SBQA_CHECK_LE(a, b) SBQA_CHECK_OP(<=, a, b)
+#define SBQA_CHECK_GT(a, b) SBQA_CHECK_OP(>, a, b)
+#define SBQA_CHECK_GE(a, b) SBQA_CHECK_OP(>=, a, b)
+
+/// Debug-only variants; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SBQA_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#define SBQA_DCHECK_EQ(a, b) SBQA_DCHECK((a) == (b))
+#define SBQA_DCHECK_LT(a, b) SBQA_DCHECK((a) < (b))
+#define SBQA_DCHECK_LE(a, b) SBQA_DCHECK((a) <= (b))
+#define SBQA_DCHECK_GT(a, b) SBQA_DCHECK((a) > (b))
+#define SBQA_DCHECK_GE(a, b) SBQA_DCHECK((a) >= (b))
+#else
+#define SBQA_DCHECK(condition) SBQA_CHECK(condition)
+#define SBQA_DCHECK_EQ(a, b) SBQA_CHECK_EQ(a, b)
+#define SBQA_DCHECK_LT(a, b) SBQA_CHECK_LT(a, b)
+#define SBQA_DCHECK_LE(a, b) SBQA_CHECK_LE(a, b)
+#define SBQA_DCHECK_GT(a, b) SBQA_CHECK_GT(a, b)
+#define SBQA_DCHECK_GE(a, b) SBQA_CHECK_GE(a, b)
+#endif
+
+#endif  // SBQA_UTIL_CHECK_H_

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace sbqa::util {
+
+Status CsvWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::Unavailable("cannot open CSV file: " + path);
+  }
+  return Status::Ok();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values, int prec) {
+  if (!out_.is_open()) return;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << StrFormat("%.*f", prec, values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace sbqa::util

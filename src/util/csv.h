@@ -1,0 +1,42 @@
+#ifndef SBQA_UTIL_CSV_H_
+#define SBQA_UTIL_CSV_H_
+
+/// \file
+/// Small CSV writer used to dump experiment time series for external
+/// plotting (the file-based counterpart of the demo GUI's live charts).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sbqa::util {
+
+/// Streams rows to a CSV file. Not thread-safe.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens (truncates) `path`. Returns an error when the file cannot be
+  /// created.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Writes a row of raw cells (caller guarantees no embedded commas).
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Writes a row of doubles with `prec` decimals, optionally prefixed by a
+  /// label cell.
+  void WriteNumericRow(const std::vector<double>& values, int prec = 6);
+
+  void Close();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_CSV_H_

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace sbqa::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+#define SBQA_DEFINE_LOG_FN(Name, Level)          \
+  void Name(const char* fmt, ...) {              \
+    if (static_cast<int>(Level) <                \
+        static_cast<int>(g_level)) {             \
+      return;                                    \
+    }                                            \
+    va_list args;                                \
+    va_start(args, fmt);                         \
+    Log(Level, StrFormatV(fmt, args));           \
+    va_end(args);                                \
+  }
+
+SBQA_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug)
+SBQA_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo)
+SBQA_DEFINE_LOG_FN(LogWarning, LogLevel::kWarning)
+SBQA_DEFINE_LOG_FN(LogError, LogLevel::kError)
+
+#undef SBQA_DEFINE_LOG_FN
+
+}  // namespace sbqa::util

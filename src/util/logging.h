@@ -1,0 +1,29 @@
+#ifndef SBQA_UTIL_LOGGING_H_
+#define SBQA_UTIL_LOGGING_H_
+
+/// \file
+/// Minimal leveled logging to stderr. Default level is kWarning so tests and
+/// benchmarks stay quiet; examples raise it to kInfo for narration.
+
+#include <string>
+
+namespace sbqa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `message` when `level` >= the global level.
+void Log(LogLevel level, const std::string& message);
+
+/// printf-style logging helpers.
+void LogDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogWarning(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void LogError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_LOGGING_H_

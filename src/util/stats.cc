@@ -1,0 +1,155 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sbqa::util {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / std::abs(m);
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  SBQA_CHECK_LT(lo, hi);
+  SBQA_CHECK_GE(buckets, 1u);
+  cells_.assign(buckets + 2, 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  stats_.Add(x);
+  if (x < lo_) {
+    ++cells_.front();
+  } else if (x >= hi_) {
+    ++cells_.back();
+  } else {
+    const size_t idx = 1 + static_cast<size_t>((x - lo_) / width_);
+    ++cells_[std::min(idx, cells_.size() - 2)];
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SBQA_CHECK_EQ(cells_.size(), other.cells_.size());
+  SBQA_CHECK_EQ(lo_, other.lo_);
+  SBQA_CHECK_EQ(hi_, other.hi_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  count_ += other.count_;
+  stats_.Merge(other.stats_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const double next = cum + static_cast<double>(cells_[i]);
+    if (next >= target && cells_[i] > 0) {
+      if (i == 0) return stats_.min();
+      if (i == cells_.size() - 1) return stats_.max();
+      const double cell_lo = lo_ + static_cast<double>(i - 1) * width_;
+      const double frac =
+          (target - cum) / static_cast<double>(cells_[i]);
+      return cell_lo + std::clamp(frac, 0.0, 1.0) * width_;
+    }
+    cum = next;
+  }
+  return stats_.max();
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("n=%lld mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                   static_cast<long long>(count_), mean(), Percentile(0.50),
+                   Percentile(0.95), Percentile(0.99), max());
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double cum_weighted = 0;
+  double total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0) return 0.0;
+  return cum_weighted / (n * total);
+}
+
+double JainFairnessIndex(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  SBQA_CHECK_GT(alpha, 0);
+  SBQA_CHECK_LE(alpha, 1);
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1 - alpha_) * value_;
+  }
+}
+
+}  // namespace sbqa::util

@@ -1,0 +1,109 @@
+#ifndef SBQA_UTIL_STATS_H_
+#define SBQA_UTIL_STATS_H_
+
+/// \file
+/// Streaming statistics, histograms and fairness indices used by the
+/// metrics layer and the experiment reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sbqa::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  /// Mean of observed values; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / |mean|); 0 when mean is 0.
+  double cv() const;
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range linear histogram with overflow/underflow buckets and
+/// percentile interpolation. Used for response-time distributions.
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) split into `buckets` equal cells; values outside
+  /// land in dedicated under/overflow cells. Requires lo < hi, buckets >= 1.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  /// Approximate quantile in [0,1] via linear interpolation within the
+  /// containing bucket. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// One-line summary, e.g. "n=100 mean=4.2 p50=3.9 p95=9.1 max=12.0".
+  std::string Summary() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> cells_;  // [underflow, b0..bn-1, overflow]
+  int64_t count_ = 0;
+  RunningStats stats_;
+};
+
+/// Gini coefficient of a non-negative sample; 0 = perfectly even,
+/// -> 1 = maximally concentrated. Returns 0 for empty/all-zero input.
+double GiniCoefficient(std::vector<double> values);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²), in (0,1]; 1 = perfectly fair.
+/// Returns 1 for empty/all-zero input.
+double JainFairnessIndex(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` in (0,1]: weight of the newest observation.
+  explicit Ewma(double alpha);
+  void Add(double x);
+  /// Current average; 0 before any observation.
+  double value() const { return initialized_ ? value_ : 0.0; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_STATS_H_

@@ -1,0 +1,33 @@
+#include "util/status.h"
+
+namespace sbqa::util {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace sbqa::util

@@ -1,0 +1,122 @@
+#ifndef SBQA_UTIL_STATUS_H_
+#define SBQA_UTIL_STATUS_H_
+
+/// \file
+/// Minimal Status / StatusOr error-reporting types.
+///
+/// SbQA follows the database-engine convention of exception-free public
+/// interfaces: fallible operations return Status (or StatusOr<T>) and callers
+/// must inspect it. Invariant violations use SBQA_CHECK instead.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace sbqa::util {
+
+/// Canonical error codes, a pragmatic subset of absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnavailable = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error StatusOr is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    SBQA_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK when holding a value, the error otherwise.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    SBQA_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    SBQA_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    SBQA_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_STATUS_H_

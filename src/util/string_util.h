@@ -1,0 +1,36 @@
+#ifndef SBQA_UTIL_STRING_UTIL_H_
+#define SBQA_UTIL_STRING_UTIL_H_
+
+/// \file
+/// printf-style formatting into std::string plus small string helpers.
+/// (The toolchain lacks std::format; this wrapper keeps call sites tidy.)
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sbqa::util {
+
+/// Returns the printf-style formatted string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of StrFormat.
+std::string StrFormatV(const char* fmt, va_list args);
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Returns a copy of `s` with leading/trailing ASCII whitespace removed.
+std::string Trim(const std::string& s);
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string FormatDouble(double v, int prec = 3);
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sbqa::util {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::string& label,
+                              const std::vector<double>& values, int prec) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, prec));
+  AddRow(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      const size_t pad = widths[i] - row[i].size();
+      if (i == 0) {
+        line += row[i];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += row[i];
+      }
+    }
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += '\n';
+    size_t rule = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto sanitize = [](std::string cell) {
+    std::replace(cell.begin(), cell.end(), ',', ';');
+    return cell;
+  };
+  std::string out;
+  auto append = [&out, &sanitize](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += sanitize(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) append(header_);
+  for (const auto& row : rows_) append(row);
+  return out;
+}
+
+}  // namespace sbqa::util

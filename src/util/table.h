@@ -1,0 +1,43 @@
+#ifndef SBQA_UTIL_TABLE_H_
+#define SBQA_UTIL_TABLE_H_
+
+/// \file
+/// Plain-text table rendering for benchmark reports, mirroring the rows the
+/// paper's demo GUIs displayed.
+
+#include <string>
+#include <vector>
+
+namespace sbqa::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing cell counts.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `prec` decimals into a row.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int prec = 3);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a rule under the header, columns separated by two spaces.
+  /// First column is left-aligned, the rest right-aligned.
+  std::string ToString() const;
+
+  /// Renders as CSV (no escaping needed for our numeric content; commas in
+  /// cells are replaced by semicolons defensively).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_TABLE_H_

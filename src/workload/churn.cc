@@ -1,0 +1,64 @@
+#include "workload/churn.h"
+
+#include "util/check.h"
+
+namespace sbqa::workload {
+
+ChurnProcess::ChurnProcess(sim::Simulation* sim, core::Mediator* mediator,
+                           model::ProviderId provider,
+                           const ChurnParams& params)
+    : sim_(sim),
+      mediator_(mediator),
+      provider_(provider),
+      params_(params),
+      rng_(sim->NewRng()) {
+  SBQA_CHECK(sim_ != nullptr);
+  SBQA_CHECK(mediator_ != nullptr);
+  SBQA_CHECK_GT(params.mean_online, 0);
+  SBQA_CHECK_GT(params.mean_offline, 0);
+  SBQA_CHECK_GE(params.initial_online_fraction, 0);
+  SBQA_CHECK_LE(params.initial_online_fraction, 1);
+}
+
+void ChurnProcess::Start() {
+  if (!params_.enabled) return;
+  online_ = rng_.Bernoulli(params_.initial_online_fraction);
+  if (!online_) {
+    ++offline_spells_;
+    mediator_->SetProviderAvailability(provider_, false);
+  }
+  ScheduleToggle();
+}
+
+void ChurnProcess::ScheduleToggle() {
+  const double mean =
+      online_ ? params_.mean_online : params_.mean_offline;
+  sim_->scheduler().Schedule(rng_.Exponential(1.0 / mean),
+                             [this] { Toggle(); });
+}
+
+void ChurnProcess::Toggle() {
+  // A departed provider's churn process goes dormant.
+  if (mediator_->registry().provider(provider_).departed()) return;
+  online_ = !online_;
+  if (!online_) ++offline_spells_;
+  mediator_->SetProviderAvailability(provider_, online_);
+  ScheduleToggle();
+}
+
+std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
+    sim::Simulation* sim, core::Mediator* mediator,
+    const std::vector<model::ProviderId>& providers,
+    const ChurnParams& params) {
+  std::vector<std::unique_ptr<ChurnProcess>> processes;
+  if (!params.enabled) return processes;
+  processes.reserve(providers.size());
+  for (model::ProviderId p : providers) {
+    processes.push_back(
+        std::make_unique<ChurnProcess>(sim, mediator, p, params));
+    processes.back()->Start();
+  }
+  return processes;
+}
+
+}  // namespace sbqa::workload

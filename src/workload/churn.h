@@ -1,0 +1,64 @@
+#ifndef SBQA_WORKLOAD_CHURN_H_
+#define SBQA_WORKLOAD_CHURN_H_
+
+/// \file
+/// Provider availability churn: volunteer hosts alternate between online
+/// and offline periods (the BOINC reality — hosts are switched off, used
+/// interactively, lose connectivity). Churn is orthogonal to departure by
+/// dissatisfaction: a churned host comes back, a departed one does not.
+
+#include <memory>
+#include <vector>
+
+#include "core/mediator.h"
+#include "model/types.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sbqa::workload {
+
+/// Availability parameters for one provider population.
+struct ChurnParams {
+  bool enabled = false;
+  /// Mean online spell length in seconds (exponential).
+  double mean_online = 600.0;
+  /// Mean offline spell length in seconds (exponential).
+  double mean_offline = 120.0;
+  /// Fraction of providers online at t = 0; the rest start offline.
+  double initial_online_fraction = 1.0;
+};
+
+/// Drives one provider's availability through the mediator.
+class ChurnProcess {
+ public:
+  /// All pointers must outlive the process.
+  ChurnProcess(sim::Simulation* sim, core::Mediator* mediator,
+               model::ProviderId provider, const ChurnParams& params);
+
+  /// Decides the initial state and schedules the first toggle.
+  void Start();
+
+  int64_t offline_spells() const { return offline_spells_; }
+
+ private:
+  void ScheduleToggle();
+  void Toggle();
+
+  sim::Simulation* sim_;
+  core::Mediator* mediator_;
+  model::ProviderId provider_;
+  ChurnParams params_;
+  util::Rng rng_;
+  bool online_ = true;
+  int64_t offline_spells_ = 0;
+};
+
+/// Creates and starts one ChurnProcess per provider id.
+std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
+    sim::Simulation* sim, core::Mediator* mediator,
+    const std::vector<model::ProviderId>& providers,
+    const ChurnParams& params);
+
+}  // namespace sbqa::workload
+
+#endif  // SBQA_WORKLOAD_CHURN_H_

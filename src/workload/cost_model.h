@@ -1,0 +1,76 @@
+#ifndef SBQA_WORKLOAD_COST_MODEL_H_
+#define SBQA_WORKLOAD_COST_MODEL_H_
+
+/// \file
+/// Query cost (work-demand) distributions for workload generation.
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sbqa::workload {
+
+/// Shape of the cost distribution.
+enum class CostDistribution {
+  kConstant,
+  kUniform,    ///< uniform in [mean*(1-spread), mean*(1+spread)]
+  kLogNormal,  ///< log-normal with the given mean and coefficient of variation
+};
+
+/// Samples query costs (work units). Costs are strictly positive.
+class CostModel {
+ public:
+  /// `mean` > 0. For kUniform, `spread` in [0,1) is the half-width relative
+  /// to the mean. For kLogNormal, `cv` > 0 is the coefficient of variation.
+  CostModel(CostDistribution distribution, double mean, double spread_or_cv)
+      : distribution_(distribution), mean_(mean), param_(spread_or_cv) {
+    SBQA_CHECK_GT(mean, 0);
+    SBQA_CHECK_GE(spread_or_cv, 0);
+    if (distribution == CostDistribution::kUniform) {
+      SBQA_CHECK_LT(spread_or_cv, 1);
+    }
+    if (distribution == CostDistribution::kLogNormal) {
+      // mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+      sigma_ = std::sqrt(std::log(1.0 + param_ * param_));
+      mu_ = std::log(mean) - sigma_ * sigma_ / 2.0;
+    }
+  }
+
+  /// Constant-cost convenience.
+  static CostModel Constant(double cost) {
+    return CostModel(CostDistribution::kConstant, cost, 0);
+  }
+  static CostModel Uniform(double mean, double spread) {
+    return CostModel(CostDistribution::kUniform, mean, spread);
+  }
+  static CostModel LogNormal(double mean, double cv) {
+    return CostModel(CostDistribution::kLogNormal, mean, cv);
+  }
+
+  double Sample(util::Rng& rng) const {
+    switch (distribution_) {
+      case CostDistribution::kConstant:
+        return mean_;
+      case CostDistribution::kUniform:
+        return rng.Uniform(mean_ * (1.0 - param_), mean_ * (1.0 + param_));
+      case CostDistribution::kLogNormal:
+        return rng.LogNormal(mu_, sigma_);
+    }
+    return mean_;
+  }
+
+  double mean() const { return mean_; }
+  CostDistribution distribution() const { return distribution_; }
+
+ private:
+  CostDistribution distribution_;
+  double mean_;
+  double param_;
+  double mu_ = 0;
+  double sigma_ = 0;
+};
+
+}  // namespace sbqa::workload
+
+#endif  // SBQA_WORKLOAD_COST_MODEL_H_

@@ -1,0 +1,188 @@
+// Tests for the KnBest two-step provider selection.
+
+#include "core/knbest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sbqa::core {
+namespace {
+
+std::vector<model::ProviderId> Ids(int n) {
+  std::vector<model::ProviderId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(i);
+  return ids;
+}
+
+TEST(SelectKnBestTest, EmptyCandidatesGiveEmptyResult) {
+  util::Rng rng(1);
+  EXPECT_TRUE(SelectKnBest({}, {}, KnBestParams{5, 2}, rng).empty());
+}
+
+TEST(SelectKnBestTest, ReturnsAtMostKnProviders) {
+  util::Rng rng(2);
+  const auto ids = Ids(20);
+  const std::vector<double> backlogs(20, 0.0);
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{10, 4}, rng);
+  EXPECT_EQ(kn.size(), 4u);
+}
+
+TEST(SelectKnBestTest, ResultIsSubsetOfCandidatesWithoutDuplicates) {
+  util::Rng rng(3);
+  const auto ids = Ids(30);
+  std::vector<double> backlogs;
+  for (int i = 0; i < 30; ++i) backlogs.push_back(i * 0.1);
+  for (int round = 0; round < 100; ++round) {
+    const auto kn = SelectKnBest(ids, backlogs, KnBestParams{12, 5}, rng);
+    std::set<model::ProviderId> unique(kn.begin(), kn.end());
+    EXPECT_EQ(unique.size(), kn.size());
+    for (model::ProviderId id : kn) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 30);
+    }
+  }
+}
+
+TEST(SelectKnBestTest, KeepsLeastUtilizedOfTheSample) {
+  util::Rng rng(4);
+  // k = all candidates (sampling disabled) -> Kn must be the global
+  // least-utilized set.
+  const auto ids = Ids(10);
+  std::vector<double> backlogs{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 3}, rng);
+  const std::set<model::ProviderId> got(kn.begin(), kn.end());
+  EXPECT_EQ(got, (std::set<model::ProviderId>{7, 8, 9}));
+}
+
+TEST(SelectKnBestTest, ResultOrderedByAscendingBacklog) {
+  util::Rng rng(5);
+  const auto ids = Ids(10);
+  std::vector<double> backlogs{5, 3, 8, 1, 9, 2, 7, 4, 6, 0};
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 5}, rng);
+  for (size_t i = 1; i < kn.size(); ++i) {
+    EXPECT_LE(backlogs[static_cast<size_t>(kn[i - 1])],
+              backlogs[static_cast<size_t>(kn[i])]);
+  }
+}
+
+TEST(SelectKnBestTest, KnZeroKeepsWholeSample) {
+  util::Rng rng(6);
+  const auto ids = Ids(10);
+  const std::vector<double> backlogs(10, 1.0);
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{4, 0}, rng);
+  EXPECT_EQ(kn.size(), 4u);
+}
+
+TEST(SelectKnBestTest, BothZeroReturnsEveryoneShuffled) {
+  util::Rng rng(7);
+  const auto ids = Ids(10);
+  const std::vector<double> backlogs(10, 1.0);
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 0}, rng);
+  EXPECT_EQ(kn.size(), 10u);
+}
+
+TEST(SelectKnBestTest, KLargerThanPopulationIsFine) {
+  util::Rng rng(8);
+  const auto ids = Ids(3);
+  const std::vector<double> backlogs{1, 2, 3};
+  const auto kn = SelectKnBest(ids, backlogs, KnBestParams{50, 2}, rng);
+  EXPECT_EQ(kn.size(), 2u);
+}
+
+TEST(SelectKnBestTest, RandomSampleCoversThePopulation) {
+  // With k = 2 of 10 and all-equal backlogs, every provider should be
+  // selected sometimes: the random phase prevents herd behaviour.
+  util::Rng rng(9);
+  const auto ids = Ids(10);
+  const std::vector<double> backlogs(10, 0.0);
+  std::map<model::ProviderId, int> counts;
+  for (int round = 0; round < 3000; ++round) {
+    for (model::ProviderId id :
+         SelectKnBest(ids, backlogs, KnBestParams{2, 1}, rng)) {
+      ++counts[id];
+    }
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, 300, 100);  // roughly uniform
+  }
+}
+
+TEST(SelectKnBestTest, LoadFilterPrefersIdleProviders) {
+  // Provider 0 is idle, the rest are heavily loaded; with k = population,
+  // provider 0 must always be first.
+  util::Rng rng(10);
+  const auto ids = Ids(5);
+  const std::vector<double> backlogs{0.0, 50, 50, 50, 50};
+  for (int round = 0; round < 50; ++round) {
+    const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 2}, rng);
+    EXPECT_EQ(kn.front(), 0);
+  }
+}
+
+TEST(SelectKnBestTest, TieBreakingIsNotIdBiased) {
+  // All backlogs equal: the first slot should not systematically favor the
+  // lowest id.
+  util::Rng rng(11);
+  const auto ids = Ids(8);
+  const std::vector<double> backlogs(8, 2.0);
+  int id0_first = 0;
+  const int rounds = 4000;
+  for (int round = 0; round < rounds; ++round) {
+    const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 3}, rng);
+    if (kn.front() == 0) ++id0_first;
+  }
+  EXPECT_NEAR(static_cast<double>(id0_first) / rounds, 1.0 / 8, 0.03);
+}
+
+TEST(KnBestMethodTest, GreedyVariantNameDiffers) {
+  KnBestMethod random_method(KnBestParams{10, 4, false});
+  KnBestMethod greedy_method(KnBestParams{10, 4, true});
+  EXPECT_EQ(random_method.name(), "KnBest");
+  EXPECT_EQ(greedy_method.name(), "KnBest-greedy");
+}
+
+TEST(SelectKnBestDeathTest, MismatchedBacklogsAbort) {
+  util::Rng rng(12);
+  EXPECT_DEATH(
+      SelectKnBest(Ids(3), {1.0}, KnBestParams{2, 1}, rng),
+      "CHECK failed");
+}
+
+// Property sweep over (k, kn) combinations.
+class KnBestParamSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(KnBestParamSweep, SizeInvariants) {
+  const auto [k, kn] = GetParam();
+  util::Rng rng(k * 100 + kn);
+  const auto ids = Ids(25);
+  std::vector<double> backlogs;
+  for (int i = 0; i < 25; ++i) backlogs.push_back(rng.Uniform(0, 10));
+  const auto result =
+      SelectKnBest(ids, backlogs, KnBestParams{k, kn}, rng);
+
+  const size_t k_effective = (k == 0 || k > 25) ? 25 : k;
+  const size_t kn_effective =
+      (kn == 0 || kn > k_effective) ? k_effective : kn;
+  EXPECT_EQ(result.size(), kn_effective);
+  // Ordered by backlog.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(backlogs[static_cast<size_t>(result[i - 1])],
+              backlogs[static_cast<size_t>(result[i])]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, KnBestParamSweep,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 5, 10, 25, 100),
+                       ::testing::Values<size_t>(0, 1, 3, 10, 40)));
+
+}  // namespace
+}  // namespace sbqa::core

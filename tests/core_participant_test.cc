@@ -1,0 +1,242 @@
+// Tests for the Provider/Consumer runtime entities and the Registry.
+
+#include <gtest/gtest.h>
+
+#include "core/consumer.h"
+#include "core/provider.h"
+#include "core/registry.h"
+
+namespace sbqa::core {
+namespace {
+
+ProviderParams FastProvider() {
+  ProviderParams params;
+  params.capacity = 2.0;
+  params.memory_k = 10;
+  params.tau_utilization = 10.0;
+  return params;
+}
+
+// --- Provider queueing ---------------------------------------------------------
+
+TEST(ProviderTest, IdleProviderHasNoBacklog) {
+  Provider p(0, FastProvider());
+  EXPECT_DOUBLE_EQ(p.Backlog(0.0), 0.0);
+  EXPECT_EQ(p.outstanding(), 0);
+  EXPECT_DOUBLE_EQ(p.UtilizationNorm(0.0), 0.0);
+}
+
+TEST(ProviderTest, EnqueueComputesFinishFromCapacity) {
+  Provider p(0, FastProvider());  // capacity 2 => cost 4 takes 2s
+  const double finish = p.Enqueue(10.0, 4.0);
+  EXPECT_DOUBLE_EQ(finish, 12.0);
+  EXPECT_EQ(p.outstanding(), 1);
+  EXPECT_DOUBLE_EQ(p.Backlog(10.0), 2.0);
+}
+
+TEST(ProviderTest, FifoQueueingAccumulates) {
+  Provider p(0, FastProvider());
+  EXPECT_DOUBLE_EQ(p.Enqueue(0.0, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Enqueue(0.0, 4.0), 4.0);  // waits for the first
+  EXPECT_DOUBLE_EQ(p.Backlog(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.Backlog(3.0), 1.0);  // drains over time
+}
+
+TEST(ProviderTest, EnqueueAfterIdleGapStartsFresh) {
+  Provider p(0, FastProvider());
+  p.Enqueue(0.0, 2.0);  // finishes at 1.0
+  const double finish = p.Enqueue(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(finish, 6.0);
+}
+
+TEST(ProviderTest, ExpectedCompletionAddsOwnProcessing) {
+  Provider p(0, FastProvider());
+  p.Enqueue(0.0, 4.0);  // backlog 2s
+  EXPECT_DOUBLE_EQ(p.ExpectedCompletion(0.0, 6.0), 2.0 + 3.0);
+}
+
+TEST(ProviderTest, OnInstanceFinishedTracksWork) {
+  Provider p(0, FastProvider());
+  p.Enqueue(0.0, 4.0);
+  p.OnInstanceFinished(4.0);
+  EXPECT_EQ(p.outstanding(), 0);
+  EXPECT_DOUBLE_EQ(p.busy_seconds(), 2.0);
+  EXPECT_EQ(p.instances_performed(), 1);
+}
+
+TEST(ProviderTest, DropQueueClearsBacklogAndBumpsEpoch) {
+  Provider p(0, FastProvider());
+  p.Enqueue(0.0, 10.0);
+  const uint64_t epoch_before = p.queue_epoch();
+  p.DropQueue(1.0);
+  EXPECT_DOUBLE_EQ(p.Backlog(1.0), 0.0);
+  EXPECT_EQ(p.outstanding(), 0);
+  EXPECT_GT(p.queue_epoch(), epoch_before);
+}
+
+TEST(ProviderTest, UtilizationNormSaturates) {
+  Provider p(0, FastProvider());  // tau = 10
+  p.Enqueue(0.0, 20.0);           // backlog 10s -> norm 0.5
+  EXPECT_DOUBLE_EQ(p.UtilizationNorm(0.0), 0.5);
+  p.Enqueue(0.0, 1000.0);
+  EXPECT_LT(p.UtilizationNorm(0.0), 1.0);
+  EXPECT_GT(p.UtilizationNorm(0.0), 0.9);
+}
+
+TEST(ProviderTest, CanTreatDefaultsToAllClasses) {
+  Provider p(0, FastProvider());
+  EXPECT_TRUE(p.CanTreat(0));
+  EXPECT_TRUE(p.CanTreat(99));
+  p.RestrictClasses({1, 2});
+  EXPECT_TRUE(p.CanTreat(1));
+  EXPECT_FALSE(p.CanTreat(3));
+}
+
+TEST(ProviderTest, IntentionUsesPreferenceForConsumer) {
+  ProviderParams params = FastProvider();
+  params.policy_kind = model::ProviderPolicyKind::kPreferenceOnly;
+  Provider p(0, params);
+  p.preferences().Set(7, 0.9);
+  model::Query q;
+  q.consumer = 7;
+  EXPECT_DOUBLE_EQ(p.ComputeIntention(q, 0.0), 0.9);
+  q.consumer = 8;  // unknown consumer -> default preference 0
+  EXPECT_DOUBLE_EQ(p.ComputeIntention(q, 0.0), 0.0);
+}
+
+TEST(ProviderTest, UtilizationTradingIntentionDropsUnderLoad) {
+  ProviderParams params = FastProvider();
+  params.policy_kind = model::ProviderPolicyKind::kUtilizationTrading;
+  params.psi = 0.5;
+  Provider p(0, params);
+  p.preferences().Set(1, 0.8);
+  model::Query q;
+  q.consumer = 1;
+  const double idle_intention = p.ComputeIntention(q, 0.0);
+  p.Enqueue(0.0, 100.0);
+  const double busy_intention = p.ComputeIntention(q, 0.0);
+  EXPECT_GT(idle_intention, busy_intention);
+}
+
+TEST(ProviderDeathTest, InvalidParamsAbort) {
+  ProviderParams bad = FastProvider();
+  bad.capacity = 0;
+  EXPECT_DEATH(Provider(0, bad), "CHECK failed");
+  ProviderParams bad2 = FastProvider();
+  bad2.error_rate = 1.5;
+  EXPECT_DEATH(Provider(0, bad2), "CHECK failed");
+}
+
+// --- Consumer -------------------------------------------------------------------
+
+TEST(ConsumerTest, IntentionUsesPreferencePolicy) {
+  ConsumerParams params;
+  params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+  Consumer c(0, params);
+  c.preferences().Set(3, -0.7);
+  model::Query q;
+  q.consumer = 0;
+  EXPECT_DOUBLE_EQ(c.ComputeIntention(q, 3, 0.5, 1.0, 2.0), -0.7);
+}
+
+TEST(ConsumerTest, ReputationTradingReactsToReputation) {
+  ConsumerParams params;
+  params.policy_kind = model::ConsumerPolicyKind::kReputationTrading;
+  params.phi = 0.5;
+  Consumer c(0, params);
+  c.preferences().Set(3, 0.5);
+  model::Query q;
+  const double good = c.ComputeIntention(q, 3, 0.95, 1.0, 2.0);
+  const double bad = c.ComputeIntention(q, 3, 0.05, 1.0, 2.0);
+  EXPECT_GT(good, bad);
+}
+
+TEST(ConsumerTest, ActivityFlag) {
+  Consumer c(0, ConsumerParams{});
+  EXPECT_TRUE(c.active());
+  c.set_active(false);
+  EXPECT_FALSE(c.active());
+}
+
+TEST(ConsumerTest, IssueCompleteCounters) {
+  Consumer c(0, ConsumerParams{});
+  c.OnQueryIssued();
+  c.OnQueryIssued();
+  c.OnQueryCompleted();
+  EXPECT_EQ(c.queries_issued(), 2);
+  EXPECT_EQ(c.queries_completed(), 1);
+}
+
+TEST(ConsumerDeathTest, InvalidNResultsAborts) {
+  ConsumerParams params;
+  params.n_results = 0;
+  EXPECT_DEATH(Consumer(0, params), "CHECK failed");
+}
+
+// --- Registry -------------------------------------------------------------------
+
+TEST(RegistryTest, AssignsDenseIds) {
+  Registry r;
+  EXPECT_EQ(r.AddProvider(FastProvider()), 0);
+  EXPECT_EQ(r.AddProvider(FastProvider()), 1);
+  EXPECT_EQ(r.AddConsumer(ConsumerParams{}), 0);
+  EXPECT_EQ(r.provider_count(), 2u);
+  EXPECT_EQ(r.consumer_count(), 1u);
+}
+
+TEST(RegistryTest, ProvidersForFiltersDeadProviders) {
+  Registry r;
+  r.AddProvider(FastProvider());
+  r.AddProvider(FastProvider());
+  r.AddProvider(FastProvider());
+  r.provider(1).set_alive(false);
+  model::Query q;
+  const auto pq = r.ProvidersFor(q);
+  EXPECT_EQ(pq, (std::vector<model::ProviderId>{0, 2}));
+}
+
+TEST(RegistryTest, ProvidersForFiltersByClass) {
+  Registry r;
+  r.AddProvider(FastProvider());
+  r.AddProvider(FastProvider());
+  r.provider(0).RestrictClasses({5});
+  model::Query q;
+  q.query_class = 7;
+  EXPECT_EQ(r.ProvidersFor(q), (std::vector<model::ProviderId>{1}));
+  q.query_class = 5;
+  EXPECT_EQ(r.ProvidersFor(q).size(), 2u);
+}
+
+TEST(RegistryTest, CapacityAccounting) {
+  Registry r;
+  ProviderParams a = FastProvider();
+  a.capacity = 1.0;
+  ProviderParams b = FastProvider();
+  b.capacity = 3.0;
+  r.AddProvider(a);
+  r.AddProvider(b);
+  EXPECT_DOUBLE_EQ(r.TotalCapacity(), 4.0);
+  EXPECT_DOUBLE_EQ(r.AliveCapacity(), 4.0);
+  r.provider(1).set_alive(false);
+  EXPECT_DOUBLE_EQ(r.AliveCapacity(), 1.0);
+  EXPECT_EQ(r.alive_provider_count(), 1u);
+}
+
+TEST(RegistryTest, ActiveConsumerCount) {
+  Registry r;
+  r.AddConsumer(ConsumerParams{});
+  r.AddConsumer(ConsumerParams{});
+  EXPECT_EQ(r.active_consumer_count(), 2u);
+  r.consumer(0).set_active(false);
+  EXPECT_EQ(r.active_consumer_count(), 1u);
+}
+
+TEST(RegistryDeathTest, OutOfRangeLookupAborts) {
+  Registry r;
+  r.AddProvider(FastProvider());
+  EXPECT_DEATH(r.provider(5), "CHECK failed");
+  EXPECT_DEATH(r.consumer(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace sbqa::core

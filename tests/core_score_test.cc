@@ -1,0 +1,189 @@
+// Tests for Definition 3 (provider score) and Equation 2 (adaptive omega).
+
+#include "core/score.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sbqa::core {
+namespace {
+
+// --- Definition 3 -------------------------------------------------------------
+
+TEST(ScoreTest, PositiveBranchGeometricMean) {
+  // omega = 0.5: score = sqrt(PI * CI).
+  EXPECT_NEAR(ProviderScore(0.25, 1.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(ProviderScore(0.5, 0.5, 0.5), 0.5, 1e-12);
+}
+
+TEST(ScoreTest, OmegaOneUsesProviderOnly) {
+  EXPECT_NEAR(ProviderScore(0.7, 0.2, 1.0), 0.7, 1e-12);
+}
+
+TEST(ScoreTest, OmegaZeroUsesConsumerOnly) {
+  EXPECT_NEAR(ProviderScore(0.7, 0.2, 0.0), 0.2, 1e-12);
+}
+
+TEST(ScoreTest, NegativeBranchWhenProviderUnwilling) {
+  // PI <= 0 lands in the negative branch regardless of CI.
+  EXPECT_LT(ProviderScore(-0.5, 0.9, 0.5), 0.0);
+  EXPECT_LT(ProviderScore(0.0, 0.9, 0.5), 0.0);
+}
+
+TEST(ScoreTest, NegativeBranchWhenConsumerUnwilling) {
+  EXPECT_LT(ProviderScore(0.9, -0.5, 0.5), 0.0);
+  EXPECT_LT(ProviderScore(0.9, 0.0, 0.5), 0.0);
+}
+
+TEST(ScoreTest, NegativeBranchExactValue) {
+  // PI = -1, CI = -1, omega = 0.5, eps = 1:
+  // -( (1+1+1)^0.5 * (1+1+1)^0.5 ) = -3.
+  EXPECT_NEAR(ProviderScore(-1.0, -1.0, 0.5, 1.0), -3.0, 1e-12);
+}
+
+TEST(ScoreTest, AnyPositivePairBeatsAnyNegativePair) {
+  // The smallest positive-branch score is still greater than the largest
+  // negative-branch score (which is at most -(eps^1) < 0).
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double omega = rng.NextDouble();
+    const double pos = ProviderScore(rng.Uniform(1e-6, 1),
+                                     rng.Uniform(1e-6, 1), omega);
+    const double neg = ProviderScore(rng.Uniform(-1, 0),
+                                     rng.Uniform(-1, 1), omega);
+    ASSERT_GT(pos, neg);
+  }
+}
+
+TEST(ScoreTest, MonotoneInProviderIntentionOnPositiveBranch) {
+  double prev = 0;
+  for (double pi = 0.1; pi <= 1.0001; pi += 0.1) {
+    const double s = ProviderScore(pi, 0.5, 0.6);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ScoreTest, MonotoneInConsumerIntentionOnNegativeBranch) {
+  // Less hostile consumer intention -> less negative score.
+  double prev = -1e9;
+  for (double ci = -1.0; ci <= 0.0001; ci += 0.1) {
+    const double s = ProviderScore(-0.5, ci, 0.5);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ScoreTest, EpsilonKeepsNegativeBranchAwayFromZero) {
+  // With intention = 1 on one side, the (1 - PI) term vanishes; epsilon
+  // keeps the magnitude strictly positive.
+  const double s = ProviderScore(1.0, -0.5, 0.5, 0.01);
+  EXPECT_LT(s, 0.0);
+  EXPECT_GT(std::abs(s), 0.0);
+}
+
+TEST(ScoreTest, EpsilonScalesNegativeBranchMagnitude) {
+  const double small = std::abs(ProviderScore(-0.5, -0.5, 0.5, 0.1));
+  const double large = std::abs(ProviderScore(-0.5, -0.5, 0.5, 1.0));
+  EXPECT_LT(small, large);
+}
+
+TEST(ScoreTest, InputsClampedToSignedUnitRange) {
+  EXPECT_NEAR(ProviderScore(5.0, 5.0, 0.5), ProviderScore(1.0, 1.0, 0.5),
+              1e-12);
+}
+
+TEST(ScoreDeathTest, NonPositiveEpsilonAborts) {
+  EXPECT_DEATH(ProviderScore(0.5, 0.5, 0.5, 0.0), "CHECK failed");
+}
+
+// --- Equation 2 -----------------------------------------------------------------
+
+TEST(AdaptiveOmegaTest, EqualSatisfactionsGiveHalf) {
+  EXPECT_DOUBLE_EQ(AdaptiveOmega(0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(AdaptiveOmega(0.0, 0.0), 0.5);
+}
+
+TEST(AdaptiveOmegaTest, SatisfiedConsumerShiftsWeightToProvider) {
+  // Consumer satisfied, provider not: omega -> 1 (provider's intention
+  // dominates the score).
+  EXPECT_DOUBLE_EQ(AdaptiveOmega(1.0, 0.0), 1.0);
+  EXPECT_GT(AdaptiveOmega(0.8, 0.3), 0.5);
+}
+
+TEST(AdaptiveOmegaTest, SatisfiedProviderShiftsWeightToConsumer) {
+  EXPECT_DOUBLE_EQ(AdaptiveOmega(0.0, 1.0), 0.0);
+  EXPECT_LT(AdaptiveOmega(0.3, 0.8), 0.5);
+}
+
+TEST(AdaptiveOmegaTest, ExactFormula) {
+  // ((0.6 - 0.2) + 1)/2 = 0.7.
+  EXPECT_DOUBLE_EQ(AdaptiveOmega(0.6, 0.2), 0.7);
+}
+
+TEST(AdaptiveOmegaTest, ClampsPathologicalInputs) {
+  EXPECT_EQ(AdaptiveOmega(2.0, 0.0), 1.0);
+  EXPECT_EQ(AdaptiveOmega(0.0, 2.0), 0.0);
+}
+
+TEST(AdaptiveOmegaTest, AlwaysInUnitInterval) {
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double omega = AdaptiveOmega(rng.NextDouble(), rng.NextDouble());
+    ASSERT_GE(omega, 0.0);
+    ASSERT_LE(omega, 1.0);
+  }
+}
+
+// --- Ranking --------------------------------------------------------------------
+
+TEST(RankTest, SortsByScoreDescending) {
+  std::vector<ScoredProvider> scored(3);
+  scored[0] = {.provider = 1, .score = 0.2};
+  scored[1] = {.provider = 2, .score = 0.9};
+  scored[2] = {.provider = 3, .score = -1.5};
+  RankByScore(&scored);
+  EXPECT_EQ(scored[0].provider, 2);
+  EXPECT_EQ(scored[1].provider, 1);
+  EXPECT_EQ(scored[2].provider, 3);
+}
+
+TEST(RankTest, TiesBrokenByProviderId) {
+  std::vector<ScoredProvider> scored(3);
+  scored[0] = {.provider = 9, .score = 0.5};
+  scored[1] = {.provider = 2, .score = 0.5};
+  scored[2] = {.provider = 5, .score = 0.5};
+  RankByScore(&scored);
+  EXPECT_EQ(scored[0].provider, 2);
+  EXPECT_EQ(scored[1].provider, 5);
+  EXPECT_EQ(scored[2].provider, 9);
+}
+
+// Property sweep: the ranking induced by Definition 3 at a fixed omega is
+// consistent with dominance — improving both intentions never drops rank.
+class ScoreDominanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScoreDominanceSweep, DominanceRespected) {
+  const double omega = GetParam();
+  util::Rng rng(static_cast<uint64_t>(omega * 1000) + 17);
+  for (int i = 0; i < 2000; ++i) {
+    const double pi = rng.Uniform(-1, 1);
+    const double ci = rng.Uniform(-1, 1);
+    double dpi = rng.Uniform(0, 1.0 - pi < 0 ? 0 : 1.0 - pi);
+    double dci = rng.Uniform(0, 1.0 - ci < 0 ? 0 : 1.0 - ci);
+    const double base = ProviderScore(pi, ci, omega);
+    const double better = ProviderScore(pi + dpi, ci + dci, omega);
+    ASSERT_GE(better, base - 1e-12)
+        << "pi=" << pi << " ci=" << ci << " dpi=" << dpi << " dci=" << dci;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, ScoreDominanceSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace sbqa::core

@@ -1,0 +1,219 @@
+// Tests for the discrete-event scheduler.
+
+#include "sim/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sbqa::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.Schedule(3.0, [&] { order.push_back(3); });
+  s.Schedule(1.0, [&] { order.push_back(1); });
+  s.Schedule(2.0, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(SchedulerTest, SimultaneousEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, StepAdvancesClockToEventTime) {
+  Scheduler s;
+  s.Schedule(5.0, [] {});
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(s.now(), 5.0);
+  EXPECT_FALSE(s.Step());
+  EXPECT_EQ(s.now(), 5.0);  // empty step does not advance
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Scheduler s;
+  EXPECT_EQ(s.RunUntil(10.0), 0u);
+  EXPECT_EQ(s.now(), 10.0);
+}
+
+TEST(SchedulerTest, RunUntilExecutesOnlyDueEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.Schedule(1.0, [&] { ++fired; });
+  s.Schedule(2.0, [&] { ++fired; });
+  s.Schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(s.RunUntil(2.5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 2.5);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilBoundaryIsInclusive) {
+  Scheduler s;
+  int fired = 0;
+  s.Schedule(2.0, [&] { ++fired; });
+  s.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, RunForIsRelative) {
+  Scheduler s;
+  s.RunUntil(5.0);
+  int fired = 0;
+  s.Schedule(1.0, [&] { ++fired; });
+  s.RunFor(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 7.0);
+}
+
+TEST(SchedulerTest, SelfSchedulingCallbacksAreSafe) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count < 100) s.Schedule(1.0, tick);
+  };
+  s.Schedule(1.0, tick);
+  s.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.now(), 100.0);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.Schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SchedulerTest, CancelTwiceFails) {
+  Scheduler s;
+  const EventId id = s.Schedule(1.0, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SchedulerTest, CancelUnknownIdFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.Cancel(0));
+  EXPECT_FALSE(s.Cancel(12345));
+}
+
+TEST(SchedulerTest, CancelledEventsDontCountAsPending) {
+  Scheduler s;
+  const EventId id = s.Schedule(1.0, [] {});
+  s.Schedule(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.Cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
+  Scheduler s;
+  double fired_at = -1;
+  s.ScheduleAt(4.0, [&] { fired_at = s.now(); });
+  s.Run();
+  EXPECT_EQ(fired_at, 4.0);
+}
+
+TEST(SchedulerTest, RunRespectsMaxEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    ++count;
+    s.Schedule(1.0, tick);
+  };
+  s.Schedule(1.0, tick);
+  s.Run(50);
+  EXPECT_EQ(count, 50);
+}
+
+TEST(SchedulerTest, RequestStopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count == 10) {
+      s.RequestStop();
+    } else {
+      s.Schedule(1.0, tick);
+    }
+  };
+  s.Schedule(1.0, tick);
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SchedulerTest, ExecutedCountAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.Schedule(1.0, [] {});
+  s.Run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(SchedulerTest, ZeroDelayEventRunsAtCurrentTime) {
+  Scheduler s;
+  s.RunUntil(3.0);
+  double fired_at = -1;
+  s.Schedule(0.0, [&] { fired_at = s.now(); });
+  s.Run();
+  EXPECT_EQ(fired_at, 3.0);
+}
+
+TEST(SchedulerDeathTest, NegativeDelayAborts) {
+  Scheduler s;
+  EXPECT_DEATH(s.Schedule(-1.0, [] {}), "CHECK failed");
+}
+
+TEST(SchedulerDeathTest, ScheduleInThePastAborts) {
+  Scheduler s;
+  s.RunUntil(5.0);
+  EXPECT_DEATH(s.ScheduleAt(4.0, [] {}), "CHECK failed");
+}
+
+// Property: interleaved schedule/cancel/run sequences preserve ordering.
+class SchedulerOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerOrderSweep, TimestampsNeverDecrease) {
+  Scheduler s;
+  std::vector<double> stamps;
+  // A little deterministic pseudo-random pattern per param.
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u + 1;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % 1000;
+  };
+  for (int i = 0; i < 200; ++i) {
+    const double when = static_cast<double>(next()) / 10.0;
+    const EventId id =
+        s.Schedule(when, [&stamps, &s] { stamps.push_back(s.now()); });
+    if (next() % 5 == 0) s.Cancel(id);
+  }
+  s.Run();
+  for (size_t i = 1; i < stamps.size(); ++i) {
+    ASSERT_LE(stamps[i - 1], stamps[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SchedulerOrderSweep,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sbqa::sim

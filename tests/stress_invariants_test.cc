@@ -1,0 +1,159 @@
+// Failure-injection stress test: the messiest supported configuration —
+// dissatisfaction departures, availability churn, runtime joins, malicious
+// hosts, bursty arrivals — across allocation methods and seeds, with an
+// observer validating protocol invariants on every single outcome.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "experiments/demo_scenarios.h"
+#include "experiments/runner.h"
+
+namespace sbqa::experiments {
+namespace {
+
+/// Checks every mediation and outcome for protocol invariants.
+class InvariantObserver : public core::MediationObserver {
+ public:
+  void OnMediation(const model::Query& query,
+                   const core::AllocationDecision& decision,
+                   double now) override {
+    ++mediations_;
+    ASSERT_GE(now, query.issued_at);
+    // Selected is unique and within the consulted set (when one is given).
+    std::set<model::ProviderId> selected(decision.selected.begin(),
+                                         decision.selected.end());
+    ASSERT_EQ(selected.size(), decision.selected.size());
+    ASSERT_LE(decision.selected.size(),
+              static_cast<size_t>(query.n_results));
+    if (!decision.consulted.empty()) {
+      const std::set<model::ProviderId> consulted(decision.consulted.begin(),
+                                                  decision.consulted.end());
+      for (model::ProviderId p : decision.selected) {
+        ASSERT_TRUE(consulted.contains(p));
+      }
+    }
+    for (double v : decision.provider_intentions) {
+      ASSERT_GE(v, -1.0);
+      ASSERT_LE(v, 1.0);
+    }
+    for (double v : decision.consumer_intentions) {
+      ASSERT_GE(v, -1.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+
+  void OnQueryCompleted(const core::QueryOutcome& outcome) override {
+    ++completions_;
+    ASSERT_GE(outcome.response_time, 0.0);
+    ASSERT_GE(outcome.completed_at, outcome.query.issued_at);
+    ASSERT_GE(outcome.satisfaction, 0.0);
+    ASSERT_LE(outcome.satisfaction, 1.0);
+    ASSERT_GE(outcome.adequation, 0.0);
+    ASSERT_LE(outcome.adequation, 1.0);
+    ASSERT_GE(outcome.allocation_satisfaction, 0.0);
+    ASSERT_LE(outcome.allocation_satisfaction, 1.0);
+    ASSERT_EQ(outcome.results_received,
+              static_cast<int>(outcome.performers.size()));
+    ASSERT_LE(outcome.valid_results, outcome.results_received);
+    ASSERT_LE(outcome.results_received, outcome.results_required);
+    const std::set<model::ProviderId> performers(outcome.performers.begin(),
+                                                 outcome.performers.end());
+    ASSERT_EQ(performers.size(), outcome.performers.size());
+    if (outcome.unallocated) {
+      ASSERT_EQ(outcome.results_received, 0);
+      ASSERT_EQ(outcome.satisfaction, 0.0);
+    }
+  }
+
+  int64_t mediations() const { return mediations_; }
+  int64_t completions() const { return completions_; }
+
+ private:
+  int64_t mediations_ = 0;
+  int64_t completions_ = 0;
+};
+
+ScenarioConfig ChaosConfig(uint64_t seed, MethodSpec method) {
+  ScenarioConfig config = WithAutonomousEnvironment(
+      BaseDemoConfig(seed, /*volunteers=*/60, /*duration=*/300.0));
+  config.method = std::move(method);
+  config.departure.grace_period = 80.0;
+  config.churn.enabled = true;
+  config.churn.mean_online = 90.0;
+  config.churn.mean_offline = 25.0;
+  config.churn.initial_online_fraction = 0.8;
+  config.joins.enabled = true;
+  config.joins.rate = 0.1;
+  config.joins.max_joins = 60;
+  config.population.volunteers.malicious_fraction = 0.15;
+  config.population.volunteers.error_rate = 0.5;
+  return config;
+}
+
+void RunChaos(uint64_t seed, MethodSpec method) {
+  InvariantObserver invariants;
+  ScenarioConfig config = ChaosConfig(seed, std::move(method));
+  config.observers.push_back(&invariants);
+  const RunResult result = RunScenario(config);
+
+  // Nothing is ever lost: every submitted query is finalized exactly once.
+  EXPECT_EQ(result.summary.queries_finalized,
+            result.summary.queries_submitted);
+  EXPECT_EQ(invariants.completions(), result.summary.queries_finalized);
+  // A mediation happened for every query that found a non-empty Pq.
+  EXPECT_LE(invariants.mediations(), result.summary.queries_submitted);
+  EXPECT_GT(invariants.completions(), 0);
+  // All summary quantities bounded.
+  EXPECT_GE(result.summary.fully_served_fraction, 0.0);
+  EXPECT_LE(result.summary.fully_served_fraction, 1.0);
+  EXPECT_GE(result.summary.validated_fraction, 0.0);
+  EXPECT_LE(result.summary.validated_fraction, 1.0);
+  // Per-provider final-state sanity.
+  for (const auto& p : result.providers) {
+    EXPECT_GE(p.satisfaction, 0.0);
+    EXPECT_LE(p.satisfaction, 1.0);
+    EXPECT_GE(p.performed, 0);
+    EXPECT_GE(p.busy_fraction, 0.0);
+    EXPECT_LE(p.busy_fraction, 1.0 + 1e-9);
+  }
+}
+
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ChaosSweep, InvariantsHoldUnderChaos) {
+  const auto [seed, method_index] = GetParam();
+  std::vector<MethodSpec> methods = {
+      MethodSpec::Sbqa(DefaultSbqaParams()), MethodSpec::Capacity(),
+      MethodSpec::Economic(), MethodSpec::Qlb(), MethodSpec::Random()};
+  RunChaos(seed, methods[static_cast<size_t>(method_index)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMethods, ChaosSweep,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 7, 42, 1234),
+                       ::testing::Range(0, 5)));
+
+TEST(ChaosDeterminismTest, ChaoticRunsAreStillReproducible) {
+  InvariantObserver obs1, obs2;
+  ScenarioConfig c1 = ChaosConfig(99, MethodSpec::Sbqa(DefaultSbqaParams()));
+  c1.observers.push_back(&obs1);
+  ScenarioConfig c2 = ChaosConfig(99, MethodSpec::Sbqa(DefaultSbqaParams()));
+  c2.observers.push_back(&obs2);
+  const RunResult a = RunScenario(c1);
+  const RunResult b = RunScenario(c2);
+  EXPECT_EQ(a.summary.queries_finalized, b.summary.queries_finalized);
+  EXPECT_EQ(a.summary.provider_departures, b.summary.provider_departures);
+  EXPECT_EQ(a.summary.provider_offline_events,
+            b.summary.provider_offline_events);
+  EXPECT_EQ(a.summary.provider_joins, b.summary.provider_joins);
+  EXPECT_DOUBLE_EQ(a.summary.mean_response_time, b.summary.mean_response_time);
+  EXPECT_DOUBLE_EQ(a.summary.consumer_satisfaction,
+                   b.summary.consumer_satisfaction);
+  EXPECT_EQ(obs1.mediations(), obs2.mediations());
+}
+
+}  // namespace
+}  // namespace sbqa::experiments

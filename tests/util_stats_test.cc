@@ -1,0 +1,217 @@
+// Tests for streaming statistics, histograms and fairness indices.
+
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sbqa::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.25);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(42);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(10, 3);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1);
+  a.Add(2);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);  // copy
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, CvIsStddevOverMean) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_NEAR(s.cv(), s.stddev() / 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(5);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, CountAndMean) {
+  Histogram h(0, 10, 10);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, PercentilesOfUniformData) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 10000; ++i) h.Add(i % 100 + 0.5);
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0.95), 95.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0.0), 0.5, 1.5);
+  EXPECT_NEAR(h.Percentile(1.0), 99.5, 1.5);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h(0, 1, 4);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, OverflowAndUnderflowTracked) {
+  Histogram h(0, 10, 5);
+  h.Add(-5);
+  h.Add(100);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 100.0);
+  // Percentile endpoints fall back to true min/max for the outer cells.
+  EXPECT_EQ(h.Percentile(0.0), -5.0);
+  EXPECT_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  Histogram a(0, 10, 10), b(0, 10, 10);
+  a.Add(1);
+  b.Add(9);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h(0, 10, 10);
+  h.Add(2);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(GiniTest, AllEqualIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, MaximallyConcentrated) {
+  // One participant holds everything: Gini -> (n-1)/n.
+  EXPECT_NEAR(GiniCoefficient({0, 0, 0, 10}), 0.75, 1e-12);
+}
+
+TEST(GiniTest, EmptyAndZeroInputs) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0, 0, 0}), 0.0);
+}
+
+TEST(GiniTest, KnownTwoValueCase) {
+  // {1, 3}: Gini = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1, 3}), 0.25, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  const double g1 = GiniCoefficient({1, 2, 3, 4});
+  const double g2 = GiniCoefficient({10, 20, 30, 40});
+  EXPECT_NEAR(g1, g2, 1e-12);
+}
+
+TEST(JainTest, AllEqualIsOne) {
+  EXPECT_NEAR(JainFairnessIndex({3, 3, 3}), 1.0, 1e-12);
+}
+
+TEST(JainTest, SingleUserOfN) {
+  // One of n users hogging everything: index = 1/n.
+  EXPECT_NEAR(JainFairnessIndex({0, 0, 0, 8}), 0.25, 1e-12);
+}
+
+TEST(JainTest, EmptyIsOne) { EXPECT_EQ(JainFairnessIndex({}), 1.0); }
+
+TEST(MeanTest, Basic) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+}
+
+TEST(EwmaTest, FirstValueInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstant) {
+  Ewma e(0.2);
+  e.Add(0);
+  for (int i = 0; i < 100; ++i) e.Add(10);
+  EXPECT_NEAR(e.value(), 10.0, 0.01);
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.Add(1);
+  e.Add(7);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+// Property sweep: Gini in [0,1), Jain in (0,1] for random non-negative data.
+class FairnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FairnessSweep, IndicesStayInRange) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  const int n = 1 + static_cast<int>(rng.UniformInt(0, 63));
+  for (int i = 0; i < n; ++i) values.push_back(rng.Uniform(0, 100));
+  const double gini = GiniCoefficient(values);
+  const double jain = JainFairnessIndex(values);
+  EXPECT_GE(gini, 0.0);
+  EXPECT_LT(gini, 1.0);
+  EXPECT_GT(jain, 0.0);
+  EXPECT_LE(jain, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairnessSweep,
+                         ::testing::Range<uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace sbqa::util
