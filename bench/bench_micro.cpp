@@ -131,9 +131,10 @@ void BM_FullMediationDecision(benchmark::State& state) {
   query.cost = 5;
 
   core::SbqaMethod method(core::SbqaParams{});
+  core::CandidateSet candidate_set(&candidates);
   core::AllocationContext ctx;
   ctx.query = &query;
-  ctx.candidates = &candidates;
+  ctx.candidates = &candidate_set;
   ctx.mediator = &mediator;
   ctx.now = 0;
   for (auto _ : state) {

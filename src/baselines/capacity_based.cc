@@ -9,7 +9,7 @@ namespace sbqa::baselines {
 
 core::AllocationDecision CapacityBasedMethod::Allocate(
     const core::AllocationContext& ctx) {
-  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
   const std::vector<double> backlogs = ctx.mediator->BacklogsOf(candidates);
 
   std::vector<size_t> order(candidates.size());

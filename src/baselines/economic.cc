@@ -33,7 +33,7 @@ double EconomicMethod::BidOf(const core::AllocationContext& ctx,
 
 core::AllocationDecision EconomicMethod::Allocate(
     const core::AllocationContext& ctx) {
-  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
 
   // Budget per result: what the query would cost on a nominal-capacity,
   // idle provider, scaled by the consumer's willingness to pay.

@@ -9,7 +9,7 @@ namespace sbqa::baselines {
 
 core::AllocationDecision InterestOnlyMethod::Allocate(
     const core::AllocationContext& ctx) {
-  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
   const core::Registry& registry = ctx.mediator->registry();
   const core::Consumer& consumer =
       registry.consumer(ctx.query->consumer);

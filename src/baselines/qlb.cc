@@ -9,7 +9,7 @@ namespace sbqa::baselines {
 
 core::AllocationDecision QlbMethod::Allocate(
     const core::AllocationContext& ctx) {
-  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
   // Expected completion through the mediator's (possibly stale) load view.
   const std::vector<double> ect =
       ctx.mediator->ExpectedCompletionsOf(*ctx.query, candidates);

@@ -8,9 +8,11 @@ namespace sbqa::baselines {
 
 core::AllocationDecision RoundRobinMethod::Allocate(
     const core::AllocationContext& ctx) {
-  // Candidates are produced in ascending id order by the registry; rotate a
-  // persistent cursor across calls.
-  const std::vector<model::ProviderId>& candidates = *ctx.candidates;
+  // Rotation needs a stable ascending order; All() yields arbitrary index
+  // order, so sort a local copy (round-robin is the only order-sensitive
+  // method, so it alone pays for the ordering).
+  std::vector<model::ProviderId> candidates = ctx.candidates->All();
+  std::sort(candidates.begin(), candidates.end());
   const size_t n = std::min(candidates.size(),
                             static_cast<size_t>(ctx.query->n_results));
   core::AllocationDecision decision;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/candidate_index.h"
 #include "model/query.h"
 #include "model/types.h"
 
@@ -23,7 +24,9 @@ struct AllocationContext {
   /// The query being allocated.
   const model::Query* query = nullptr;
   /// The paper's Pq: alive providers able to treat the query. Non-empty.
-  const std::vector<model::ProviderId>* candidates = nullptr;
+  /// Sampling methods draw from it in O(k); full-scan methods materialize
+  /// it via All().
+  const CandidateSet* candidates = nullptr;
   /// Back-pointer for provider state, intentions, satisfaction and RNG.
   Mediator* mediator = nullptr;
   /// Current simulation time.

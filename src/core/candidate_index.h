@@ -1,0 +1,166 @@
+#ifndef SBQA_CORE_CANDIDATE_INDEX_H_
+#define SBQA_CORE_CANDIDATE_INDEX_H_
+
+/// \file
+/// Incrementally maintained candidate index: answers the mediation hot
+/// path's "who can treat q, and give me k of them at random" in time that
+/// depends on k — not on the provider population size |P|.
+///
+/// The paper's whole scalability argument (§III) is that KnBest only ever
+/// touches a fixed-size random sample K of Pq. A full registry scan per
+/// query would silently re-introduce the O(|P|) cost that sampling is
+/// supposed to avoid, so the index keeps the eligible-provider sets hot at
+/// all times, updated in O(1) from provider lifecycle events (departure,
+/// churn offline/online, class restriction, runtime join) instead of being
+/// recomputed per query:
+///
+///   - `alive`        every alive provider (sweeps, O(1) counts/capacity);
+///   - `generalists`  alive providers with no class restriction;
+///   - `by_class[c]`  alive providers restricted to a set containing c.
+///
+/// Pq for a query of class c is the disjoint union generalists ∪
+/// by_class[c], so membership counts are O(1) and a uniform k-sample is
+/// drawn in O(k) straight off the two dense arrays without materializing
+/// the union. Single-threaded, like the simulator that owns it.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/provider.h"
+#include "model/types.h"
+#include "util/rng.h"
+
+namespace sbqa::core {
+
+/// The registry's always-current view of provider eligibility. Fed by
+/// Provider eligibility notifications (via Registry); read by the mediator
+/// on every query.
+class CandidateIndex {
+ public:
+  CandidateIndex() = default;
+  CandidateIndex(const CandidateIndex&) = delete;
+  CandidateIndex& operator=(const CandidateIndex&) = delete;
+
+  /// Registers a provider (id must be dense and new). Indexes it right away
+  /// when it is alive.
+  void OnProviderAdded(const Provider& provider);
+
+  /// Re-evaluates one provider's memberships after any eligibility change
+  /// (liveness toggle, departure, class restriction). O(#classes) ≈ O(1).
+  void OnProviderChanged(const Provider& provider);
+
+  /// Number of alive providers. O(1).
+  size_t alive_count() const { return alive_.items.size(); }
+
+  /// Sum of capacities of alive providers, maintained incrementally (and
+  /// periodically re-summed exactly, so floating-point drift from long
+  /// churn histories cannot accumulate). O(1).
+  double alive_capacity() const {
+    return alive_capacity_ > 0 ? alive_capacity_ : 0.0;
+  }
+
+  /// |Pq| for a query of class `query_class`. O(1).
+  size_t CountFor(model::QueryClassId query_class) const;
+
+  /// Replaces *out with Pq for `query_class` (index order, not sorted).
+  void CollectFor(model::QueryClassId query_class,
+                  std::vector<model::ProviderId>* out) const;
+
+  /// Replaces *out with every alive provider id (index order).
+  void CollectAlive(std::vector<model::ProviderId>* out) const;
+
+  /// Replaces *out with min(k, |Pq|) distinct providers drawn uniformly at
+  /// random from Pq. O(k) for k << |Pq|, O(|Pq|) when k covers most of it
+  /// (in which case the result is a full shuffle of Pq).
+  void SampleFor(model::QueryClassId query_class, size_t k, util::Rng& rng,
+                 std::vector<model::ProviderId>* out) const;
+
+  /// Whether `provider` is currently in Pq for `query_class`. O(1).
+  bool ContainsFor(model::QueryClassId query_class,
+                   model::ProviderId provider) const;
+
+ private:
+  /// Unordered id set with O(1) insert/erase (swap-with-last) and a dense
+  /// `items` array for O(1) random access during sampling.
+  struct DenseIdSet {
+    std::vector<model::ProviderId> items;
+    std::unordered_map<model::ProviderId, size_t> pos;
+
+    bool contains(model::ProviderId id) const { return pos.contains(id); }
+    void Insert(model::ProviderId id);
+    void Erase(model::ProviderId id);
+  };
+
+  /// What the index currently believes about one provider; used to undo
+  /// stale memberships before re-inserting on change.
+  struct Membership {
+    bool alive = false;
+    bool generalist = false;
+    /// Capacity credited to alive_capacity_ while alive (lets the index
+    /// re-sum exactly without re-touching Provider objects).
+    double capacity = 0;
+    /// Classes the provider is indexed under when restricted.
+    std::vector<model::QueryClassId> classes;
+  };
+
+  void RemoveMemberships(model::ProviderId id);
+  const DenseIdSet* ClassSet(model::QueryClassId query_class) const;
+
+  DenseIdSet alive_;
+  DenseIdSet generalists_;
+  std::unordered_map<model::QueryClassId, DenseIdSet> by_class_;
+  std::vector<Membership> members_;  ///< by provider id
+  double alive_capacity_ = 0;
+  /// Mutations since the last exact re-sum of alive_capacity_.
+  uint32_t capacity_updates_ = 0;
+  /// Reused by SampleFor (the index is single-threaded, like the simulator
+  /// that owns it) so sampling allocates nothing once warm.
+  mutable std::vector<size_t> sample_scratch_;
+};
+
+/// One mediation's candidate set Pq, as handed to allocation methods.
+///
+/// Index-backed in the real pipeline — size and uniform k-sampling never
+/// materialize the candidate list, so KnBest-style methods stay O(k) — with
+/// lazy materialization (into a caller-owned scratch buffer, in arbitrary
+/// but deterministic index order) for the full-scan baselines that
+/// genuinely need every candidate. Explicit-list mode exists for tests and
+/// benches that craft contexts by hand.
+class CandidateSet {
+ public:
+  /// Index-backed view. `scratch` backs lazy materialization and must
+  /// outlive the set; its previous contents are discarded on first All().
+  CandidateSet(const CandidateIndex* index, model::QueryClassId query_class,
+               std::vector<model::ProviderId>* scratch);
+
+  /// Explicit-list view (tests / crafted contexts); `list` must outlive the
+  /// set and is returned by All() verbatim.
+  explicit CandidateSet(const std::vector<model::ProviderId>* list);
+
+  /// |Pq|. O(1).
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// The full candidate list. Materialized lazily in O(|Pq|); only the
+  /// full-scan baselines pay this. Index-backed mode yields a
+  /// deterministic but arbitrary order — consumers that need a specific
+  /// order (e.g. round-robin rotation) sort their own copy.
+  const std::vector<model::ProviderId>& All() const;
+
+  /// Replaces *out with min(k, size()) distinct uniform candidates in O(k)
+  /// (O(size) when k covers most of the set).
+  void SampleUniform(size_t k, util::Rng& rng,
+                     std::vector<model::ProviderId>* out) const;
+
+ private:
+  const CandidateIndex* index_ = nullptr;
+  model::QueryClassId query_class_ = 0;
+  std::vector<model::ProviderId>* scratch_ = nullptr;
+  const std::vector<model::ProviderId>* list_ = nullptr;
+  mutable bool materialized_ = false;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_CANDIDATE_INDEX_H_

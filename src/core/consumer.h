@@ -37,6 +37,16 @@ struct ConsumerParams {
   std::string label;
 };
 
+class Consumer;
+
+/// Gets told whenever a consumer's activity flips, so the registry can keep
+/// its active-consumer count without rescanning the population.
+class ConsumerObserver {
+ public:
+  virtual ~ConsumerObserver() = default;
+  virtual void OnConsumerActivityChanged(const Consumer& consumer) = 0;
+};
+
 /// A consumer c ∈ C.
 class Consumer {
  public:
@@ -45,10 +55,17 @@ class Consumer {
   model::ConsumerId id() const { return id_; }
   const ConsumerParams& params() const { return params_; }
 
+  /// Activity-change subscriber (at most one: the owning registry).
+  void set_observer(ConsumerObserver* observer) { observer_ = observer; }
+
   /// Whether the consumer still uses the system (Scenario 2: a consumer
   /// stops issuing queries when dissatisfied).
   bool active() const { return active_; }
-  void set_active(bool active) { active_ = active; }
+  void set_active(bool active) {
+    if (active_ == active) return;
+    active_ = active;
+    if (observer_ != nullptr) observer_->OnConsumerActivityChanged(*this);
+  }
 
   /// Preferences towards providers, in [-1, 1].
   model::PreferenceProfile& preferences() { return preferences_; }
@@ -79,6 +96,7 @@ class Consumer {
  private:
   model::ConsumerId id_;
   ConsumerParams params_;
+  ConsumerObserver* observer_ = nullptr;
   bool active_ = true;
   model::PreferenceProfile preferences_;
   std::unique_ptr<model::ConsumerIntentionPolicy> policy_;

@@ -1,12 +1,81 @@
 #include "core/knbest.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "core/mediator.h"
 #include "util/check.h"
 
 namespace sbqa::core {
+
+namespace {
+
+/// Effective |K| for a candidate population of size n.
+size_t EffectiveK(const KnBestParams& params, size_t n) {
+  if (params.k_candidates == 0 || params.k_candidates >= n) return n;
+  return params.k_candidates;
+}
+
+/// Effective |Kn| for a sample of size k.
+size_t EffectiveKn(const KnBestParams& params, size_t k) {
+  if (params.kn_best == 0 || params.kn_best >= k) return k;
+  return params.kn_best;
+}
+
+}  // namespace
+
+void KeepKnLeastUtilized(const std::vector<model::ProviderId>& sample,
+                         const std::vector<double>& backlogs, size_t keep,
+                         util::Rng& rng,
+                         std::vector<KnBestScratch::Entry>* scratch,
+                         std::vector<model::ProviderId>* out) {
+  SBQA_CHECK_EQ(sample.size(), backlogs.size());
+  SBQA_CHECK(scratch != nullptr);
+  SBQA_CHECK(out != nullptr);
+  SBQA_CHECK_GT(keep, 0u);
+  SBQA_CHECK_LE(keep, sample.size());
+
+  // A fresh random key per entry makes equal-backlog ordering uniformly
+  // random regardless of how the sample was emitted — the same
+  // distribution the original shuffle + stable_sort produced.
+  scratch->clear();
+  scratch->reserve(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    scratch->push_back({backlogs[i], rng.Next(), static_cast<uint32_t>(i)});
+  }
+  const auto less = [](const KnBestScratch::Entry& a,
+                       const KnBestScratch::Entry& b) {
+    if (a.backlog != b.backlog) return a.backlog < b.backlog;
+    return a.tie < b.tie;
+  };
+  if (keep < scratch->size()) {
+    std::nth_element(scratch->begin(),
+                     scratch->begin() + static_cast<long>(keep) - 1,
+                     scratch->end(), less);
+  }
+  std::sort(scratch->begin(), scratch->begin() + static_cast<long>(keep),
+            less);
+  out->reserve(out->size() + keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out->push_back(sample[(*scratch)[i].index]);
+  }
+}
+
+void SelectKnBestFrom(const CandidateSet& candidates, Mediator& mediator,
+                      const KnBestParams& params, KnBestScratch* scratch,
+                      std::vector<model::ProviderId>* out) {
+  SBQA_CHECK(scratch != nullptr);
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  const size_t n = candidates.size();
+  if (n == 0) return;
+
+  const size_t k = EffectiveK(params, n);
+  candidates.SampleUniform(k, mediator.rng(), &scratch->k_sample);
+  mediator.BacklogsOf(scratch->k_sample, &scratch->backlogs);
+  KeepKnLeastUtilized(scratch->k_sample, scratch->backlogs,
+                      EffectiveKn(params, k), mediator.rng(),
+                      &scratch->entries, out);
+}
 
 std::vector<model::ProviderId> SelectKnBest(
     const std::vector<model::ProviderId>& candidates,
@@ -15,32 +84,26 @@ std::vector<model::ProviderId> SelectKnBest(
   SBQA_CHECK_EQ(candidates.size(), backlogs.size());
   if (candidates.empty()) return {};
 
-  // Step 1: the random sample K. Indices into `candidates` so the backlog
-  // array stays parallel.
-  std::vector<size_t> indices(candidates.size());
-  std::iota(indices.begin(), indices.end(), 0u);
-  const bool sample_all =
-      params.k_candidates == 0 || params.k_candidates >= candidates.size();
-  std::vector<size_t> k_set;
-  if (sample_all) {
-    // Shuffle so that backlog ties below resolve randomly instead of by id.
-    k_set = std::move(indices);
-    rng.Shuffle(&k_set);
-  } else {
-    k_set = rng.SampleWithoutReplacement(std::move(indices),
-                                         params.k_candidates);
+  // Step 1: uniform K-sample of positions into `candidates`, drawn in O(k)
+  // without materializing an index range.
+  const size_t k = EffectiveK(params, candidates.size());
+  std::vector<size_t> picked;
+  rng.SampleIndices(candidates.size(), k, &picked);
+
+  std::vector<model::ProviderId> sample;
+  std::vector<double> sample_backlogs;
+  sample.reserve(k);
+  sample_backlogs.reserve(k);
+  for (size_t index : picked) {
+    sample.push_back(candidates[index]);
+    sample_backlogs.push_back(backlogs[index]);
   }
 
-  // Step 2: keep the kn least-utilized of K. stable_sort preserves the
-  // random order among equal backlogs.
-  std::stable_sort(k_set.begin(), k_set.end(), [&backlogs](size_t a, size_t b) {
-    return backlogs[a] < backlogs[b];
-  });
-  size_t keep = params.kn_best == 0 ? k_set.size()
-                                    : std::min(params.kn_best, k_set.size());
+  // Step 2: the kn least utilized of K, random ties.
+  std::vector<KnBestScratch::Entry> entries;
   std::vector<model::ProviderId> kn;
-  kn.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) kn.push_back(candidates[k_set[i]]);
+  KeepKnLeastUtilized(sample, sample_backlogs, EffectiveKn(params, k), rng,
+                      &entries, &kn);
   return kn;
 }
 
@@ -49,10 +112,8 @@ AllocationDecision KnBestMethod::Allocate(const AllocationContext& ctx) {
   SBQA_CHECK(ctx.candidates != nullptr);
   SBQA_CHECK(ctx.mediator != nullptr);
 
-  const std::vector<double> backlogs =
-      ctx.mediator->BacklogsOf(*ctx.candidates);
-  std::vector<model::ProviderId> kn =
-      SelectKnBest(*ctx.candidates, backlogs, params_, ctx.mediator->rng());
+  std::vector<model::ProviderId> kn;
+  SelectKnBestFrom(*ctx.candidates, *ctx.mediator, params_, &scratch_, &kn);
 
   AllocationDecision decision;
   decision.consulted = kn;

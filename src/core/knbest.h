@@ -13,15 +13,25 @@
 /// random sample, kn = k ≈ pure random allocation, and anything in between
 /// trades herd-avoidance for load awareness. As a standalone baseline,
 /// KnBest allocates the query to n providers chosen at random within Kn.
+///
+/// Both phases run in O(k): the K-sample comes straight off the candidate
+/// index (never materializing Pq), and Kn is carved out with nth_element
+/// plus a bounded sort instead of sorting the whole sample. Backlog ties
+/// resolve by a fresh random key per selection, which preserves the
+/// original "shuffle then stable sort" tie-randomization distribution.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/allocation_method.h"
+#include "core/candidate_index.h"
 #include "model/types.h"
 #include "util/rng.h"
 
 namespace sbqa::core {
+
+class Mediator;
 
 /// Parameters of the two-step selection.
 struct KnBestParams {
@@ -37,16 +47,51 @@ struct KnBestParams {
   bool greedy_final = false;
 };
 
-/// Runs the two-step KnBest selection and returns Kn ordered by ascending
-/// backlog (least utilized first). `backlogs` must be parallel to
-/// `candidates` (seconds of queued work per provider).
+/// Reusable per-method scratch for the two-phase selection, so the hot path
+/// allocates nothing per query once warm.
+struct KnBestScratch {
+  std::vector<model::ProviderId> k_sample;
+  std::vector<double> backlogs;
+  /// (backlog, random tie key, sample position) triples ranked by
+  /// nth_element; the tie key randomizes equal-backlog ordering.
+  struct Entry {
+    double backlog;
+    uint64_t tie;
+    uint32_t index;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Phase 2 alone: appends to *out the `keep` least-utilized members of
+/// `sample` (backlogs parallel to sample), ascending by backlog with
+/// random tie-breaking. Requires 0 < keep <= sample.size(). O(|sample| +
+/// keep log keep).
+void KeepKnLeastUtilized(const std::vector<model::ProviderId>& sample,
+                         const std::vector<double>& backlogs, size_t keep,
+                         util::Rng& rng, std::vector<KnBestScratch::Entry>* scratch,
+                         std::vector<model::ProviderId>* out);
+
+/// Runs the full two-phase selection straight off an indexed candidate
+/// view: uniform K-sample in O(k), backlogs through the mediator's load
+/// view, then the kn least utilized. Replaces *out with Kn ordered by
+/// ascending viewed backlog (random ties). O(k + kn log kn); never
+/// materializes Pq (unless k covers all of it).
+void SelectKnBestFrom(const CandidateSet& candidates, Mediator& mediator,
+                      const KnBestParams& params, KnBestScratch* scratch,
+                      std::vector<model::ProviderId>* out);
+
+/// Runs the two-step KnBest selection over an explicit candidate list and
+/// returns Kn ordered by ascending backlog (least utilized first).
+/// `backlogs` must be parallel to `candidates` (seconds of queued work per
+/// provider). O(k + kn log kn) — the list is sampled, not sorted.
 std::vector<model::ProviderId> SelectKnBest(
     const std::vector<model::ProviderId>& candidates,
     const std::vector<double>& backlogs, const KnBestParams& params,
     util::Rng& rng);
 
-/// KnBest as a standalone allocation method: Kn via SelectKnBest, then the
-/// final n providers drawn at random within Kn (the DASFAA formulation).
+/// KnBest as a standalone allocation method: Kn via the two-phase
+/// selection, then the final n providers drawn at random within Kn (the
+/// DASFAA formulation).
 class KnBestMethod : public AllocationMethod {
  public:
   explicit KnBestMethod(const KnBestParams& params) : params_(params) {}
@@ -60,6 +105,7 @@ class KnBestMethod : public AllocationMethod {
 
  private:
   KnBestParams params_;
+  KnBestScratch scratch_;
 };
 
 }  // namespace sbqa::core

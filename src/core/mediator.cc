@@ -55,9 +55,11 @@ void Mediator::ScheduleDepartureSweep() {
   sim_->scheduler().Schedule(departure_->config().sweep_interval, [this] {
     // Sweep everyone: dissatisfaction can build up without mediation events
     // reaching a participant (e.g. a volunteer nobody proposes queries to
-    // has Definition-2 satisfaction 0).
-    for (const Provider& p : registry_->providers()) {
-      if (p.alive()) MaybeDepartProvider(p.id());
+    // has Definition-2 satisfaction 0). The alive ids are copied out of the
+    // index first because departures mutate it mid-loop.
+    registry_->CollectAliveProviders(&sweep_scratch_);
+    for (model::ProviderId p : sweep_scratch_) {
+      MaybeDepartProvider(p);
     }
     for (const Consumer& c : registry_->consumers()) {
       if (c.active()) MaybeRetireConsumer(c.id());
@@ -93,8 +95,11 @@ void Mediator::SubmitQuery(model::Query query) {
 }
 
 void Mediator::OnQueryArrival(model::Query query) {
-  const std::vector<model::ProviderId> candidates =
-      registry_->ProvidersFor(query);
+  // Index-backed Pq view: O(1) to build and to test for emptiness; the
+  // method decides whether to sample it (O(k)) or materialize it (full-scan
+  // baselines, into the reused scratch buffer).
+  const CandidateSet candidates =
+      registry_->CandidatesFor(query, &candidate_scratch_);
   if (candidates.empty()) {
     FinalizeUnallocated(query);
     return;
@@ -138,17 +143,19 @@ void Mediator::OnQueryArrival(model::Query query) {
 }
 
 void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
-  // Map consulted -> (PI, CI) for bookkeeping.
+  // `selected` is capped at q.n (a handful) and `consulted` at kn, so the
+  // bookkeeping below sticks to linear scans over the decision vectors —
+  // no per-query hash containers.
   const size_t consulted_n = decision.consulted.size();
-  std::unordered_map<model::ProviderId, double> ci_of;
-  ci_of.reserve(consulted_n);
-  for (size_t i = 0; i < consulted_n; ++i) {
-    ci_of[decision.consulted[i]] = decision.consumer_intentions[i];
+  const auto selected_contains = [&decision](model::ProviderId p) {
+    return std::find(decision.selected.begin(), decision.selected.end(), p) !=
+           decision.selected.end();
+  };
+  for (size_t i = 0; i < decision.selected.size(); ++i) {
+    for (size_t j = i + 1; j < decision.selected.size(); ++j) {
+      SBQA_CHECK(decision.selected[i] != decision.selected[j]);
+    }
   }
-
-  std::unordered_set<model::ProviderId> selected_set(
-      decision.selected.begin(), decision.selected.end());
-  SBQA_CHECK_EQ(selected_set.size(), decision.selected.size());
 
   if (decision.selected.empty()) {
     // The method could not (or chose not to) allocate anybody, e.g. an
@@ -162,11 +169,13 @@ void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
     for (model::ProviderId p : decision.selected) {
       Instance inst;
       inst.provider = p;
-      auto it = ci_of.find(p);
+      const auto it = std::find(decision.consulted.begin(),
+                                decision.consulted.end(), p);
       inst.consumer_intention =
-          it != ci_of.end()
-              ? it->second
-              : ComputeConsumerIntentions(query, {p}).front();
+          it != decision.consulted.end()
+              ? decision.consumer_intentions[static_cast<size_t>(
+                    it - decision.consulted.begin())]
+              : ComputeConsumerIntention(query, p);
       inflight.instances.push_back(inst);
     }
     inflight.pending = static_cast<int>(inflight.instances.size());
@@ -192,7 +201,7 @@ void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
     Provider& provider = registry_->provider(p);
     if (!provider.alive()) continue;
     provider.satisfaction_tracker().RecordProposal(
-        decision.provider_intentions[i], selected_set.contains(p));
+        decision.provider_intentions[i], selected_contains(p));
   }
   // Dissatisfied providers may now decide to leave (autonomous mode).
   for (size_t i = 0; i < consulted_n; ++i) {
@@ -438,11 +447,18 @@ double Mediator::ViewedBacklog(model::ProviderId provider) {
 std::vector<double> Mediator::BacklogsOf(
     const std::vector<model::ProviderId>& providers) {
   std::vector<double> out;
-  out.reserve(providers.size());
-  for (model::ProviderId p : providers) {
-    out.push_back(ViewedBacklog(p));
-  }
+  BacklogsOf(providers, &out);
   return out;
+}
+
+void Mediator::BacklogsOf(const std::vector<model::ProviderId>& providers,
+                          std::vector<double>* out) {
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(providers.size());
+  for (model::ProviderId p : providers) {
+    out->push_back(ViewedBacklog(p));
+  }
 }
 
 std::vector<double> Mediator::ExpectedCompletionsOf(
@@ -467,6 +483,15 @@ std::vector<double> Mediator::ComputeProviderIntentions(
     out.push_back(registry_->provider(p).ComputeIntention(query, now));
   }
   return out;
+}
+
+double Mediator::ComputeConsumerIntention(const model::Query& query,
+                                          model::ProviderId provider) {
+  const double ect = ViewedBacklog(provider) +
+                     query.cost / registry_->provider(provider).capacity();
+  const Consumer& consumer = registry_->consumer(query.consumer);
+  return consumer.ComputeIntention(query, provider,
+                                   reputation_->Get(provider), ect, ect);
 }
 
 std::vector<double> Mediator::ComputeConsumerIntentions(

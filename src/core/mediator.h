@@ -117,6 +117,11 @@ class Mediator {
   std::vector<double> BacklogsOf(
       const std::vector<model::ProviderId>& providers);
 
+  /// Allocation-free variant: replaces *out (hot path; callers reuse their
+  /// own scratch buffer).
+  void BacklogsOf(const std::vector<model::ProviderId>& providers,
+                  std::vector<double>* out);
+
   /// Expected completion delay of `query` on each provider (viewed backlog
   /// plus the query's processing time at that provider's capacity).
   std::vector<double> ExpectedCompletionsOf(
@@ -134,6 +139,12 @@ class Mediator {
   std::vector<double> ComputeConsumerIntentions(
       const model::Query& query,
       const std::vector<model::ProviderId>& providers);
+
+  /// Scalar single-provider CI_q[p] (the provider's own expected completion
+  /// is the normalization context, matching ComputeConsumerIntentions over
+  /// the singleton set). Allocation-free.
+  double ComputeConsumerIntention(const model::Query& query,
+                                  model::ProviderId provider);
 
   // --- Introspection --------------------------------------------------------
 
@@ -227,6 +238,11 @@ class Mediator {
   std::unordered_map<model::ProviderId,
                      std::unordered_set<model::QueryId>>
       provider_inflight_;
+  /// Reused per-query scratch (candidate materialization for full-scan
+  /// methods; alive ids for the departure sweep) — no per-query heap
+  /// allocation on the mediation hot path.
+  std::vector<model::ProviderId> candidate_scratch_;
+  std::vector<model::ProviderId> sweep_scratch_;
   MediatorStats stats_;
 };
 

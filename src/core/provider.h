@@ -46,6 +46,17 @@ struct ProviderParams {
   std::string label;
 };
 
+class Provider;
+
+/// Gets told whenever a provider's Pq-eligibility inputs change (liveness
+/// or class restrictions), so the registry's candidate index can stay
+/// current without rescanning the population.
+class ProviderObserver {
+ public:
+  virtual ~ProviderObserver() = default;
+  virtual void OnProviderEligibilityChanged(const Provider& provider) = 0;
+};
+
 /// A provider p ∈ P. Owns a FIFO work queue modelled as an absolute
 /// busy-until horizon (sufficient because instances are non-preemptive and
 /// ordered).
@@ -57,10 +68,17 @@ class Provider {
   const ProviderParams& params() const { return params_; }
   double capacity() const { return params_.capacity; }
 
+  /// Eligibility-change subscriber (at most one: the owning registry).
+  void set_observer(ProviderObserver* observer) { observer_ = observer; }
+
   /// Whether the provider currently accepts work (false while offline or
   /// after departing).
   bool alive() const { return alive_; }
-  void set_alive(bool alive) { alive_ = alive; }
+  void set_alive(bool alive) {
+    if (alive_ == alive) return;
+    alive_ = alive;
+    NotifyEligibilityChanged();
+  }
 
   /// Whether the provider left permanently out of dissatisfaction
   /// (Scenario 2). A departed provider never comes back online; a churned
@@ -68,7 +86,7 @@ class Provider {
   bool departed() const { return departed_; }
   void MarkDeparted() {
     departed_ = true;
-    alive_ = false;
+    set_alive(false);
   }
 
   /// Preferences towards consumers (BOINC: towards projects), in [-1, 1].
@@ -78,6 +96,10 @@ class Provider {
   /// Restricts the query classes this provider can treat; empty = all.
   void RestrictClasses(std::unordered_set<model::QueryClassId> classes) {
     allowed_classes_ = std::move(classes);
+    NotifyEligibilityChanged();
+  }
+  const std::unordered_set<model::QueryClassId>& allowed_classes() const {
+    return allowed_classes_;
   }
   bool CanTreat(model::QueryClassId query_class) const {
     return allowed_classes_.empty() || allowed_classes_.contains(query_class);
@@ -131,8 +153,13 @@ class Provider {
   double satisfaction() const { return tracker_.satisfaction(); }
 
  private:
+  void NotifyEligibilityChanged() {
+    if (observer_ != nullptr) observer_->OnProviderEligibilityChanged(*this);
+  }
+
   model::ProviderId id_;
   ProviderParams params_;
+  ProviderObserver* observer_ = nullptr;
   bool alive_ = true;
   bool departed_ = false;
   model::PreferenceProfile preferences_;

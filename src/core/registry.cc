@@ -1,5 +1,7 @@
 #include "core/registry.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace sbqa::core {
@@ -7,12 +9,17 @@ namespace sbqa::core {
 model::ProviderId Registry::AddProvider(const ProviderParams& params) {
   const auto id = static_cast<model::ProviderId>(providers_.size());
   providers_.emplace_back(id, params);
+  providers_.back().set_observer(this);
+  index_.OnProviderAdded(providers_.back());
+  total_capacity_ += params.capacity;
   return id;
 }
 
 model::ConsumerId Registry::AddConsumer(const ConsumerParams& params) {
   const auto id = static_cast<model::ConsumerId>(consumers_.size());
   consumers_.emplace_back(id, params);
+  consumers_.back().set_observer(this);
+  ++active_consumers_;  // consumers start active
   return id;
 }
 
@@ -40,44 +47,23 @@ const Consumer& Registry::consumer(model::ConsumerId id) const {
   return consumers_[static_cast<size_t>(id)];
 }
 
+CandidateSet Registry::CandidatesFor(
+    const model::Query& query,
+    std::vector<model::ProviderId>* scratch) const {
+  return CandidateSet(&index_, query.query_class, scratch);
+}
+
 std::vector<model::ProviderId> Registry::ProvidersFor(
     const model::Query& query) const {
   std::vector<model::ProviderId> out;
-  out.reserve(providers_.size());
-  for (const Provider& p : providers_) {
-    if (p.alive() && p.CanTreat(query.query_class)) out.push_back(p.id());
-  }
+  index_.CollectFor(query.query_class, &out);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-size_t Registry::alive_provider_count() const {
-  size_t n = 0;
-  for (const Provider& p : providers_) {
-    if (p.alive()) ++n;
-  }
-  return n;
-}
-
-size_t Registry::active_consumer_count() const {
-  size_t n = 0;
-  for (const Consumer& c : consumers_) {
-    if (c.active()) ++n;
-  }
-  return n;
-}
-
-double Registry::AliveCapacity() const {
-  double sum = 0;
-  for (const Provider& p : providers_) {
-    if (p.alive()) sum += p.capacity();
-  }
-  return sum;
-}
-
-double Registry::TotalCapacity() const {
-  double sum = 0;
-  for (const Provider& p : providers_) sum += p.capacity();
-  return sum;
+void Registry::CollectAliveProviders(
+    std::vector<model::ProviderId>* out) const {
+  index_.CollectAlive(out);
 }
 
 }  // namespace sbqa::core

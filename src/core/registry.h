@@ -4,11 +4,13 @@
 /// \file
 /// Participant registry: owns all consumers and providers of a simulated
 /// system and answers the mediator's "which providers can treat q" queries
-/// (the paper's set Pq).
+/// (the paper's set Pq) through an incrementally maintained candidate
+/// index, so the mediation hot path never scans the population.
 
 #include <memory>
 #include <vector>
 
+#include "core/candidate_index.h"
 #include "core/consumer.h"
 #include "core/provider.h"
 #include "model/query.h"
@@ -17,7 +19,12 @@
 namespace sbqa::core {
 
 /// Owns participants; ids are dense indices assigned on insertion.
-class Registry {
+///
+/// The registry subscribes to every participant's eligibility/activity
+/// notifications (set_alive, MarkDeparted, RestrictClasses, set_active), so
+/// the candidate index and the population counters stay exact no matter
+/// which code path mutates a participant.
+class Registry : private ProviderObserver, private ConsumerObserver {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -34,17 +41,31 @@ class Registry {
   Consumer& consumer(model::ConsumerId id);
   const Consumer& consumer(model::ConsumerId id) const;
 
-  /// The paper's Pq: alive providers able to treat the query's class.
+  /// The paper's Pq as an index-backed view: O(1) to build, O(1) size,
+  /// O(k) uniform sampling. `scratch` backs lazy materialization for
+  /// full-scan methods and must outlive the returned set.
+  CandidateSet CandidatesFor(const model::Query& query,
+                             std::vector<model::ProviderId>* scratch) const;
+
+  /// Pq materialized (ascending ids). Convenience for tests and tooling;
+  /// the mediation path uses CandidatesFor.
   std::vector<model::ProviderId> ProvidersFor(const model::Query& query) const;
 
-  size_t alive_provider_count() const;
-  size_t active_consumer_count() const;
+  /// Replaces *out with every alive provider id (index order). O(alive).
+  void CollectAliveProviders(std::vector<model::ProviderId>* out) const;
+
+  /// O(1), maintained incrementally by the candidate index.
+  size_t alive_provider_count() const { return index_.alive_count(); }
+  size_t active_consumer_count() const { return active_consumers_; }
 
   /// Sum of capacities of alive providers (the paper's "total system
-  /// capacity" that dissatisfaction erodes).
-  double AliveCapacity() const;
-  /// Sum of capacities of all providers ever registered.
-  double TotalCapacity() const;
+  /// capacity" that dissatisfaction erodes). O(1).
+  double AliveCapacity() const { return index_.alive_capacity(); }
+  /// Sum of capacities of all providers ever registered. O(1).
+  double TotalCapacity() const { return total_capacity_; }
+
+  /// Read access to the live candidate index (invariant checks, benches).
+  const CandidateIndex& candidate_index() const { return index_; }
 
   std::vector<Provider>& providers() { return providers_; }
   const std::vector<Provider>& providers() const { return providers_; }
@@ -52,8 +73,22 @@ class Registry {
   const std::vector<Consumer>& consumers() const { return consumers_; }
 
  private:
+  void OnProviderEligibilityChanged(const Provider& provider) override {
+    index_.OnProviderChanged(provider);
+  }
+  void OnConsumerActivityChanged(const Consumer& consumer) override {
+    if (consumer.active()) {
+      ++active_consumers_;
+    } else {
+      --active_consumers_;
+    }
+  }
+
   std::vector<Provider> providers_;
   std::vector<Consumer> consumers_;
+  CandidateIndex index_;
+  size_t active_consumers_ = 0;
+  double total_capacity_ = 0;
 };
 
 }  // namespace sbqa::core

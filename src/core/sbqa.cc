@@ -29,16 +29,17 @@ AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
   Mediator& mediator = *ctx.mediator;
   const model::Query& query = *ctx.query;
 
-  // Phase 1 (KnBest): random sample K, keep the kn least utilized (Kn).
-  const std::vector<double> backlogs = mediator.BacklogsOf(*ctx.candidates);
-  std::vector<model::ProviderId> kn =
-      SelectKnBest(*ctx.candidates, backlogs, params_.knbest, mediator.rng());
+  // Phase 1 (KnBest): uniform K-sample straight off the candidate index,
+  // keep the kn least utilized (Kn). O(k), independent of |Pq|.
+  SelectKnBestFrom(*ctx.candidates, mediator, params_.knbest,
+                   &knbest_scratch_, &kn_);
+  std::vector<model::ProviderId>& kn = kn_;
   SBQA_CHECK(!kn.empty());
 
   // Phase 2 (SQLB): one round-trip gathers CI_q[p] from the consumer and
-  // PI_q[p] from every p in Kn.
-  const std::vector<double> pi = mediator.ComputeProviderIntentions(query, kn);
-  const std::vector<double> ci = mediator.ComputeConsumerIntentions(query, kn);
+  // PI_q[p] from every p in Kn. Moved into the decision below, not copied.
+  std::vector<double> pi = mediator.ComputeProviderIntentions(query, kn);
+  std::vector<double> ci = mediator.ComputeConsumerIntentions(query, kn);
 
   const Consumer& consumer = mediator.registry().consumer(query.consumer);
   const double consumer_satisfaction =
@@ -46,7 +47,8 @@ AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
           ? params_.cold_start_consumer_satisfaction
           : consumer.satisfaction();
 
-  std::vector<ScoredProvider> scored;
+  std::vector<ScoredProvider>& scored = scored_;
+  scored.clear();
   scored.reserve(kn.size());
   for (size_t i = 0; i < kn.size(); ++i) {
     const Provider& provider = mediator.registry().provider(kn[i]);
@@ -74,8 +76,8 @@ AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
     decision.selected.push_back(scored[i].provider);
   }
   decision.consulted = std::move(kn);
-  decision.provider_intentions = pi;
-  decision.consumer_intentions = ci;
+  decision.provider_intentions = std::move(pi);
+  decision.consumer_intentions = std::move(ci);
   decision.used_intention_round = true;
   return decision;
 }

@@ -61,6 +61,11 @@ class SbqaMethod : public AllocationMethod {
 
  private:
   SbqaParams params_;
+  /// Reused across queries so the steady-state hot path allocates nothing
+  /// beyond the decision it returns.
+  KnBestScratch knbest_scratch_;
+  std::vector<model::ProviderId> kn_;
+  std::vector<ScoredProvider> scored_;
 };
 
 }  // namespace sbqa::core

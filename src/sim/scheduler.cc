@@ -14,20 +14,20 @@ EventId Scheduler::ScheduleAt(Time when, Callback cb) {
   SBQA_CHECK_GE(when, now_);
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(cb)});
+  outstanding_.insert(id);
   return id;
 }
 
 bool Scheduler::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy cancellation: remember the id, skip when popped.
-  return cancelled_.insert(id).second;
+  // Lazy cancellation: dropping the id from `outstanding_` marks its heap
+  // entry dead; SkipCancelled discards it on pop. Already-executed or
+  // already-cancelled ids are no longer outstanding, so stale cancels fail
+  // without accumulating state.
+  return outstanding_.erase(id) > 0;
 }
 
 void Scheduler::SkipCancelled() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!queue_.empty() && !outstanding_.contains(queue_.top().id)) {
     queue_.pop();
   }
 }
@@ -39,6 +39,7 @@ bool Scheduler::Step() {
   // safe.
   Event ev = queue_.top();
   queue_.pop();
+  outstanding_.erase(ev.id);
   now_ = ev.when;
   ++executed_;
   ev.cb();

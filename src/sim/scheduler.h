@@ -40,7 +40,10 @@ class Scheduler {
   EventId ScheduleAt(Time when, Callback cb);
 
   /// Cancels a pending event. Returns false when the event already fired or
-  /// was cancelled. O(1) amortized (lazy removal on pop).
+  /// was cancelled. O(1) amortized (lazy removal on pop). Cancelling an
+  /// already-executed id is a bounded no-op: only ids still in the queue are
+  /// ever remembered, so the lazy-cancellation set cannot grow without
+  /// bound.
   bool Cancel(EventId id);
 
   /// Runs the single next event, if any. Returns false when the queue is
@@ -62,11 +65,14 @@ class Scheduler {
   void RequestStop() { stop_requested_ = true; }
 
   Time now() const { return now_; }
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  bool empty() const { return outstanding_.empty(); }
   /// Pending (non-cancelled) events.
-  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  size_t pending() const { return outstanding_.size(); }
   /// Total events executed since construction.
   uint64_t executed() const { return executed_; }
+  /// Cancelled events still awaiting lazy removal from the heap (bounded by
+  /// the queue size; exposed for leak regression tests).
+  size_t cancelled_backlog() const { return queue_.size() - outstanding_.size(); }
 
  private:
   struct Event {
@@ -85,7 +91,11 @@ class Scheduler {
   void SkipCancelled();
 
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// Ids scheduled but neither executed nor cancelled. A heap entry whose
+  /// id is absent is a lazily-cancelled event, skipped on pop — one hash
+  /// set carries both the liveness and the cancellation bookkeeping, and a
+  /// stale Cancel (the event already ran) is a bounded no-op.
+  std::unordered_set<EventId> outstanding_;
   Time now_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;

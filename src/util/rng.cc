@@ -1,6 +1,8 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 namespace sbqa::util {
 
@@ -142,6 +144,56 @@ int64_t Rng::Zipf(int64_t n, double s) {
     const double kd = static_cast<double>(k);
     if (u >= h(kd + 0.5) - std::pow(kd, -s)) continue;
     return k;
+  }
+}
+
+void Rng::SampleIndices(size_t n, size_t k, std::vector<size_t>* out) {
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  if (n == 0 || k == 0) return;
+  if (k >= n) {
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) (*out)[i] = i;
+    Shuffle(out);
+    return;
+  }
+  out->reserve(k);
+  if (k > 64) {
+    if (n < k * 16) {
+      // Dense sample: a partial Fisher-Yates over the materialized range
+      // beats per-draw duplicate checks.
+      std::vector<size_t> indices(n);
+      for (size_t i = 0; i < n; ++i) indices[i] = i;
+      for (size_t i = 0; i < k; ++i) {
+        const size_t j =
+            i + static_cast<size_t>(
+                    UniformInt(0, static_cast<int64_t>(n - 1 - i)));
+        std::swap(indices[i], indices[j]);
+      }
+      out->assign(indices.begin(), indices.begin() + static_cast<long>(k));
+      return;
+    }
+    // Large sparse sample: Floyd's algorithm with a hashed duplicate check
+    // keeps the documented O(k) expected bound.
+    std::unordered_set<size_t> taken;
+    taken.reserve(k);
+    for (size_t j = n - k; j < n; ++j) {
+      const size_t t =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+      const size_t pick = taken.insert(t).second ? t : j;
+      if (pick == j) taken.insert(j);
+      out->push_back(pick);
+    }
+    return;
+  }
+  // Small sample: Floyd's algorithm — each of the C(n, k) subsets is
+  // equally likely — with a linear duplicate scan over the (tiny) output,
+  // keeping the mediation hot path allocation-free.
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    const bool taken = std::find(out->begin(), out->end(), t) != out->end();
+    out->push_back(taken ? j : t);
   }
 }
 

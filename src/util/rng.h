@@ -72,6 +72,16 @@ class Rng {
   /// weights[i] >= 0. Requires at least one strictly positive weight.
   size_t Discrete(const std::vector<double>& weights);
 
+  /// Replaces *out with min(k, n) distinct indices drawn uniformly at
+  /// random from [0, n), without materializing the index range: O(k)
+  /// expected (Floyd's algorithm) for k << n, O(n) otherwise. Every
+  /// k-subset is equally likely; the emission order is NOT a uniform
+  /// random permutation (shuffle or re-randomize downstream when order
+  /// matters). Draws with k <= 64 are allocation-free beyond *out; larger
+  /// draws may allocate internal temporaries proportional to their own
+  /// cost.
+  void SampleIndices(size_t n, size_t k, std::vector<size_t>* out);
+
   /// Fisher-Yates shuffle of `items`.
   template <typename T>
   void Shuffle(std::vector<T>* items) {

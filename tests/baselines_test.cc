@@ -56,7 +56,7 @@ struct MethodHarness {
     query.cost = cost;
     AllocationContext ctx;
     ctx.query = &query;
-    ctx.candidates = &candidates;
+    ctx.candidates = &candidate_set;
     ctx.mediator = mediator.get();
     ctx.now = simulation->now();
     return method.Allocate(ctx);
@@ -67,6 +67,7 @@ struct MethodHarness {
   std::unique_ptr<model::ReputationRegistry> reputation;
   std::unique_ptr<core::Mediator> mediator;
   std::vector<model::ProviderId> candidates;
+  core::CandidateSet candidate_set{&candidates};
   model::Query query;
   model::QueryId query_id = 0;
 };
@@ -195,7 +196,7 @@ TEST(EconomicTest, BidGrowsWithUtilization) {
   h.query.cost = 1.0;
   AllocationContext ctx;
   ctx.query = &h.query;
-  ctx.candidates = &h.candidates;
+  ctx.candidates = &h.candidate_set;
   ctx.mediator = h.mediator.get();
   ctx.now = 0;
   EXPECT_LT(method.BidOf(ctx, 0), method.BidOf(ctx, 1));
@@ -236,7 +237,7 @@ TEST(EconomicTest, InterestDiscountFavorsInterestedProvider) {
   h.query.cost = 1.0;
   AllocationContext ctx;
   ctx.query = &h.query;
-  ctx.candidates = &h.candidates;
+  ctx.candidates = &h.candidate_set;
   ctx.mediator = h.mediator.get();
   ctx.now = 0;
   EXPECT_LT(method.BidOf(ctx, 0), method.BidOf(ctx, 1));

@@ -1,0 +1,335 @@
+// Tests for the incrementally maintained candidate index: lifecycle events
+// (churn offline/online, departure, class restriction, runtime join) must
+// keep the index exactly consistent with a brute-force registry scan, and
+// uniform sampling must be uniform, distinct and eligible-only.
+
+#include "core/candidate_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "model/query.h"
+#include "util/rng.h"
+
+namespace sbqa::core {
+namespace {
+
+model::Query QueryOfClass(model::QueryClassId cls) {
+  model::Query q;
+  q.query_class = cls;
+  return q;
+}
+
+/// Brute-force Pq, the ground truth the index must match.
+std::vector<model::ProviderId> BruteForcePq(const Registry& registry,
+                                            model::QueryClassId cls) {
+  std::vector<model::ProviderId> out;
+  for (const Provider& p : registry.providers()) {
+    if (p.alive() && p.CanTreat(cls)) out.push_back(p.id());
+  }
+  return out;
+}
+
+void ExpectIndexMatchesBruteForce(const Registry& registry,
+                                  model::QueryClassId cls) {
+  const std::vector<model::ProviderId> expected = BruteForcePq(registry, cls);
+  const std::vector<model::ProviderId> got =
+      registry.ProvidersFor(QueryOfClass(cls));
+  EXPECT_EQ(got, expected);  // ProvidersFor sorts; brute force is ascending
+  EXPECT_EQ(registry.candidate_index().CountFor(cls), expected.size());
+  for (const Provider& p : registry.providers()) {
+    EXPECT_EQ(registry.candidate_index().ContainsFor(cls, p.id()),
+              p.alive() && p.CanTreat(cls))
+        << "provider " << p.id() << " class " << cls;
+  }
+}
+
+model::ProviderId AddProvider(Registry* registry, double capacity = 1.0) {
+  ProviderParams params;
+  params.capacity = capacity;
+  return registry->AddProvider(params);
+}
+
+TEST(CandidateIndexTest, TracksAdditionsAndClassRestrictions) {
+  Registry r;
+  AddProvider(&r);                       // generalist
+  AddProvider(&r);                       // restricted to {1}
+  AddProvider(&r);                       // restricted to {1, 2}
+  r.provider(1).RestrictClasses({1});
+  r.provider(2).RestrictClasses({1, 2});
+
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{0}));
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(1)),
+            (std::vector<model::ProviderId>{0, 1, 2}));
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(2)),
+            (std::vector<model::ProviderId>{0, 2}));
+  for (model::QueryClassId cls = 0; cls < 3; ++cls) {
+    ExpectIndexMatchesBruteForce(r, cls);
+  }
+}
+
+TEST(CandidateIndexTest, ChurnOfflineOnlineUpdatesMembership) {
+  Registry r;
+  for (int i = 0; i < 4; ++i) AddProvider(&r);
+  r.provider(1).set_alive(false);
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{0, 2, 3}));
+  EXPECT_EQ(r.alive_provider_count(), 3u);
+
+  r.provider(1).set_alive(true);
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.alive_provider_count(), 4u);
+
+  // Redundant toggles are no-ops (the notification is change-gated).
+  r.provider(1).set_alive(true);
+  EXPECT_EQ(r.alive_provider_count(), 4u);
+  ExpectIndexMatchesBruteForce(r, 0);
+}
+
+TEST(CandidateIndexTest, DepartureRemovesPermanently) {
+  Registry r;
+  for (int i = 0; i < 3; ++i) AddProvider(&r);
+  r.provider(0).MarkDeparted();
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{1, 2}));
+  EXPECT_FALSE(r.candidate_index().ContainsFor(0, 0));
+  ExpectIndexMatchesBruteForce(r, 0);
+}
+
+TEST(CandidateIndexTest, RestrictingAliveProviderMovesBuckets) {
+  Registry r;
+  for (int i = 0; i < 3; ++i) AddProvider(&r);
+  // Post-registration restriction (the runtime-join path restricts after
+  // AddProvider returns).
+  r.provider(0).RestrictClasses({2});
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{1, 2}));
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(2)),
+            (std::vector<model::ProviderId>{0, 1, 2}));
+  // Widening back to all classes.
+  r.provider(0).RestrictClasses({});
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{0, 1, 2}));
+  for (model::QueryClassId cls = 0; cls < 3; ++cls) {
+    ExpectIndexMatchesBruteForce(r, cls);
+  }
+}
+
+TEST(CandidateIndexTest, RestrictionOnOfflineProviderAppliesOnReturn) {
+  Registry r;
+  for (int i = 0; i < 2; ++i) AddProvider(&r);
+  r.provider(0).set_alive(false);
+  r.provider(0).RestrictClasses({7});
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(7)),
+            (std::vector<model::ProviderId>{1}));
+  r.provider(0).set_alive(true);
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(7)),
+            (std::vector<model::ProviderId>{0, 1}));
+  EXPECT_EQ(r.ProvidersFor(QueryOfClass(0)),
+            (std::vector<model::ProviderId>{1}));
+  ExpectIndexMatchesBruteForce(r, 7);
+}
+
+TEST(CandidateIndexTest, CountersAreMaintainedIncrementally) {
+  Registry r;
+  AddProvider(&r, 1.0);
+  AddProvider(&r, 3.0);
+  AddProvider(&r, 0.5);
+  EXPECT_EQ(r.alive_provider_count(), 3u);
+  EXPECT_DOUBLE_EQ(r.AliveCapacity(), 4.5);
+  EXPECT_DOUBLE_EQ(r.TotalCapacity(), 4.5);
+
+  r.provider(1).set_alive(false);
+  EXPECT_EQ(r.alive_provider_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.AliveCapacity(), 1.5);
+  EXPECT_DOUBLE_EQ(r.TotalCapacity(), 4.5);
+
+  r.provider(1).set_alive(true);
+  r.provider(0).MarkDeparted();
+  EXPECT_EQ(r.alive_provider_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.AliveCapacity(), 3.5);
+}
+
+TEST(CandidateIndexTest, ActiveConsumerCountTracksSetActive) {
+  Registry r;
+  r.AddConsumer({});
+  r.AddConsumer({});
+  r.AddConsumer({});
+  EXPECT_EQ(r.active_consumer_count(), 3u);
+  r.consumer(1).set_active(false);
+  r.consumer(1).set_active(false);  // redundant, change-gated
+  EXPECT_EQ(r.active_consumer_count(), 2u);
+  r.consumer(1).set_active(true);
+  EXPECT_EQ(r.active_consumer_count(), 3u);
+}
+
+TEST(CandidateIndexTest, CollectAliveMatchesBruteForce) {
+  Registry r;
+  for (int i = 0; i < 10; ++i) AddProvider(&r);
+  r.provider(2).set_alive(false);
+  r.provider(7).MarkDeparted();
+  std::vector<model::ProviderId> alive;
+  r.CollectAliveProviders(&alive);
+  std::sort(alive.begin(), alive.end());
+  std::vector<model::ProviderId> expected;
+  for (const Provider& p : r.providers()) {
+    if (p.alive()) expected.push_back(p.id());
+  }
+  EXPECT_EQ(alive, expected);
+}
+
+TEST(CandidateIndexTest, SampleReturnsDistinctEligibleProviders) {
+  Registry r;
+  for (int i = 0; i < 50; ++i) AddProvider(&r);
+  for (int i = 0; i < 50; i += 3) r.provider(i).RestrictClasses({1});
+  r.provider(4).set_alive(false);
+  util::Rng rng(11);
+
+  std::vector<model::ProviderId> sample;
+  for (int round = 0; round < 200; ++round) {
+    r.candidate_index().SampleFor(0, 8, rng, &sample);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<model::ProviderId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+    for (model::ProviderId p : sample) {
+      EXPECT_TRUE(r.provider(p).alive());
+      EXPECT_TRUE(r.provider(p).CanTreat(0));
+    }
+  }
+}
+
+TEST(CandidateIndexTest, SampleIsUniformAcrossBuckets) {
+  // 10 generalists + 10 class-1 specialists: class-1 samples must cover
+  // both buckets uniformly (the virtual-concatenation sampler must not
+  // favor either array).
+  Registry r;
+  for (int i = 0; i < 20; ++i) AddProvider(&r);
+  for (int i = 10; i < 20; ++i) r.provider(i).RestrictClasses({1});
+  util::Rng rng(12);
+
+  std::map<model::ProviderId, int> counts;
+  const int rounds = 6000;
+  std::vector<model::ProviderId> sample;
+  for (int round = 0; round < rounds; ++round) {
+    r.candidate_index().SampleFor(1, 2, rng, &sample);
+    for (model::ProviderId p : sample) ++counts[p];
+  }
+  EXPECT_EQ(counts.size(), 20u);
+  const double expected = rounds * 2.0 / 20.0;  // 600
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.25) << "provider " << id;
+  }
+}
+
+TEST(CandidateIndexTest, SampleCoveringWholeSetReturnsEveryone) {
+  Registry r;
+  for (int i = 0; i < 6; ++i) AddProvider(&r);
+  util::Rng rng(13);
+  std::vector<model::ProviderId> sample;
+  r.candidate_index().SampleFor(0, 100, rng, &sample);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<model::ProviderId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(CandidateIndexTest, FuzzedLifecycleStaysConsistent) {
+  // Random joins, churn toggles, departures and re-restrictions; after
+  // every mutation the index must agree with the brute-force scan for
+  // every class.
+  Registry r;
+  util::Rng rng(99);
+  const std::vector<model::QueryClassId> classes = {0, 1, 2};
+  for (int i = 0; i < 30; ++i) AddProvider(&r, rng.Uniform(0.5, 2.0));
+
+  for (int step = 0; step < 500; ++step) {
+    const double action = rng.NextDouble();
+    if (action < 0.05) {
+      AddProvider(&r, rng.Uniform(0.5, 2.0));  // runtime join
+    } else {
+      const auto id = static_cast<model::ProviderId>(
+          rng.UniformInt(0, static_cast<int64_t>(r.provider_count()) - 1));
+      Provider& p = r.provider(id);
+      if (action < 0.45) {
+        p.set_alive(!p.alive() && !p.departed());
+      } else if (action < 0.55 && !p.departed()) {
+        p.MarkDeparted();
+      } else if (action < 0.8) {
+        std::unordered_set<model::QueryClassId> restrict;
+        for (model::QueryClassId cls : classes) {
+          if (rng.Bernoulli(0.4)) restrict.insert(cls);
+        }
+        p.RestrictClasses(std::move(restrict));
+      } else {
+        p.set_alive(false);
+      }
+    }
+    for (model::QueryClassId cls : classes) {
+      ASSERT_EQ(r.ProvidersFor(QueryOfClass(cls)), BruteForcePq(r, cls))
+          << "step " << step << " class " << cls;
+      ASSERT_EQ(r.candidate_index().CountFor(cls),
+                BruteForcePq(r, cls).size());
+    }
+    size_t alive = 0;
+    double capacity = 0;
+    for (const Provider& p : r.providers()) {
+      if (p.alive()) {
+        ++alive;
+        capacity += p.capacity();
+      }
+    }
+    ASSERT_EQ(r.alive_provider_count(), alive);
+    ASSERT_NEAR(r.AliveCapacity(), capacity, 1e-9);
+  }
+}
+
+// --- CandidateSet -----------------------------------------------------------
+
+TEST(CandidateSetTest, IndexBackedViewSizesAndMaterializes) {
+  Registry r;
+  for (int i = 0; i < 5; ++i) AddProvider(&r);
+  r.provider(3).set_alive(false);
+  std::vector<model::ProviderId> scratch;
+  const CandidateSet set = r.CandidatesFor(QueryOfClass(0), &scratch);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_FALSE(set.empty());
+  // All() yields arbitrary (index) order; compare as sorted copies, and
+  // check it is idempotent.
+  std::vector<model::ProviderId> all = set.All();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<model::ProviderId>{0, 1, 2, 4}));
+  EXPECT_EQ(set.All(), set.All());
+}
+
+TEST(CandidateSetTest, ExplicitListViewPassesThrough) {
+  const std::vector<model::ProviderId> list = {3, 1, 4};
+  const CandidateSet set(&list);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(&set.All(), &list);
+
+  util::Rng rng(5);
+  std::vector<model::ProviderId> sample;
+  set.SampleUniform(2, rng, &sample);
+  EXPECT_EQ(sample.size(), 2u);
+  for (model::ProviderId p : sample) {
+    EXPECT_TRUE(std::find(list.begin(), list.end(), p) != list.end());
+  }
+}
+
+TEST(CandidateSetTest, EmptyIndexViewIsEmpty) {
+  Registry r;
+  AddProvider(&r);
+  r.provider(0).RestrictClasses({5});
+  std::vector<model::ProviderId> scratch;
+  const CandidateSet set = r.CandidatesFor(QueryOfClass(9), &scratch);
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.All().empty());
+}
+
+}  // namespace
+}  // namespace sbqa::core

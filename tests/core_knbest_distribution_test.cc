@@ -1,0 +1,205 @@
+// Seeded distribution tests proving the O(k) two-phase selection
+// (Floyd/partial-Fisher-Yates K-sample + nth_element with random tie keys)
+// is distribution-equivalent to the original formulation (uniform shuffle +
+// stable sort over all candidates): uniform K-sample, exact kn
+// least-utilized filtering, uniformly random tie-breaking.
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/knbest.h"
+#include "util/rng.h"
+
+namespace sbqa::core {
+namespace {
+
+std::vector<model::ProviderId> Ids(int n) {
+  std::vector<model::ProviderId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(i);
+  return ids;
+}
+
+/// The seed repository's reference implementation: full iota + shuffle +
+/// stable_sort. Kept here as the distribution oracle.
+std::vector<model::ProviderId> ReferenceSelectKnBest(
+    const std::vector<model::ProviderId>& candidates,
+    const std::vector<double>& backlogs, const KnBestParams& params,
+    util::Rng& rng) {
+  if (candidates.empty()) return {};
+  std::vector<size_t> indices(candidates.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  const bool sample_all =
+      params.k_candidates == 0 || params.k_candidates >= candidates.size();
+  std::vector<size_t> k_set;
+  if (sample_all) {
+    k_set = std::move(indices);
+    rng.Shuffle(&k_set);
+  } else {
+    k_set = rng.SampleWithoutReplacement(std::move(indices),
+                                         params.k_candidates);
+  }
+  std::stable_sort(k_set.begin(), k_set.end(),
+                   [&backlogs](size_t a, size_t b) {
+                     return backlogs[a] < backlogs[b];
+                   });
+  const size_t keep = params.kn_best == 0
+                          ? k_set.size()
+                          : std::min(params.kn_best, k_set.size());
+  std::vector<model::ProviderId> kn;
+  kn.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) kn.push_back(candidates[k_set[i]]);
+  return kn;
+}
+
+using Frequency = std::map<model::ProviderId, double>;
+
+/// Per-provider membership frequency of Kn over `rounds` selections.
+Frequency MembershipFrequency(
+    const std::vector<model::ProviderId>& candidates,
+    const std::vector<double>& backlogs, const KnBestParams& params,
+    uint64_t seed, int rounds, bool reference) {
+  util::Rng rng(seed);
+  Frequency freq;
+  for (int round = 0; round < rounds; ++round) {
+    const auto kn = reference
+                        ? ReferenceSelectKnBest(candidates, backlogs, params, rng)
+                        : SelectKnBest(candidates, backlogs, params, rng);
+    for (model::ProviderId p : kn) freq[p] += 1.0 / rounds;
+  }
+  return freq;
+}
+
+/// First-slot frequency (the position randomized tie-breaking feeds).
+Frequency FirstSlotFrequency(
+    const std::vector<model::ProviderId>& candidates,
+    const std::vector<double>& backlogs, const KnBestParams& params,
+    uint64_t seed, int rounds, bool reference) {
+  util::Rng rng(seed);
+  Frequency freq;
+  for (int round = 0; round < rounds; ++round) {
+    const auto kn = reference
+                        ? ReferenceSelectKnBest(candidates, backlogs, params, rng)
+                        : SelectKnBest(candidates, backlogs, params, rng);
+    if (!kn.empty()) freq[kn.front()] += 1.0 / rounds;
+  }
+  return freq;
+}
+
+void ExpectClose(const Frequency& a, const Frequency& b, double tolerance) {
+  std::set<model::ProviderId> keys;
+  for (const auto& [id, f] : a) keys.insert(id);
+  for (const auto& [id, f] : b) keys.insert(id);
+  for (model::ProviderId id : keys) {
+    const double fa = a.contains(id) ? a.at(id) : 0.0;
+    const double fb = b.contains(id) ? b.at(id) : 0.0;
+    EXPECT_NEAR(fa, fb, tolerance) << "provider " << id;
+  }
+}
+
+TEST(KnBestDistributionTest, KSampleMembershipMatchesReference) {
+  // Uniform K-sampling with a load filter that keeps everything: Kn
+  // membership is exactly the K-sample, so the frequencies must be uniform
+  // k/n for both implementations.
+  const auto ids = Ids(40);
+  const std::vector<double> backlogs(40, 1.0);
+  const KnBestParams params{6, 0};
+  const int rounds = 20000;
+  const Frequency ours =
+      MembershipFrequency(ids, backlogs, params, 101, rounds, false);
+  const Frequency ref =
+      MembershipFrequency(ids, backlogs, params, 202, rounds, true);
+  ExpectClose(ours, ref, 0.012);
+  for (const auto& [id, f] : ours) EXPECT_NEAR(f, 6.0 / 40.0, 0.012);
+}
+
+TEST(KnBestDistributionTest, LeastUtilizedFilterIsExact) {
+  // Distinct backlogs, k = everyone: the kn least utilized must be chosen
+  // deterministically (no distribution involved), in ascending order.
+  const auto ids = Ids(30);
+  std::vector<double> backlogs;
+  for (int i = 0; i < 30; ++i) backlogs.push_back((29 - i) * 0.5);
+  util::Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    const auto kn = SelectKnBest(ids, backlogs, KnBestParams{0, 5}, rng);
+    EXPECT_EQ(kn, (std::vector<model::ProviderId>{29, 28, 27, 26, 25}));
+  }
+}
+
+TEST(KnBestDistributionTest, TieBreakingIsUniformAndMatchesReference) {
+  // All backlogs equal, k = everyone, kn = 1: the survivor is a pure tie
+  // draw. Both implementations must put every provider in the first slot
+  // with probability 1/n.
+  const auto ids = Ids(12);
+  const std::vector<double> backlogs(12, 3.0);
+  const KnBestParams params{0, 1};
+  const int rounds = 24000;
+  const Frequency ours =
+      FirstSlotFrequency(ids, backlogs, params, 303, rounds, false);
+  const Frequency ref =
+      FirstSlotFrequency(ids, backlogs, params, 404, rounds, true);
+  EXPECT_EQ(ours.size(), 12u);
+  ExpectClose(ours, ref, 0.012);
+  for (const auto& [id, f] : ours) EXPECT_NEAR(f, 1.0 / 12.0, 0.012);
+}
+
+TEST(KnBestDistributionTest, PartialTieGroupSharesTheMarginalSlot) {
+  // Providers 0-3 idle, 4-11 equally loaded; kn = 6 keeps all four idle
+  // providers plus two drawn uniformly from the loaded tie group — the
+  // composite case exercising nth_element across a tie boundary.
+  const auto ids = Ids(12);
+  std::vector<double> backlogs(12, 8.0);
+  for (int i = 0; i < 4; ++i) backlogs[static_cast<size_t>(i)] = 0.0;
+  const KnBestParams params{0, 6};
+  const int rounds = 16000;
+  const Frequency ours =
+      MembershipFrequency(ids, backlogs, params, 505, rounds, false);
+  const Frequency ref =
+      MembershipFrequency(ids, backlogs, params, 606, rounds, true);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(ours.at(i), 1.0, 1e-12);  // idle group always survives
+  }
+  for (int i = 4; i < 12; ++i) {
+    EXPECT_NEAR(ours.at(i), 2.0 / 8.0, 0.015);  // 2 slots over 8 tied
+  }
+  ExpectClose(ours, ref, 0.015);
+}
+
+TEST(KnBestDistributionTest, SampledTwoPhaseMatchesReferenceEndToEnd) {
+  // The full pipeline under heterogeneous load: k = 8 of 24, kn = 3. The
+  // membership distribution couples sampling and filtering; the new O(k)
+  // path must reproduce the reference within sampling noise.
+  const auto ids = Ids(24);
+  std::vector<double> backlogs;
+  util::Rng setup(1);
+  for (int i = 0; i < 24; ++i) {
+    backlogs.push_back(i % 3 == 0 ? 0.0 : setup.Uniform(1.0, 10.0));
+  }
+  const KnBestParams params{8, 3};
+  const int rounds = 30000;
+  const Frequency ours =
+      MembershipFrequency(ids, backlogs, params, 707, rounds, false);
+  const Frequency ref =
+      MembershipFrequency(ids, backlogs, params, 808, rounds, true);
+  ExpectClose(ours, ref, 0.015);
+}
+
+TEST(KnBestDistributionTest, SeededRunsAreDeterministic) {
+  const auto ids = Ids(20);
+  std::vector<double> backlogs;
+  util::Rng setup(2);
+  for (int i = 0; i < 20; ++i) backlogs.push_back(setup.Uniform(0, 5));
+  const KnBestParams params{10, 4};
+  util::Rng rng_a(42), rng_b(42);
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_EQ(SelectKnBest(ids, backlogs, params, rng_a),
+              SelectKnBest(ids, backlogs, params, rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace sbqa::core

@@ -49,7 +49,7 @@ struct SbqaHarness {
     query.cost = 1.0;
     AllocationContext ctx;
     ctx.query = &query;
-    ctx.candidates = &candidates;
+    ctx.candidates = &candidate_set;
     ctx.mediator = mediator.get();
     ctx.now = simulation->now();
     return method.Allocate(ctx);
@@ -60,6 +60,7 @@ struct SbqaHarness {
   std::unique_ptr<model::ReputationRegistry> reputation;
   std::unique_ptr<Mediator> mediator;
   std::vector<model::ProviderId> candidates;
+  CandidateSet candidate_set{&candidates};
   model::Query query;
   model::QueryId next_id = 0;
 };

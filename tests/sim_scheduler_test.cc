@@ -116,6 +116,48 @@ TEST(SchedulerTest, CancelUnknownIdFails) {
   EXPECT_FALSE(s.Cancel(12345));
 }
 
+TEST(SchedulerTest, CancelAfterExecutionFailsAndDoesNotLeak) {
+  // Regression: cancelling an id whose event already ran used to park the
+  // id in the lazy-cancellation set forever.
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(s.Schedule(1.0, [] {}));
+  s.Run();
+  for (EventId id : ids) EXPECT_FALSE(s.Cancel(id));
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, CancelledBacklogDrainsOnPop) {
+  Scheduler s;
+  const EventId a = s.Schedule(1.0, [] {});
+  s.Schedule(2.0, [] {});
+  EXPECT_TRUE(s.Cancel(a));
+  EXPECT_EQ(s.cancelled_backlog(), 1u);
+  s.Run();
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+  // Double-cancel after the drain still fails without re-inserting.
+  EXPECT_FALSE(s.Cancel(a));
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+TEST(SchedulerTest, MixedCancelPatternStaysBounded) {
+  // Interleaved schedule/run/cancel cycles: the cancellation set must stay
+  // bounded by the live queue size at all times.
+  Scheduler s;
+  std::vector<EventId> executed_ids;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const EventId live = s.Schedule(1.0, [] {});
+    const EventId dead = s.Schedule(1.0, [] {});
+    EXPECT_TRUE(s.Cancel(dead));
+    s.Run();
+    executed_ids.push_back(live);
+    // Stale cancels of everything that ever ran.
+    for (EventId id : executed_ids) EXPECT_FALSE(s.Cancel(id));
+    EXPECT_EQ(s.cancelled_backlog(), 0u);
+  }
+}
+
 TEST(SchedulerTest, CancelledEventsDontCountAsPending) {
   Scheduler s;
   const EventId id = s.Schedule(1.0, [] {});

@@ -16,11 +16,40 @@ namespace {
 /// Checks every mediation and outcome for protocol invariants.
 class InvariantObserver : public core::MediationObserver {
  public:
+  /// Enables the candidate-index consistency check (the registry must
+  /// outlive the observer).
+  void set_registry(const core::Registry* registry) { registry_ = registry; }
+
   void OnMediation(const model::Query& query,
                    const core::AllocationDecision& decision,
                    double now) override {
     ++mediations_;
     ASSERT_GE(now, query.issued_at);
+    // The incrementally maintained candidate index must agree with a
+    // brute-force population scan at every single mediation, no matter how
+    // much churn/departure/join traffic preceded it — and the selected
+    // providers must be eligible right now.
+    if (registry_ != nullptr) {
+      const core::CandidateIndex& index = registry_->candidate_index();
+      size_t eligible = 0;
+      for (const core::Provider& p : registry_->providers()) {
+        const bool expect = p.alive() && p.CanTreat(query.query_class);
+        eligible += expect ? 1u : 0u;
+        ASSERT_EQ(index.ContainsFor(query.query_class, p.id()), expect)
+            << "provider " << p.id() << " class " << query.query_class;
+      }
+      ASSERT_EQ(index.CountFor(query.query_class), eligible);
+      ASSERT_EQ(registry_->alive_provider_count(), [this] {
+        size_t n = 0;
+        for (const core::Provider& p : registry_->providers()) {
+          if (p.alive()) ++n;
+        }
+        return n;
+      }());
+      for (model::ProviderId p : decision.selected) {
+        ASSERT_TRUE(index.ContainsFor(query.query_class, p));
+      }
+    }
     // Selected is unique and within the consulted set (when one is given).
     std::set<model::ProviderId> selected(decision.selected.begin(),
                                          decision.selected.end());
@@ -71,6 +100,7 @@ class InvariantObserver : public core::MediationObserver {
   int64_t completions() const { return completions_; }
 
  private:
+  const core::Registry* registry_ = nullptr;
   int64_t mediations_ = 0;
   int64_t completions_ = 0;
 };
@@ -96,6 +126,13 @@ void RunChaos(uint64_t seed, MethodSpec method) {
   InvariantObserver invariants;
   ScenarioConfig config = ChaosConfig(seed, std::move(method));
   config.observers.push_back(&invariants);
+  // Hand the observer the live registry so every mediation cross-checks the
+  // candidate index against a brute-force scan.
+  config.population_hook = [&invariants](core::Registry* registry,
+                                         const boinc::BuiltPopulation&,
+                                         util::Rng*) {
+    invariants.set_registry(registry);
+  };
   const RunResult result = RunScenario(config);
 
   // Nothing is ever lost: every submitted query is finalized exactly once.

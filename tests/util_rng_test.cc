@@ -266,6 +266,85 @@ TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
   }
 }
 
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(31);
+  std::vector<size_t> out;
+  for (int round = 0; round < 200; ++round) {
+    rng.SampleIndices(100, 7, &out);
+    EXPECT_EQ(out.size(), 7u);
+    std::set<size_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size());
+    for (size_t index : out) EXPECT_LT(index, 100u);
+  }
+}
+
+TEST(RngTest, SampleIndicesEdgeCases) {
+  Rng rng(32);
+  std::vector<size_t> out{99};  // stale content must be replaced
+  rng.SampleIndices(0, 5, &out);
+  EXPECT_TRUE(out.empty());
+  rng.SampleIndices(5, 0, &out);
+  EXPECT_TRUE(out.empty());
+  rng.SampleIndices(4, 10, &out);  // k >= n returns a full shuffle
+  std::set<size_t> unique(out.begin(), out.end());
+  EXPECT_EQ(unique, (std::set<size_t>{0, 1, 2, 3}));
+}
+
+TEST(RngTest, SampleIndicesIsUnbiasedSmallK) {
+  // Floyd path (k << n): each index appears with probability k/n.
+  Rng rng(33);
+  std::vector<int> counts(20, 0);
+  std::vector<size_t> out;
+  const int rounds = 40000;
+  for (int i = 0; i < rounds; ++i) {
+    rng.SampleIndices(20, 3, &out);
+    for (size_t index : out) ++counts[index];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / rounds, 3.0 / 20.0, 0.01);
+  }
+}
+
+TEST(RngTest, SampleIndicesLargeSparseKStaysDistinctAndUniform) {
+  // Exercises the hashed-Floyd branch (k > 64, n >= 16k).
+  Rng rng(36);
+  const size_t n = 5000, k = 128;
+  std::vector<size_t> out;
+  std::vector<int> counts(n, 0);
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) {
+    rng.SampleIndices(n, k, &out);
+    EXPECT_EQ(out.size(), k);
+    std::set<size_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t index : out) {
+      ASSERT_LT(index, n);
+      ++counts[index];
+    }
+  }
+  // Mean appearance rate k/n with loose per-index bounds.
+  const double expected = rounds * static_cast<double>(k) / n;  // ~51
+  for (int c : counts) EXPECT_NEAR(c, expected, expected);
+}
+
+TEST(RngTest, SampleIndicesIsUnbiasedDenseK) {
+  // Dense path (k large relative to n): the partial-Fisher-Yates fallback
+  // must stay uniform too.
+  Rng rng(34);
+  const size_t n = 200, k = 100;
+  std::vector<int> counts(n, 0);
+  std::vector<size_t> out;
+  const int rounds = 4000;
+  for (int i = 0; i < rounds; ++i) {
+    rng.SampleIndices(n, k, &out);
+    EXPECT_EQ(out.size(), k);
+    for (size_t index : out) ++counts[index];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / rounds, 0.5, 0.05);
+  }
+}
+
 // Property sweep: all distributions stay in range across many seeds.
 class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
 
