@@ -3,12 +3,16 @@
 
 /// \file
 /// Shared helpers for the scenario bench binaries: consistent headers,
-/// optional CSV dumps and scale controls via environment variables.
+/// optional CSV dumps, machine-readable JSON result emission (one shared
+/// writer instead of per-bench fprintf blocks) and scale controls via
+/// environment variables.
 ///
 ///   SBQA_BENCH_VOLUNTEERS  population size  (default per bench)
 ///   SBQA_BENCH_DURATION    simulated length (seconds)
 ///   SBQA_BENCH_SEED        root seed
 ///   SBQA_BENCH_CSV         directory for time-series / summary CSV dumps
+///   SBQA_BENCH_JSON        output path for the JSON dump
+///                          (default BENCH_<bench>.json)
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +52,134 @@ inline experiments::ScenarioConfig ApplyEnv(
       EnvOr("SBQA_BENCH_DURATION", static_cast<uint64_t>(config.duration)));
   config.seed = EnvOr("SBQA_BENCH_SEED", config.seed);
   return config;
+}
+
+/// Where a bench's JSON dump goes: SBQA_BENCH_JSON, or BENCH_<bench>.json
+/// in the working directory.
+inline std::string BenchJsonPath(const char* bench) {
+  const char* env = std::getenv("SBQA_BENCH_JSON");
+  if (env != nullptr && *env != '\0') return env;
+  return util::StrFormat("BENCH_%s.json", bench);
+}
+
+/// Minimal streaming JSON writer for the BENCH_*.json dumps. Tracks
+/// object/array nesting and comma placement so benches emit structured
+/// results without hand-maintained fprintf boilerplate.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "w");
+  }
+  ~JsonWriter() { Close(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fprintf(file_, "\n");
+      std::fclose(file_);
+      file_ = nullptr;
+      std::printf("Wrote %s\n", path_.c_str());
+    }
+  }
+
+  void BeginObject(const char* key = nullptr) { Open(key, '{'); }
+  void EndObject() { CloseScope('}'); }
+  void BeginArray(const char* key = nullptr) { Open(key, '['); }
+  void EndArray() { CloseScope(']'); }
+
+  void Field(const char* key, const char* value) {
+    if (!Prefix(key)) return;
+    std::fprintf(file_, "\"%s\"", value);
+  }
+  void Field(const char* key, const std::string& value) {
+    Field(key, value.c_str());
+  }
+  void Field(const char* key, double value, int digits = 3) {
+    if (!Prefix(key)) return;
+    std::fprintf(file_, "%.*f", digits, value);
+  }
+  void Field(const char* key, int64_t value) {
+    if (!Prefix(key)) return;
+    std::fprintf(file_, "%lld", static_cast<long long>(value));
+  }
+  void Field(const char* key, uint64_t value) {
+    if (!Prefix(key)) return;
+    std::fprintf(file_, "%llu", static_cast<unsigned long long>(value));
+  }
+  void Field(const char* key, uint32_t value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(const char* key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+
+ private:
+  /// Writes the comma/indent/key lead-in; false when the file never
+  /// opened (every writing method bails on that, so a JsonWriter on an
+  /// unwritable path is safely inert).
+  bool Prefix(const char* key) {
+    if (!ok()) return false;
+    if (needs_comma_) std::fprintf(file_, ",");
+    std::fprintf(file_, "\n%*s", static_cast<int>(depth_ * 2), "");
+    if (key != nullptr) std::fprintf(file_, "\"%s\": ", key);
+    needs_comma_ = true;
+    return true;
+  }
+  void Open(const char* key, char bracket) {
+    if (!ok()) return;
+    if (depth_ == 0) {
+      std::fprintf(file_, "%c", bracket);
+    } else if (Prefix(key)) {
+      std::fprintf(file_, "%c", bracket);
+    }
+    ++depth_;
+    needs_comma_ = false;
+  }
+  void CloseScope(char bracket) {
+    if (!ok()) return;
+    --depth_;
+    std::fprintf(file_, "\n%*s%c", static_cast<int>(depth_ * 2), "", bracket);
+    needs_comma_ = true;
+  }
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  size_t depth_ = 0;
+  bool needs_comma_ = false;
+};
+
+/// Shared per-method summary emission for the scenario benches: one
+/// BENCH_<bench>.json with the headline metrics of every compared method,
+/// so the repo's perf/quality trajectory is machine-readable across all
+/// scenarios (previously each bench hand-rolled its own dump, or none).
+inline void DumpSummariesJson(
+    const char* bench, const std::vector<experiments::RunResult>& results) {
+  JsonWriter json(BenchJsonPath(bench));
+  if (!json.ok()) return;
+  json.BeginObject();
+  json.Field("bench", bench);
+  json.BeginArray("methods");
+  for (const experiments::RunResult& r : results) {
+    const metrics::RunSummary& s = r.summary;
+    json.BeginObject();
+    json.Field("method", s.method);
+    json.Field("consumer_satisfaction", s.consumer_satisfaction);
+    json.Field("provider_satisfaction", s.provider_satisfaction);
+    json.Field("mean_response_time_s", s.mean_response_time);
+    json.Field("p95_response_time_s", s.p95_response_time);
+    json.Field("throughput_qps", s.throughput);
+    json.Field("queries_finalized", s.queries_finalized);
+    json.Field("provider_retention", s.provider_retention);
+    json.Field("capacity_retention", s.capacity_retention);
+    json.Field("validated_fraction", s.validated_fraction);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
 }
 
 inline void PrintHeader(const char* experiment, const char* claim) {

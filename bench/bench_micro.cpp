@@ -137,8 +137,11 @@ void BM_FullMediationDecision(benchmark::State& state) {
   ctx.candidates = &candidate_set;
   ctx.mediator = &mediator;
   ctx.now = 0;
+  core::AllocationDecision decision;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(method.Allocate(ctx));
+    decision.Clear();
+    method.Allocate(ctx, &decision);
+    benchmark::DoNotOptimize(decision);
   }
   state.SetItemsProcessed(state.iterations());
 }

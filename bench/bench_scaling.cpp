@@ -123,9 +123,12 @@ double LegacyFullScanDecision(AllocationFixture& fix, util::Rng& rng) {
   return best;
 }
 
-/// The indexed path: exactly what Mediator::OnQueryArrival does now.
+/// The indexed path: exactly what Mediator::OnQueryArrival does now (the
+/// decision object is reused across calls, like the mediator's pooled
+/// slots).
 double IndexedDecision(AllocationFixture& fix,
-                       std::vector<model::ProviderId>& scratch) {
+                       std::vector<model::ProviderId>& scratch,
+                       core::AllocationDecision& decision) {
   const model::Query query = fix.NextQuery();
   const core::CandidateSet candidates =
       fix.registry.CandidatesFor(query, &scratch);
@@ -134,7 +137,8 @@ double IndexedDecision(AllocationFixture& fix,
   ctx.candidates = &candidates;
   ctx.mediator = fix.mediator.get();
   ctx.now = 0;
-  const core::AllocationDecision decision = fix.method->Allocate(ctx);
+  decision.Clear();
+  fix.method->Allocate(ctx, &decision);
   return decision.selected.empty() ? 0.0
                                    : static_cast<double>(decision.selected[0]);
 }
@@ -190,8 +194,10 @@ int main() {
     const double full_ns = MeasureNsPerCall(
         [&fix, &legacy_rng] { return LegacyFullScanDecision(fix, legacy_rng); });
     std::vector<model::ProviderId> scratch;
-    const double indexed_ns = MeasureNsPerCall(
-        [&fix, &scratch] { return IndexedDecision(fix, scratch); });
+    core::AllocationDecision decision;
+    const double indexed_ns = MeasureNsPerCall([&fix, &scratch, &decision] {
+      return IndexedDecision(fix, scratch, decision);
+    });
     if (indexed_at_1k == 0) indexed_at_1k = indexed_ns;
     sweep.push_back({providers, full_ns, indexed_ns});
     alloc_table.AddRow({util::StrFormat("%zu", providers),
@@ -255,40 +261,37 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
 
   // Machine-readable dump for the repo's perf trajectory.
-  const char* json_path = std::getenv("SBQA_BENCH_JSON");
-  if (json_path == nullptr || *json_path == '\0') {
-    json_path = "BENCH_scaling.json";
-  }
-  if (FILE* f = std::fopen(json_path, "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"bench_scaling\",\n");
-    std::fprintf(f, "  \"fixed\": {\"k\": %zu, \"kn\": %zu},\n", kK, kKn);
-    std::fprintf(f, "  \"allocation_sweep\": [\n");
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"providers\": %zu, \"full_scan_ns_per_query\": "
-                   "%.0f, \"indexed_ns_per_query\": %.0f, \"speedup\": "
-                   "%.1f}%s\n",
-                   sweep[i].providers, sweep[i].full_scan_ns,
-                   sweep[i].indexed_ns,
-                   sweep[i].full_scan_ns / sweep[i].indexed_ns,
-                   i + 1 < sweep.size() ? "," : "");
+  bench::JsonWriter json(bench::BenchJsonPath("scaling"));
+  if (json.ok()) {
+    json.BeginObject();
+    json.Field("bench", "bench_scaling");
+    json.BeginObject("fixed");
+    json.Field("k", kK);
+    json.Field("kn", kKn);
+    json.EndObject();
+    json.BeginArray("allocation_sweep");
+    for (const SweepRow& row : sweep) {
+      json.BeginObject();
+      json.Field("providers", row.providers);
+      json.Field("full_scan_ns_per_query", row.full_scan_ns, 0);
+      json.Field("indexed_ns_per_query", row.indexed_ns, 0);
+      json.Field("speedup", row.full_scan_ns / row.indexed_ns, 1);
+      json.EndObject();
     }
-    std::fprintf(f, "  ],\n  \"end_to_end\": [\n");
-    for (size_t i = 0; i < e2e.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"volunteers\": %zu, \"queries\": %lld, "
-                   "\"consumer_satisfaction\": %.3f, "
-                   "\"provider_satisfaction\": %.3f, "
-                   "\"mean_response_time_s\": %.3f, \"wall_ms\": %.1f}%s\n",
-                   e2e[i].volunteers,
-                   static_cast<long long>(e2e[i].queries),
-                   e2e[i].consumer_satisfaction, e2e[i].provider_satisfaction,
-                   e2e[i].mean_rt, e2e[i].wall_ms,
-                   i + 1 < e2e.size() ? "," : "");
+    json.EndArray();
+    json.BeginArray("end_to_end");
+    for (const EndToEndRow& row : e2e) {
+      json.BeginObject();
+      json.Field("volunteers", row.volunteers);
+      json.Field("queries", row.queries);
+      json.Field("consumer_satisfaction", row.consumer_satisfaction);
+      json.Field("provider_satisfaction", row.provider_satisfaction);
+      json.Field("mean_response_time_s", row.mean_rt);
+      json.Field("wall_ms", row.wall_ms, 1);
+      json.EndObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("Wrote %s\n", json_path);
+    json.EndArray();
+    json.EndObject();
   }
   return 0;
 }

@@ -26,6 +26,7 @@ int main() {
       experiments::CompareMethods(config, experiments::BaselineMethods());
 
   bench::MaybeDumpCsv("scenario1", results);
+  bench::DumpSummariesJson("scenario1", results);
   std::printf("%s\n",
               experiments::SatisfactionTable(results).ToString().c_str());
   std::printf("%s\n",

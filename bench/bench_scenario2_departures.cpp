@@ -62,6 +62,7 @@ int main() {
   std::printf("%s\n", prediction.ToString().c_str());
 
   bench::MaybeDumpCsv("scenario2", autonomous_results);
+  bench::DumpSummariesJson("scenario2", autonomous_results);
   std::printf("%s\n",
               experiments::RetentionTable(autonomous_results)
                   .ToString()

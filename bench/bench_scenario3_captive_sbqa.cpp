@@ -24,6 +24,7 @@ int main() {
       experiments::CompareMethods(config, experiments::HeadlineMethods());
 
   bench::MaybeDumpCsv("scenario3", results);
+  bench::DumpSummariesJson("scenario3", results);
   std::printf("%s\n",
               experiments::SatisfactionTable(results).ToString().c_str());
   std::printf("%s\n",

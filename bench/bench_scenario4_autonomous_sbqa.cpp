@@ -24,6 +24,7 @@ int main() {
       experiments::CompareMethods(config, experiments::HeadlineMethods());
 
   bench::MaybeDumpCsv("scenario4", results);
+  bench::DumpSummariesJson("scenario4", results);
   std::printf("%s\n",
               experiments::RetentionTable(results).ToString().c_str());
   std::printf("%s\n",

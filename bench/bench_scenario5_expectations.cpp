@@ -48,6 +48,7 @@ int main() {
   for (const auto& r : refs) all.push_back(r);
 
   bench::MaybeDumpCsv("scenario5", all);
+  bench::DumpSummariesJson("scenario5", all);
   std::printf("%s\n", experiments::PerformanceTable(all).ToString().c_str());
   std::printf("%s\n", experiments::LoadBalanceTable(all).ToString().c_str());
 

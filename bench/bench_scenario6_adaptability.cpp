@@ -73,6 +73,7 @@ int main() {
       base, experiments::DefaultSbqaParams(), "omega=adaptive"));
 
   bench::MaybeDumpCsv("scenario6_omega", omega_results);
+  bench::DumpSummariesJson("scenario6", omega_results);
   std::printf("omega sweep (k=20, kn=8):\n");
   util::TextTable omega_table;
   omega_table.SetHeader({"variant", "cons.sat", "prov.sat", "prov.kept",

@@ -26,6 +26,7 @@ int main() {
   const std::vector<experiments::RunResult> results =
       experiments::CompareMethods(config, methods);
   bench::MaybeDumpCsv("scenario7", results);
+  bench::DumpSummariesJson("scenario7", results);
 
   util::TextTable table;
   table.SetHeader({"method", "guest.cons.sat", "guest.cons.alloc",

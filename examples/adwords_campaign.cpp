@@ -12,6 +12,7 @@
 /// campaign window and falls back afterwards — with no reconfiguration of
 /// the mediator whatsoever.
 
+#include <array>
 #include <cstdio>
 #include <memory>
 

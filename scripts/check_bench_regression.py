@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Compares a freshly measured BENCH_event_engine.json against the baseline
+committed in the repository and fails (exit 1) when
+
+  * the end-to-end ns/query of the `exact` run regressed by more than the
+    allowed factor, after normalizing for machine speed, or
+  * the steady-state allocations-per-query count became nonzero.
+
+Machine normalization: every bench run also measures the seed-engine
+replica ("legacy" scheduler rows), a fixed workload whose throughput is a
+pure function of the host. The fresh ns/query is scaled by the ratio of
+the fresh machine's legacy throughput to the baseline machine's before
+comparing, so a slow shared CI runner does not produce a false regression
+and a fast one cannot mask a real one.
+
+Usage: check_bench_regression.py <fresh.json> <committed-baseline.json>
+       [--max-regression 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def exact_ns_per_query(doc):
+    for run in doc["end_to_end"]["runs"]:
+        if run["run"] == "exact":
+            return float(run["ns_per_query"])
+    raise KeyError("no 'exact' end_to_end run in bench JSON")
+
+
+def legacy_events_per_sec(doc):
+    rates = [float(row["events_per_sec"]) for row in doc["scheduler"]
+             if row["engine"] == "legacy"]
+    if not rates:
+        raise KeyError("no legacy scheduler rows in bench JSON")
+    return sum(rates) / len(rates)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when machine-normalized fresh ns/query "
+                             "exceeds baseline by more than this factor")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    machine_speed = legacy_events_per_sec(fresh) / legacy_events_per_sec(
+        baseline)
+    fresh_ns = exact_ns_per_query(fresh)
+    normalized_ns = fresh_ns * machine_speed
+    baseline_ns = exact_ns_per_query(baseline)
+    ratio = normalized_ns / baseline_ns
+    print(f"machine speed vs baseline host: {machine_speed:.2f}x")
+    print(f"ns/query: fresh={fresh_ns:.0f} normalized={normalized_ns:.0f} "
+          f"baseline={baseline_ns:.0f} ratio={ratio:.2f}x "
+          f"(limit {args.max_regression:.2f}x)")
+
+    failed = False
+    if ratio > args.max_regression:
+        print("FAIL: end-to-end ns/query regressed beyond the limit")
+        failed = True
+
+    allocs = float(fresh["allocations"]["per_query_steady_state"])
+    print(f"steady-state allocations/query: {allocs:.3f}")
+    if allocs != 0.0:
+        print("FAIL: steady-state mediation is no longer allocation-free")
+        failed = True
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,28 +7,25 @@
 
 namespace sbqa::baselines {
 
-core::AllocationDecision CapacityBasedMethod::Allocate(
-    const core::AllocationContext& ctx) {
+void CapacityBasedMethod::Allocate(const core::AllocationContext& ctx,
+                                   core::AllocationDecision* decision) {
   const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
-  const std::vector<double> backlogs = ctx.mediator->BacklogsOf(candidates);
+  ctx.mediator->BacklogsOf(candidates, &backlogs_);
 
-  std::vector<size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0u);
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), 0u);
   // Randomize first so equal backlogs (e.g. all idle) break randomly.
-  ctx.mediator->rng().Shuffle(&order);
-  std::stable_sort(order.begin(), order.end(),
-                   [&backlogs](size_t a, size_t b) {
-                     return backlogs[a] < backlogs[b];
-                   });
+  ctx.mediator->rng().Shuffle(&order_);
+  std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+    return backlogs_[a] < backlogs_[b];
+  });
 
   const size_t n = std::min(candidates.size(),
                             static_cast<size_t>(ctx.query->n_results));
-  core::AllocationDecision decision;
-  decision.selected.reserve(n);
+  decision->selected.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    decision.selected.push_back(candidates[order[i]]);
+    decision->selected.push_back(candidates[order_[i]]);
   }
-  return decision;
 }
 
 }  // namespace sbqa::baselines

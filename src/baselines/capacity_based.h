@@ -9,6 +9,7 @@
 /// pull work regardless of anyone's interests.
 
 #include <string>
+#include <vector>
 
 #include "core/allocation_method.h"
 
@@ -18,7 +19,14 @@ namespace sbqa::baselines {
 class CapacityBasedMethod : public core::AllocationMethod {
  public:
   std::string name() const override { return "Capacity"; }
-  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+  void Allocate(const core::AllocationContext& ctx,
+                core::AllocationDecision* decision) override;
+
+ private:
+  /// Reused per-query scratch (full-scan method; allocation-free once
+  /// warm).
+  std::vector<double> backlogs_;
+  std::vector<size_t> order_;
 };
 
 }  // namespace sbqa::baselines

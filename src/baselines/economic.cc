@@ -31,8 +31,8 @@ double EconomicMethod::BidOf(const core::AllocationContext& ctx,
   return bid;
 }
 
-core::AllocationDecision EconomicMethod::Allocate(
-    const core::AllocationContext& ctx) {
+void EconomicMethod::Allocate(const core::AllocationContext& ctx,
+                              core::AllocationDecision* decision) {
   const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
 
   // Budget per result: what the query would cost on a nominal-capacity,
@@ -40,29 +40,28 @@ core::AllocationDecision EconomicMethod::Allocate(
   const double budget =
       params_.budget_factor * ctx.query->cost * params_.price_per_second;
 
-  std::vector<double> bids;
-  bids.reserve(candidates.size());
-  for (model::ProviderId p : candidates) bids.push_back(BidOf(ctx, p));
+  bids_.clear();
+  bids_.reserve(candidates.size());
+  for (model::ProviderId p : candidates) bids_.push_back(BidOf(ctx, p));
 
-  std::vector<size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0u);
-  ctx.mediator->rng().Shuffle(&order);
-  std::stable_sort(order.begin(), order.end(), [&bids](size_t a, size_t b) {
-    return bids[a] < bids[b];
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  ctx.mediator->rng().Shuffle(&order_);
+  std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+    return bids_[a] < bids_[b];
   });
 
   const size_t n = std::min(candidates.size(),
                             static_cast<size_t>(ctx.query->n_results));
-  core::AllocationDecision decision;
-  decision.used_bid_round = true;  // the auction costs one round-trip
-  for (size_t i = 0; i < order.size() && decision.selected.size() < n; ++i) {
-    if (bids[order[i]] > budget) break;  // sorted: everything after is worse
-    decision.selected.push_back(candidates[order[i]]);
+  decision->used_bid_round = true;  // the auction costs one round-trip
+  for (size_t i = 0; i < order_.size() && decision->selected.size() < n;
+       ++i) {
+    if (bids_[order_[i]] > budget) break;  // sorted: everything after is worse
+    decision->selected.push_back(candidates[order_[i]]);
   }
   // Bids are prices, not expressed intentions: only the winners are
   // "proposed" a query in the Definition-2 sense, so `consulted` is left to
   // default to the selected set.
-  return decision;
 }
 
 }  // namespace sbqa::baselines

@@ -13,6 +13,7 @@
 /// participants dissatisfied (Scenarios 1-2).
 
 #include <string>
+#include <vector>
 
 #include "core/allocation_method.h"
 
@@ -38,7 +39,8 @@ class EconomicMethod : public core::AllocationMethod {
   explicit EconomicMethod(const EconomicParams& params = {});
 
   std::string name() const override { return "Economic"; }
-  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+  void Allocate(const core::AllocationContext& ctx,
+                core::AllocationDecision* decision) override;
 
   /// The bid provider p would submit for `query` right now (exposed for
   /// tests).
@@ -49,6 +51,10 @@ class EconomicMethod : public core::AllocationMethod {
 
  private:
   EconomicParams params_;
+  /// Reused per-query scratch (full-scan method; allocation-free once
+  /// warm).
+  std::vector<double> bids_;
+  std::vector<size_t> order_;
 };
 
 }  // namespace sbqa::baselines

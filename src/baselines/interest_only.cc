@@ -7,15 +7,14 @@
 
 namespace sbqa::baselines {
 
-core::AllocationDecision InterestOnlyMethod::Allocate(
-    const core::AllocationContext& ctx) {
+void InterestOnlyMethod::Allocate(const core::AllocationContext& ctx,
+                                  core::AllocationDecision* decision) {
   const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
   const core::Registry& registry = ctx.mediator->registry();
-  const core::Consumer& consumer =
-      registry.consumer(ctx.query->consumer);
+  const core::Consumer& consumer = registry.consumer(ctx.query->consumer);
 
-  std::vector<core::ScoredProvider> scored;
-  scored.reserve(candidates.size());
+  scored_.clear();
+  scored_.reserve(candidates.size());
   for (model::ProviderId p : candidates) {
     const core::Provider& provider = registry.provider(p);
     core::ScoredProvider sp;
@@ -25,18 +24,16 @@ core::AllocationDecision InterestOnlyMethod::Allocate(
     sp.omega = 0.5;
     sp.score = core::ProviderScore(sp.provider_intention,
                                    sp.consumer_intention, 0.5, epsilon_);
-    scored.push_back(sp);
+    scored_.push_back(sp);
   }
-  core::RankByScore(&scored);
+  core::RankByScore(&scored_);
 
   const size_t n = std::min(candidates.size(),
                             static_cast<size_t>(ctx.query->n_results));
-  core::AllocationDecision decision;
-  decision.selected.reserve(n);
+  decision->selected.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    decision.selected.push_back(scored[i].provider);
+    decision->selected.push_back(scored_[i].provider);
   }
-  return decision;
 }
 
 }  // namespace sbqa::baselines

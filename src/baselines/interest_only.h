@@ -8,8 +8,10 @@
 /// ω. Isolates what pure interest matching does to response times.
 
 #include <string>
+#include <vector>
 
 #include "core/allocation_method.h"
+#include "core/score.h"
 
 namespace sbqa::baselines {
 
@@ -19,10 +21,14 @@ class InterestOnlyMethod : public core::AllocationMethod {
   explicit InterestOnlyMethod(double epsilon = 1.0) : epsilon_(epsilon) {}
 
   std::string name() const override { return "InterestOnly"; }
-  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+  void Allocate(const core::AllocationContext& ctx,
+                core::AllocationDecision* decision) override;
 
  private:
   double epsilon_;
+  /// Reused per-query scratch (full-scan method; allocation-free once
+  /// warm).
+  std::vector<core::ScoredProvider> scored_;
 };
 
 }  // namespace sbqa::baselines

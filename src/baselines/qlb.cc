@@ -7,28 +7,25 @@
 
 namespace sbqa::baselines {
 
-core::AllocationDecision QlbMethod::Allocate(
-    const core::AllocationContext& ctx) {
+void QlbMethod::Allocate(const core::AllocationContext& ctx,
+                         core::AllocationDecision* decision) {
   const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
   // Expected completion through the mediator's (possibly stale) load view.
-  const std::vector<double> ect =
-      ctx.mediator->ExpectedCompletionsOf(*ctx.query, candidates);
+  ctx.mediator->ExpectedCompletionsOf(*ctx.query, candidates, &ect_);
 
-  std::vector<size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0u);
-  ctx.mediator->rng().Shuffle(&order);
-  std::stable_sort(order.begin(), order.end(), [&ect](size_t a, size_t b) {
-    return ect[a] < ect[b];
+  order_.resize(candidates.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  ctx.mediator->rng().Shuffle(&order_);
+  std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+    return ect_[a] < ect_[b];
   });
 
   const size_t n = std::min(candidates.size(),
                             static_cast<size_t>(ctx.query->n_results));
-  core::AllocationDecision decision;
-  decision.selected.reserve(n);
+  decision->selected.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    decision.selected.push_back(candidates[order[i]]);
+    decision->selected.push_back(candidates[order_[i]]);
   }
-  return decision;
 }
 
 }  // namespace sbqa::baselines

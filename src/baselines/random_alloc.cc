@@ -4,14 +4,12 @@
 
 namespace sbqa::baselines {
 
-core::AllocationDecision RandomMethod::Allocate(
-    const core::AllocationContext& ctx) {
-  core::AllocationDecision decision;
+void RandomMethod::Allocate(const core::AllocationContext& ctx,
+                            core::AllocationDecision* decision) {
   // Uniform n-subset of Pq straight off the candidate index: O(n_results),
   // never materializes the candidate list.
   ctx.candidates->SampleUniform(static_cast<size_t>(ctx.query->n_results),
-                                ctx.mediator->rng(), &decision.selected);
-  return decision;
+                                ctx.mediator->rng(), &decision->selected);
 }
 
 }  // namespace sbqa::baselines

@@ -15,7 +15,8 @@ namespace sbqa::baselines {
 class RandomMethod : public core::AllocationMethod {
  public:
   std::string name() const override { return "Random"; }
-  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+  void Allocate(const core::AllocationContext& ctx,
+                core::AllocationDecision* decision) override;
 };
 
 }  // namespace sbqa::baselines

@@ -6,22 +6,21 @@
 
 namespace sbqa::baselines {
 
-core::AllocationDecision RoundRobinMethod::Allocate(
-    const core::AllocationContext& ctx) {
+void RoundRobinMethod::Allocate(const core::AllocationContext& ctx,
+                                core::AllocationDecision* decision) {
   // Rotation needs a stable ascending order; All() yields arbitrary index
-  // order, so sort a local copy (round-robin is the only order-sensitive
+  // order, so sort a reused copy (round-robin is the only order-sensitive
   // method, so it alone pays for the ordering).
-  std::vector<model::ProviderId> candidates = ctx.candidates->All();
-  std::sort(candidates.begin(), candidates.end());
-  const size_t n = std::min(candidates.size(),
+  const std::vector<model::ProviderId>& candidates = ctx.candidates->All();
+  sorted_.assign(candidates.begin(), candidates.end());
+  std::sort(sorted_.begin(), sorted_.end());
+  const size_t n = std::min(sorted_.size(),
                             static_cast<size_t>(ctx.query->n_results));
-  core::AllocationDecision decision;
-  decision.selected.reserve(n);
+  decision->selected.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    decision.selected.push_back(candidates[(cursor_ + i) % candidates.size()]);
+    decision->selected.push_back(sorted_[(cursor_ + i) % sorted_.size()]);
   }
-  cursor_ = (cursor_ + n) % std::max<size_t>(candidates.size(), 1);
-  return decision;
+  cursor_ = (cursor_ + n) % std::max<size_t>(sorted_.size(), 1);
 }
 
 }  // namespace sbqa::baselines

@@ -7,6 +7,7 @@
 /// oblivious to cost, capacity and interests.
 
 #include <string>
+#include <vector>
 
 #include "core/allocation_method.h"
 
@@ -16,10 +17,14 @@ namespace sbqa::baselines {
 class RoundRobinMethod : public core::AllocationMethod {
  public:
   std::string name() const override { return "RoundRobin"; }
-  core::AllocationDecision Allocate(const core::AllocationContext& ctx) override;
+  void Allocate(const core::AllocationContext& ctx,
+                core::AllocationDecision* decision) override;
 
  private:
   size_t cursor_ = 0;
+  /// Reused sorted copy of the candidate list (rotation needs a stable
+  /// ascending order; All() yields arbitrary index order).
+  std::vector<model::ProviderId> sorted_;
 };
 
 }  // namespace sbqa::baselines

@@ -33,7 +33,10 @@ struct AllocationContext {
   double now = 0;
 };
 
-/// The outcome of one allocation decision.
+/// The outcome of one allocation decision. Decisions are pooled by the
+/// mediator (one per in-flight query slot) and recycled, so methods fill a
+/// cleared decision whose vectors retain their capacity — the steady-state
+/// mediation path allocates nothing.
 struct AllocationDecision {
   /// Providers the query is dispatched to, best-ranked first. The mediator
   /// truncates to min(q.n_results, selected.size()).
@@ -61,6 +64,16 @@ struct AllocationDecision {
   /// True when the method performed a bid round-trip (economic baseline);
   /// adds one RTT to the mediation latency.
   bool used_bid_round = false;
+
+  /// Empties the decision while keeping the vectors' capacity (pool reuse).
+  void Clear() {
+    selected.clear();
+    consulted.clear();
+    provider_intentions.clear();
+    consumer_intentions.clear();
+    used_intention_round = false;
+    used_bid_round = false;
+  }
 };
 
 /// Strategy interface; implementations must be deterministic given the
@@ -72,8 +85,12 @@ class AllocationMethod {
   /// Short, stable identifier used in reports, e.g. "SbQA" or "Capacity".
   virtual std::string name() const = 0;
 
-  /// Chooses providers for `ctx.query` from `ctx.candidates` (non-empty).
-  virtual AllocationDecision Allocate(const AllocationContext& ctx) = 0;
+  /// Chooses providers for `ctx.query` from `ctx.candidates` (non-empty),
+  /// writing into *decision (pre-cleared by the caller, vectors keep their
+  /// pooled capacity). Implementations should reuse member scratch instead
+  /// of allocating per query.
+  virtual void Allocate(const AllocationContext& ctx,
+                        AllocationDecision* decision) = 0;
 };
 
 }  // namespace sbqa::core

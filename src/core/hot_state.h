@@ -1,0 +1,98 @@
+#ifndef SBQA_CORE_HOT_STATE_H_
+#define SBQA_CORE_HOT_STATE_H_
+
+/// \file
+/// Struct-of-arrays block for the per-provider fields the mediation hot
+/// path touches on every query: busy-until horizon, capacity, utilization
+/// normalization and queue bookkeeping. A KnBest-style decision reads the
+/// backlogs of k random providers; with the fields packed in dense arrays
+/// indexed by the registry's dense provider ids, that read touches k cache
+/// lines of an 8-byte-per-provider array instead of pulling k full Provider
+/// objects (several cache lines each) through the cache.
+///
+/// The block is owned by the Registry (one slot per provider, appended at
+/// registration, never removed); Provider keeps a pointer + slot and
+/// delegates its queueing accessors here, so all call sites keep the
+/// Provider API while hot readers (Mediator::ViewedBacklog, expected
+/// completions) go straight to the arrays.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sbqa::core {
+
+/// Dense hot-state arrays, indexed by provider slot (== dense ProviderId
+/// for registry-owned providers).
+class ProviderHotState {
+ public:
+  ProviderHotState() = default;
+  ProviderHotState(const ProviderHotState&) = delete;
+  ProviderHotState& operator=(const ProviderHotState&) = delete;
+
+  /// Adds one provider slot; returns its index.
+  uint32_t Append(double capacity, double tau_utilization) {
+    SBQA_CHECK_GT(capacity, 0);
+    SBQA_CHECK_GT(tau_utilization, 0);
+    capacity_.push_back(capacity);
+    tau_.push_back(tau_utilization);
+    busy_until_.push_back(0.0);
+    outstanding_.push_back(0);
+    queue_epoch_.push_back(0);
+    return static_cast<uint32_t>(capacity_.size() - 1);
+  }
+
+  size_t size() const { return capacity_.size(); }
+
+  /// Seconds of queued work remaining at time `now` (0 when idle).
+  double Backlog(uint32_t slot, double now) const {
+    const double b = busy_until_[slot] - now;
+    return b > 0 ? b : 0.0;
+  }
+
+  /// Expected completion delay: backlog + cost / capacity.
+  double ExpectedCompletion(uint32_t slot, double now, double cost) const {
+    return Backlog(slot, now) + cost / capacity_[slot];
+  }
+
+  /// Enqueues `cost` work units at `now`; returns the absolute finish time.
+  double Enqueue(uint32_t slot, double now, double cost) {
+    const double start = busy_until_[slot] > now ? busy_until_[slot] : now;
+    busy_until_[slot] = start + cost / capacity_[slot];
+    ++outstanding_[slot];
+    return busy_until_[slot];
+  }
+
+  void OnInstanceFinished(uint32_t slot) { --outstanding_[slot]; }
+
+  /// Drops queued work and bumps the epoch (invalidating scheduled
+  /// completion events of the dropped instances).
+  void DropQueue(uint32_t slot, double now) {
+    busy_until_[slot] = now;
+    outstanding_[slot] = 0;
+    ++queue_epoch_[slot];
+  }
+
+  /// Normalized utilization in [0, 1): backlog / (backlog + tau).
+  double UtilizationNorm(uint32_t slot, double now) const {
+    const double b = Backlog(slot, now);
+    return b / (b + tau_[slot]);
+  }
+
+  double capacity(uint32_t slot) const { return capacity_[slot]; }
+  double busy_until(uint32_t slot) const { return busy_until_[slot]; }
+  int32_t outstanding(uint32_t slot) const { return outstanding_[slot]; }
+  uint64_t queue_epoch(uint32_t slot) const { return queue_epoch_[slot]; }
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<double> tau_;
+  std::vector<double> busy_until_;
+  std::vector<int32_t> outstanding_;
+  std::vector<uint64_t> queue_epoch_;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_HOT_STATE_H_

@@ -37,26 +37,40 @@ void KeepKnLeastUtilized(const std::vector<model::ProviderId>& sample,
   // A fresh random key per entry makes equal-backlog ordering uniformly
   // random regardless of how the sample was emitted — the same
   // distribution the original shuffle + stable_sort produced.
-  scratch->clear();
-  scratch->reserve(sample.size());
-  for (size_t i = 0; i < sample.size(); ++i) {
-    scratch->push_back({backlogs[i], rng.Next(), static_cast<uint32_t>(i)});
-  }
+  //
+  // Bounded insertion selection: `scratch` holds the `keep` least-utilized
+  // entries seen so far, sorted ascending by (backlog, tie). For the hot
+  // k≈20 / kn≈8 regime this runs a handful of cache-resident compares per
+  // entry — measurably cheaper than nth_element + sort — and produces the
+  // identical result (keys are unique, so the order is total).
   const auto less = [](const KnBestScratch::Entry& a,
                        const KnBestScratch::Entry& b) {
     if (a.backlog != b.backlog) return a.backlog < b.backlog;
     return a.tie < b.tie;
   };
-  if (keep < scratch->size()) {
-    std::nth_element(scratch->begin(),
-                     scratch->begin() + static_cast<long>(keep) - 1,
-                     scratch->end(), less);
+  scratch->clear();
+  scratch->reserve(keep);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    // One rng draw per entry, in sample order (the tie-randomization
+    // contract the distribution tests pin down).
+    const KnBestScratch::Entry entry{backlogs[i], rng.Next(),
+                                     static_cast<uint32_t>(i)};
+    if (scratch->size() == keep && !less(entry, scratch->back())) continue;
+    size_t pos = scratch->size();
+    if (scratch->size() < keep) {
+      scratch->push_back(entry);
+    } else {
+      pos = keep - 1;
+    }
+    while (pos > 0 && less(entry, (*scratch)[pos - 1])) {
+      (*scratch)[pos] = (*scratch)[pos - 1];
+      --pos;
+    }
+    (*scratch)[pos] = entry;
   }
-  std::sort(scratch->begin(), scratch->begin() + static_cast<long>(keep),
-            less);
-  out->reserve(out->size() + keep);
-  for (size_t i = 0; i < keep; ++i) {
-    out->push_back(sample[(*scratch)[i].index]);
+  out->reserve(out->size() + scratch->size());
+  for (const KnBestScratch::Entry& entry : *scratch) {
+    out->push_back(sample[entry.index]);
   }
 }
 
@@ -107,30 +121,42 @@ std::vector<model::ProviderId> SelectKnBest(
   return kn;
 }
 
-AllocationDecision KnBestMethod::Allocate(const AllocationContext& ctx) {
+void KnBestMethod::Allocate(const AllocationContext& ctx,
+                            AllocationDecision* decision) {
   SBQA_CHECK(ctx.query != nullptr);
   SBQA_CHECK(ctx.candidates != nullptr);
   SBQA_CHECK(ctx.mediator != nullptr);
+  SBQA_CHECK(decision != nullptr);
 
-  std::vector<model::ProviderId> kn;
-  SelectKnBestFrom(*ctx.candidates, *ctx.mediator, params_, &scratch_, &kn);
+  SelectKnBestFrom(*ctx.candidates, *ctx.mediator, params_, &scratch_,
+                   &decision->consulted);
 
-  AllocationDecision decision;
-  decision.consulted = kn;
   const size_t n = static_cast<size_t>(ctx.query->n_results);
+  const size_t take = std::min(n, decision->consulted.size());
   if (params_.greedy_final) {
     // Greedy variant: Kn comes back ordered by ascending backlog, so the
     // first n are the least utilized.
-    kn.resize(std::min(n, kn.size()));
-    decision.selected = std::move(kn);
+    decision->selected.assign(decision->consulted.begin(),
+                              decision->consulted.begin() +
+                                  static_cast<long>(take));
   } else {
     // DASFAA formulation: the final n providers are drawn at random within
     // Kn (randomization avoids the herd effect of always picking the same
-    // least-loaded host).
-    decision.selected =
-        ctx.mediator->rng().SampleWithoutReplacement(std::move(kn), n);
+    // least-loaded host). Partial Fisher-Yates over a reused copy —
+    // identical draws to Rng::SampleWithoutReplacement, no allocation.
+    pick_scratch_.assign(decision->consulted.begin(),
+                         decision->consulted.end());
+    util::Rng& rng = ctx.mediator->rng();
+    for (size_t i = 0; i < take; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(pick_scratch_.size() - 1 - i)));
+      std::swap(pick_scratch_[i], pick_scratch_[j]);
+    }
+    decision->selected.assign(pick_scratch_.begin(),
+                              pick_scratch_.begin() +
+                                  static_cast<long>(take));
   }
-  return decision;
 }
 
 }  // namespace sbqa::core

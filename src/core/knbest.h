@@ -52,8 +52,9 @@ struct KnBestParams {
 struct KnBestScratch {
   std::vector<model::ProviderId> k_sample;
   std::vector<double> backlogs;
-  /// (backlog, random tie key, sample position) triples ranked by
-  /// nth_element; the tie key randomizes equal-backlog ordering.
+  /// (backlog, random tie key, sample position) triples; holds the
+  /// bounded insertion-selection buffer of the kn least utilized. The tie
+  /// key randomizes equal-backlog ordering.
   struct Entry {
     double backlog;
     uint64_t tie;
@@ -99,13 +100,16 @@ class KnBestMethod : public AllocationMethod {
   std::string name() const override {
     return params_.greedy_final ? "KnBest-greedy" : "KnBest";
   }
-  AllocationDecision Allocate(const AllocationContext& ctx) override;
+  void Allocate(const AllocationContext& ctx,
+                AllocationDecision* decision) override;
 
   const KnBestParams& params() const { return params_; }
 
  private:
   KnBestParams params_;
   KnBestScratch scratch_;
+  /// Reused buffer for the randomized final pick within Kn.
+  std::vector<model::ProviderId> pick_scratch_;
 };
 
 }  // namespace sbqa::core

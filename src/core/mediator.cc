@@ -22,6 +22,14 @@ Mediator::Mediator(sim::Simulation* sim, Registry* registry,
   SBQA_CHECK(reputation_ != nullptr);
   SBQA_CHECK(method_ != nullptr);
   SBQA_CHECK_GT(config_.query_timeout, 0);
+  inbox_ = sim_->network().RegisterDestination();
+  // Size the dense per-provider tables for the population known at
+  // construction, so the steady-state path never grows them (providers
+  // joining at runtime extend them on first contact).
+  if (registry_->provider_count() > 0) {
+    EnsureProviderTables(
+        static_cast<model::ProviderId>(registry_->provider_count() - 1));
+  }
 }
 
 void Mediator::AddObserver(MediationObserver* observer) {
@@ -68,7 +76,7 @@ void Mediator::ScheduleDepartureSweep() {
   });
 }
 
-void Mediator::After(double delay, std::function<void()> fn) {
+void Mediator::After(double delay, sim::EventFn fn) {
   sim_->scheduler().Schedule(delay, std::move(fn));
 }
 
@@ -86,12 +94,98 @@ double Mediator::RoundTripLatency(size_t fanout) {
   return 2 * max_latency;
 }
 
+// --- In-flight pool ----------------------------------------------------------
+
+Mediator::InflightHandle Mediator::AcquireInflight() {
+  uint32_t slot;
+  if (inflight_free_ != kNoSlot) {
+    slot = inflight_free_;
+    inflight_free_ = inflight_pool_[slot].next_free;
+    inflight_pool_[slot].next_free = kNoSlot;
+  } else {
+    inflight_pool_.emplace_back();
+    slot = static_cast<uint32_t>(inflight_pool_.size() - 1);
+  }
+  InFlight& f = inflight_pool_[slot];
+  f.live = true;
+  f.pending = 0;
+  f.decision.Clear();
+  f.instances.clear();
+  ++inflight_live_;
+  return (static_cast<InflightHandle>(f.generation) << 32) | slot;
+}
+
+Mediator::InFlight* Mediator::Resolve(InflightHandle handle) {
+  const uint32_t slot = SlotOf(handle);
+  const uint32_t generation = static_cast<uint32_t>(handle >> 32);
+  if (slot >= inflight_pool_.size()) return nullptr;
+  InFlight& f = inflight_pool_[slot];
+  if (!f.live || f.generation != generation) return nullptr;
+  return &f;
+}
+
+void Mediator::ReleaseInflight(InflightHandle handle) {
+  const uint32_t slot = SlotOf(handle);
+  InFlight& f = inflight_pool_[slot];
+  SBQA_CHECK(f.live);
+  f.live = false;
+  // Invalidate every handle ever issued for this slot; skip 0 so a handle
+  // can never alias a default-constructed one.
+  if (++f.generation == 0) f.generation = 1;
+  f.next_free = inflight_free_;
+  inflight_free_ = slot;
+  --inflight_live_;
+}
+
+void Mediator::EnsureProviderTables(model::ProviderId provider) {
+  const size_t needed = static_cast<size_t>(provider) + 1;
+  if (load_view_.size() < needed) load_view_.resize(needed);
+  if (provider_inflight_.size() < needed) {
+    const size_t old_size = provider_inflight_.size();
+    provider_inflight_.resize(needed);
+    // Seed each new list with a little capacity so a provider's first
+    // in-flight instances don't allocate on the dispatch hot path.
+    for (size_t i = old_size; i < needed; ++i) {
+      provider_inflight_[i].reserve(4);
+    }
+  }
+  while (provider_dest_.size() < needed) {
+    provider_dest_.push_back(sim_->network().RegisterDestination());
+  }
+}
+
+void Mediator::LinkProviderInflight(model::ProviderId provider,
+                                    InflightHandle h) {
+  provider_inflight_[static_cast<size_t>(provider)].push_back(h);
+}
+
+void Mediator::UnlinkProviderInflight(model::ProviderId provider,
+                                      InflightHandle h) {
+  if (static_cast<size_t>(provider) >= provider_inflight_.size()) return;
+  std::vector<InflightHandle>& list =
+      provider_inflight_[static_cast<size_t>(provider)];
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == h) {
+      list[i] = list.back();
+      list.pop_back();
+      return;
+    }
+  }
+}
+
+// --- Mediation pipeline ------------------------------------------------------
+
 void Mediator::SubmitQuery(model::Query query) {
   query.issued_at = sim_->now();
   ++stats_.queries_submitted;
   registry_->consumer(query.consumer).OnQueryIssued();
-  // Consumer -> mediator hop.
-  After(OneWayLatency(), [this, query] { OnQueryArrival(query); });
+  // Consumer -> mediator hop (batched into the mediator's inbox when the
+  // network runs in batching mode).
+  if (config_.simulate_network) {
+    sim_->network().SendTo(inbox_, [this, query] { OnQueryArrival(query); });
+  } else {
+    After(0, [this, query] { OnQueryArrival(query); });
+  }
 }
 
 void Mediator::OnQueryArrival(model::Query query) {
@@ -105,48 +199,60 @@ void Mediator::OnQueryArrival(model::Query query) {
     return;
   }
 
+  const InflightHandle h = AcquireInflight();
+  InFlight& f = inflight_pool_[SlotOf(h)];
+  f.query = query;
+
   AllocationContext ctx;
-  ctx.query = &query;
+  ctx.query = &f.query;
   ctx.candidates = &candidates;
   ctx.mediator = this;
   ctx.now = sim_->now();
-  AllocationDecision decision = method_->Allocate(ctx);
+  method_->Allocate(ctx, &f.decision);
+  AllocationDecision& decision = f.decision;
 
   // Normalize the decision: consulted defaults to selected; intentions are
   // computed here when the method did not provide them, so the satisfaction
   // model evaluates every technique identically.
-  if (decision.consulted.empty()) decision.consulted = decision.selected;
+  if (decision.consulted.empty()) {
+    decision.consulted.assign(decision.selected.begin(),
+                              decision.selected.end());
+  }
   if (decision.provider_intentions.size() != decision.consulted.size()) {
-    decision.provider_intentions =
-        ComputeProviderIntentions(query, decision.consulted);
+    ComputeProviderIntentions(f.query, decision.consulted,
+                              &decision.provider_intentions);
   }
   if (decision.consumer_intentions.size() != decision.consulted.size()) {
-    decision.consumer_intentions =
-        ComputeConsumerIntentions(query, decision.consulted);
+    ComputeConsumerIntentions(f.query, decision.consulted,
+                              &decision.consumer_intentions);
   }
   // The mediator allocates to at most q.n providers (min(n, kn)).
-  if (decision.selected.size() > static_cast<size_t>(query.n_results)) {
-    decision.selected.resize(static_cast<size_t>(query.n_results));
+  if (decision.selected.size() > static_cast<size_t>(f.query.n_results)) {
+    decision.selected.resize(static_cast<size_t>(f.query.n_results));
   }
 
   for (MediationObserver* obs : observers_) {
-    obs->OnMediation(query, decision, sim_->now());
+    obs->OnMediation(f.query, decision, sim_->now());
   }
 
   const double extra =
       (decision.used_intention_round || decision.used_bid_round)
           ? RoundTripLatency(decision.consulted.size())
           : 0.0;
-  After(extra, [this, query, decision = std::move(decision)]() mutable {
-    Dispatch(query, std::move(decision));
-  });
+  After(extra, [this, h] { Dispatch(h); });
 }
 
-void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
+void Mediator::Dispatch(InflightHandle h) {
+  // Nothing can finalize the slot between OnQueryArrival and Dispatch (it
+  // is not yet linked to any provider and has no timeout), so the handle is
+  // always fresh here.
+  InFlight* f = Resolve(h);
+  SBQA_CHECK(f != nullptr);
+  AllocationDecision& decision = f->decision;
+
   // `selected` is capped at q.n (a handful) and `consulted` at kn, so the
   // bookkeeping below sticks to linear scans over the decision vectors —
   // no per-query hash containers.
-  const size_t consulted_n = decision.consulted.size();
   const auto selected_contains = [&decision](model::ProviderId p) {
     return std::find(decision.selected.begin(), decision.selected.end(), p) !=
            decision.selected.end();
@@ -160,42 +266,46 @@ void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
   if (decision.selected.empty()) {
     // The method could not (or chose not to) allocate anybody, e.g. an
     // economic mediation with no affordable bid.
+    const model::Query query = f->query;
+    ReleaseInflight(h);
     FinalizeUnallocated(query);
-  } else {
-    InFlight inflight;
-    inflight.query = query;
-    inflight.consulted_consumer_intentions = decision.consumer_intentions;
-    inflight.instances.reserve(decision.selected.size());
-    for (model::ProviderId p : decision.selected) {
-      Instance inst;
-      inst.provider = p;
-      const auto it = std::find(decision.consulted.begin(),
-                                decision.consulted.end(), p);
-      inst.consumer_intention =
-          it != decision.consulted.end()
-              ? decision.consumer_intentions[static_cast<size_t>(
-                    it - decision.consulted.begin())]
-              : ComputeConsumerIntention(query, p);
-      inflight.instances.push_back(inst);
-    }
-    inflight.pending = static_cast<int>(inflight.instances.size());
-    const model::QueryId id = query.id;
-    inflight.timeout_event = sim_->scheduler().Schedule(
-        config_.query_timeout, [this, id] { OnTimeout(id); });
-    inflight_[id] = std::move(inflight);
+    return;
+  }
 
-    // Mediator -> provider hops.
-    for (model::ProviderId p : decision.selected) {
-      ++stats_.instances_dispatched;
-      provider_inflight_[p].insert(id);
-      const double cost = query.cost;
-      After(OneWayLatency(),
-            [this, id, p, cost] { OnInstanceArrival(id, p, cost); });
+  f->instances.reserve(decision.selected.size());
+  for (model::ProviderId p : decision.selected) {
+    Instance inst;
+    inst.provider = p;
+    const auto it =
+        std::find(decision.consulted.begin(), decision.consulted.end(), p);
+    inst.consumer_intention =
+        it != decision.consulted.end()
+            ? decision.consumer_intentions[static_cast<size_t>(
+                  it - decision.consulted.begin())]
+            : ComputeConsumerIntention(f->query, p);
+    f->instances.push_back(inst);
+  }
+  f->pending = static_cast<int>(f->instances.size());
+  PushTimeout(sim_->now() + config_.query_timeout, h);
+
+  // Mediator -> provider hops (batched per provider inbox when enabled).
+  const double cost = f->query.cost;
+  for (model::ProviderId p : decision.selected) {
+    ++stats_.instances_dispatched;
+    EnsureProviderTables(p);
+    LinkProviderInflight(p, h);
+    if (config_.simulate_network) {
+      sim_->network().SendTo(
+          provider_dest_[static_cast<size_t>(p)],
+          [this, h, p, cost] { OnInstanceArrival(h, p, cost); });
+    } else {
+      After(0, [this, h, p, cost] { OnInstanceArrival(h, p, cost); });
     }
   }
 
   // Notify all consulted providers of the mediation result: each records
   // the proposal (Definition 2's PPI window) whether or not it was chosen.
+  const size_t consulted_n = decision.consulted.size();
   for (size_t i = 0; i < consulted_n; ++i) {
     const model::ProviderId p = decision.consulted[i];
     Provider& provider = registry_->provider(p);
@@ -203,19 +313,24 @@ void Mediator::Dispatch(model::Query query, AllocationDecision decision) {
     provider.satisfaction_tracker().RecordProposal(
         decision.provider_intentions[i], selected_contains(p));
   }
-  // Dissatisfied providers may now decide to leave (autonomous mode).
-  for (size_t i = 0; i < consulted_n; ++i) {
-    MaybeDepartProvider(decision.consulted[i]);
+  // Dissatisfied providers may now decide to leave (autonomous mode). A
+  // departure can fail this very query's instances and finalize it,
+  // releasing the pool slot mid-loop — walk a scratch copy of the
+  // consulted ids instead of the (possibly recycled) decision.
+  consulted_scratch_.assign(decision.consulted.begin(),
+                            decision.consulted.end());
+  for (model::ProviderId p : consulted_scratch_) {
+    MaybeDepartProvider(p);
   }
 }
 
-void Mediator::OnInstanceArrival(model::QueryId id, model::ProviderId provider,
+void Mediator::OnInstanceArrival(InflightHandle h, model::ProviderId provider,
                                  double cost) {
-  auto it = inflight_.find(id);
+  InFlight* f = Resolve(h);
   Provider& p = registry_->provider(provider);
-  if (it == inflight_.end()) return;  // already finalized (timeout)
+  if (f == nullptr) return;  // already finalized (timeout)
   Instance* inst = nullptr;
-  for (Instance& candidate : it->second.instances) {
+  for (Instance& candidate : f->instances) {
     if (candidate.provider == provider &&
         candidate.status == InstanceStatus::kPending) {
       inst = &candidate;
@@ -226,19 +341,19 @@ void Mediator::OnInstanceArrival(model::QueryId id, model::ProviderId provider,
   if (!p.alive()) {
     inst->status = InstanceStatus::kFailed;
     ++stats_.instances_failed;
-    provider_inflight_[provider].erase(id);
-    if (--it->second.pending == 0) Finalize(id, /*timed_out=*/false);
+    UnlinkProviderInflight(provider, h);
+    if (--f->pending == 0) Finalize(h, /*timed_out=*/false);
     return;
   }
   const double finish_at = p.Enqueue(sim_->now(), cost);
   const uint64_t epoch = p.queue_epoch();
-  sim_->scheduler().ScheduleAt(finish_at, [this, id, provider, cost, epoch] {
+  sim_->scheduler().ScheduleAt(finish_at, [this, h, provider, cost, epoch] {
     if (registry_->provider(provider).queue_epoch() != epoch) return;
-    OnInstanceProcessed(id, provider, cost);
+    OnInstanceProcessed(h, provider, cost);
   });
 }
 
-void Mediator::OnInstanceProcessed(model::QueryId id,
+void Mediator::OnInstanceProcessed(InflightHandle h,
                                    model::ProviderId provider, double cost) {
   Provider& p = registry_->provider(provider);
   p.OnInstanceFinished(cost);
@@ -247,80 +362,145 @@ void Mediator::OnInstanceProcessed(model::QueryId id,
   // invalid result with its configured error rate; reputation tracks this.
   const bool valid = !rng_.Bernoulli(p.params().error_rate);
   reputation_->Record(provider, valid ? 1.0 : 0.0);
-  // Provider -> consumer result hop.
-  After(OneWayLatency(),
-        [this, id, provider, valid] { OnResultReceived(id, provider, valid); });
+  // Provider -> consumer result hop (fans into the mediator inbox).
+  if (config_.simulate_network) {
+    sim_->network().SendTo(inbox_, [this, h, provider, valid] {
+      OnResultReceived(h, provider, valid);
+    });
+  } else {
+    After(0, [this, h, provider, valid] {
+      OnResultReceived(h, provider, valid);
+    });
+  }
 }
 
-void Mediator::OnResultReceived(model::QueryId id, model::ProviderId provider,
+void Mediator::OnResultReceived(InflightHandle h, model::ProviderId provider,
                                 bool valid) {
-  auto it = inflight_.find(id);
-  if (it == inflight_.end()) return;  // finalized by timeout; result dropped
-  for (Instance& inst : it->second.instances) {
+  InFlight* f = Resolve(h);
+  if (f == nullptr) return;  // finalized by timeout; result dropped
+  for (Instance& inst : f->instances) {
     if (inst.provider == provider &&
         inst.status == InstanceStatus::kPending) {
       inst.status = InstanceStatus::kCompleted;
       inst.valid = valid;
-      provider_inflight_[provider].erase(id);
-      if (--it->second.pending == 0) Finalize(id, /*timed_out=*/false);
+      UnlinkProviderInflight(provider, h);
+      if (--f->pending == 0) Finalize(h, /*timed_out=*/false);
       return;
     }
   }
 }
 
-void Mediator::OnTimeout(model::QueryId id) {
-  auto it = inflight_.find(id);
-  if (it == inflight_.end()) return;
-  it->second.timeout_event = 0;
-  ++stats_.queries_timed_out;
-  Finalize(id, /*timed_out=*/true);
+void Mediator::PushTimeout(double deadline, InflightHandle h) {
+  SBQA_DCHECK(timeout_ring_.empty() ||
+              deadline >= timeout_ring_.back().deadline);
+  timeout_ring_.push_back(TimeoutEntry{deadline, h});
+  if (!timeout_sweep_armed_) ScheduleTimeoutSweep(deadline);
 }
 
-void Mediator::Finalize(model::QueryId id, bool timed_out) {
-  auto it = inflight_.find(id);
-  SBQA_CHECK(it != inflight_.end());
-  InFlight inflight = std::move(it->second);
-  inflight_.erase(it);
-  if (inflight.timeout_event != 0) {
-    sim_->scheduler().Cancel(inflight.timeout_event);
-  }
+void Mediator::ScheduleTimeoutSweep(double when) {
+  timeout_sweep_armed_ = true;
+  sim_->scheduler().ScheduleAt(when, [this] { OnTimeoutSweep(); });
+}
 
-  QueryOutcome outcome;
-  outcome.query = inflight.query;
+void Mediator::OnTimeoutSweep() {
+  timeout_sweep_armed_ = false;
+  const double now = sim_->now();
+  while (timeout_head_ < timeout_ring_.size()) {
+    const TimeoutEntry entry = timeout_ring_[timeout_head_];
+    if (Resolve(entry.handle) == nullptr) {
+      // The query finalized before its deadline — the usual case; whole
+      // runs of stale entries are skipped by this one sweep.
+      ++timeout_head_;
+      continue;
+    }
+    if (entry.deadline <= now) {
+      ++timeout_head_;
+      ++stats_.queries_timed_out;
+      Finalize(entry.handle, /*timed_out=*/true);
+      continue;
+    }
+    ScheduleTimeoutSweep(entry.deadline);
+    break;
+  }
+  if (timeout_head_ >= timeout_ring_.size()) {
+    timeout_ring_.clear();
+    timeout_head_ = 0;
+  } else if (timeout_head_ > 4096 &&
+             timeout_head_ * 2 > timeout_ring_.size()) {
+    // Compact occasionally so the ring's memory tracks the live span, not
+    // the total history.
+    timeout_ring_.erase(timeout_ring_.begin(),
+                        timeout_ring_.begin() +
+                            static_cast<long>(timeout_head_));
+    timeout_head_ = 0;
+  }
+}
+
+namespace {
+
+/// Resets the reusable outcome scratch (keeps the performers capacity).
+void ResetOutcome(QueryOutcome* outcome) {
+  outcome->completed_at = 0;
+  outcome->response_time = 0;
+  outcome->results_required = 0;
+  outcome->results_received = 0;
+  outcome->valid_results = 0;
+  outcome->validated = false;
+  outcome->timed_out = false;
+  outcome->unallocated = false;
+  outcome->satisfaction = 0;
+  outcome->adequation = 0;
+  outcome->allocation_satisfaction = 0;
+  outcome->performers.clear();
+}
+
+}  // namespace
+
+void Mediator::Finalize(InflightHandle h, bool timed_out) {
+  InFlight* f = Resolve(h);
+  SBQA_CHECK(f != nullptr);
+  // No timeout cancellation: releasing the slot below turns the query's
+  // timeout-ring entry stale, and the sweep skips it for free.
+
+  QueryOutcome& outcome = outcome_scratch_;
+  ResetOutcome(&outcome);
+  outcome.query = f->query;
   outcome.completed_at = sim_->now();
-  outcome.response_time = sim_->now() - inflight.query.issued_at;
-  outcome.results_required = inflight.query.n_results;
+  outcome.response_time = sim_->now() - f->query.issued_at;
+  outcome.results_required = f->query.n_results;
   outcome.timed_out = timed_out;
 
-  std::vector<double> performer_intentions;
-  for (Instance& inst : inflight.instances) {
-    provider_inflight_[inst.provider].erase(id);
+  performer_intentions_scratch_.clear();
+  for (Instance& inst : f->instances) {
+    UnlinkProviderInflight(inst.provider, h);
     if (inst.status == InstanceStatus::kCompleted) {
       outcome.performers.push_back(inst.provider);
-      performer_intentions.push_back(inst.consumer_intention);
+      performer_intentions_scratch_.push_back(inst.consumer_intention);
       if (inst.valid) ++outcome.valid_results;
     }
   }
   outcome.results_received = static_cast<int>(outcome.performers.size());
 
-  const Consumer& consumer = registry_->consumer(inflight.query.consumer);
+  const Consumer& consumer = registry_->consumer(f->query.consumer);
   outcome.validated = outcome.valid_results >= consumer.params().quorum;
 
   // Equation 1 over the providers that performed q.
   outcome.satisfaction = ConsumerQuerySatisfaction(
-      performer_intentions, inflight.query.n_results);
+      performer_intentions_scratch_, f->query.n_results);
   outcome.adequation =
-      ConsumerQueryAdequation(inflight.consulted_consumer_intentions);
+      ConsumerQueryAdequation(f->decision.consumer_intentions);
   outcome.allocation_satisfaction = ConsumerQueryAllocationSatisfaction(
-      outcome.satisfaction, inflight.consulted_consumer_intentions,
-      inflight.query.n_results);
+      outcome.satisfaction, f->decision.consumer_intentions,
+      f->query.n_results);
 
+  ReleaseInflight(h);
   RecordConsumerOutcome(&outcome);
 }
 
 void Mediator::FinalizeUnallocated(const model::Query& query) {
   ++stats_.queries_unallocated;
-  QueryOutcome outcome;
+  QueryOutcome& outcome = outcome_scratch_;
+  ResetOutcome(&outcome);
   outcome.query = query;
   outcome.completed_at = sim_->now();
   outcome.response_time = sim_->now() - query.issued_at;
@@ -353,22 +533,27 @@ void Mediator::RecordConsumerOutcome(QueryOutcome* outcome) {
 }
 
 void Mediator::FailProviderInstances(model::ProviderId provider) {
-  auto it = provider_inflight_.find(provider);
-  if (it == provider_inflight_.end()) return;
-  const std::unordered_set<model::QueryId> queries = std::move(it->second);
-  provider_inflight_.erase(it);
-  for (model::QueryId id : queries) {
-    auto qit = inflight_.find(id);
-    if (qit == inflight_.end()) continue;
-    for (Instance& inst : qit->second.instances) {
+  if (static_cast<size_t>(provider) >= provider_inflight_.size()) return;
+  std::vector<InflightHandle>& list =
+      provider_inflight_[static_cast<size_t>(provider)];
+  if (list.empty()) return;
+  // Swap the handle list out first: finalizations below unlink entries
+  // from the per-provider lists, and this provider's must not be mutated
+  // mid-iteration. The capacities circulate through the swap.
+  fail_scratch_.clear();
+  fail_scratch_.swap(list);
+  for (InflightHandle h : fail_scratch_) {
+    InFlight* f = Resolve(h);
+    if (f == nullptr) continue;
+    for (Instance& inst : f->instances) {
       if (inst.provider == provider &&
           inst.status == InstanceStatus::kPending) {
         inst.status = InstanceStatus::kFailed;
         ++stats_.instances_failed;
-        --qit->second.pending;
+        --f->pending;
       }
     }
-    if (qit->second.pending == 0) Finalize(id, /*timed_out=*/false);
+    if (f->pending == 0) Finalize(h, /*timed_out=*/false);
   }
 }
 
@@ -426,16 +611,21 @@ void Mediator::NotifyCompleted(const QueryOutcome& outcome) {
   }
 }
 
+// --- Load view & intentions --------------------------------------------------
+
 double Mediator::ViewedBacklog(model::ProviderId provider) {
   const double now = sim_->now();
+  const ProviderHotState& hot = registry_->hot();
+  const uint32_t slot = static_cast<uint32_t>(provider);
   if (config_.load_view_staleness <= 0) {
-    return registry_->provider(provider).Backlog(now);
+    return hot.Backlog(slot, now);
   }
-  LoadReport& report = load_view_[provider];
+  EnsureProviderTables(provider);
+  LoadReport& report = load_view_[static_cast<size_t>(provider)];
   if (report.reported_at < 0 ||
       now - report.reported_at >= config_.load_view_staleness) {
     report.reported_at = now;
-    report.backlog = registry_->provider(provider).Backlog(now);
+    report.backlog = hot.Backlog(slot, now);
     return report.backlog;
   }
   // Stale report, linearly drained: the mediator can at least assume the
@@ -465,30 +655,50 @@ std::vector<double> Mediator::ExpectedCompletionsOf(
     const model::Query& query,
     const std::vector<model::ProviderId>& providers) {
   std::vector<double> out;
-  out.reserve(providers.size());
-  for (model::ProviderId p : providers) {
-    out.push_back(ViewedBacklog(p) +
-                  query.cost / registry_->provider(p).capacity());
-  }
+  ExpectedCompletionsOf(query, providers, &out);
   return out;
+}
+
+void Mediator::ExpectedCompletionsOf(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers,
+    std::vector<double>* out) {
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(providers.size());
+  const ProviderHotState& hot = registry_->hot();
+  for (model::ProviderId p : providers) {
+    out->push_back(ViewedBacklog(p) +
+                   query.cost / hot.capacity(static_cast<uint32_t>(p)));
+  }
 }
 
 std::vector<double> Mediator::ComputeProviderIntentions(
     const model::Query& query,
     const std::vector<model::ProviderId>& providers) const {
   std::vector<double> out;
-  out.reserve(providers.size());
+  ComputeProviderIntentions(query, providers, &out);
+  return out;
+}
+
+void Mediator::ComputeProviderIntentions(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers,
+    std::vector<double>* out) const {
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(providers.size());
   const double now = sim_->now();
   for (model::ProviderId p : providers) {
-    out.push_back(registry_->provider(p).ComputeIntention(query, now));
+    out->push_back(registry_->provider(p).ComputeIntention(query, now));
   }
-  return out;
 }
 
 double Mediator::ComputeConsumerIntention(const model::Query& query,
                                           model::ProviderId provider) {
-  const double ect = ViewedBacklog(provider) +
-                     query.cost / registry_->provider(provider).capacity();
+  const double ect =
+      ViewedBacklog(provider) +
+      query.cost / registry_->hot().capacity(static_cast<uint32_t>(provider));
   const Consumer& consumer = registry_->consumer(query.consumer);
   return consumer.ComputeIntention(query, provider,
                                    reputation_->Get(provider), ect, ect);
@@ -497,18 +707,27 @@ double Mediator::ComputeConsumerIntention(const model::Query& query,
 std::vector<double> Mediator::ComputeConsumerIntentions(
     const model::Query& query,
     const std::vector<model::ProviderId>& providers) {
-  const std::vector<double> ects = ExpectedCompletionsOf(query, providers);
-  double max_ect = 0;
-  for (double ect : ects) max_ect = std::max(max_ect, ect);
-  const Consumer& consumer = registry_->consumer(query.consumer);
   std::vector<double> out;
-  out.reserve(providers.size());
-  for (size_t i = 0; i < providers.size(); ++i) {
-    out.push_back(consumer.ComputeIntention(query, providers[i],
-                                            reputation_->Get(providers[i]),
-                                            ects[i], max_ect));
-  }
+  ComputeConsumerIntentions(query, providers, &out);
   return out;
+}
+
+void Mediator::ComputeConsumerIntentions(
+    const model::Query& query,
+    const std::vector<model::ProviderId>& providers,
+    std::vector<double>* out) {
+  SBQA_CHECK(out != nullptr);
+  ExpectedCompletionsOf(query, providers, &ect_scratch_);
+  double max_ect = 0;
+  for (double ect : ect_scratch_) max_ect = std::max(max_ect, ect);
+  const Consumer& consumer = registry_->consumer(query.consumer);
+  out->clear();
+  out->reserve(providers.size());
+  for (size_t i = 0; i < providers.size(); ++i) {
+    out->push_back(consumer.ComputeIntention(query, providers[i],
+                                             reputation_->Get(providers[i]),
+                                             ect_scratch_[i], max_ect));
+  }
 }
 
 }  // namespace sbqa::core

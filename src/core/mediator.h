@@ -11,11 +11,17 @@
 /// method (that is Scenario 1's point): the mediator computes the
 /// consumer's and providers' intentions for the consulted providers even
 /// when the method itself ignored them.
+///
+/// The per-query runtime state is pooled: in-flight queries live in a
+/// slot-versioned pool (handle = generation|slot, mirroring the
+/// scheduler's event pool) whose AllocationDecision / instance vectors
+/// retain their capacity across reuse, and scheduled events capture only
+/// the 8-byte handle. Together with the dense per-provider load view and
+/// inflight lists, the steady-state simulate-one-query path performs no
+/// heap allocation and no hashing.
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/allocation_method.h"
@@ -128,10 +134,21 @@ class Mediator {
       const model::Query& query,
       const std::vector<model::ProviderId>& providers);
 
+  /// Allocation-free variant: replaces *out.
+  void ExpectedCompletionsOf(const model::Query& query,
+                             const std::vector<model::ProviderId>& providers,
+                             std::vector<double>* out);
+
   /// PI_q[p] for each provider (parallel array).
   std::vector<double> ComputeProviderIntentions(
       const model::Query& query,
       const std::vector<model::ProviderId>& providers) const;
+
+  /// Allocation-free variant: replaces *out.
+  void ComputeProviderIntentions(
+      const model::Query& query,
+      const std::vector<model::ProviderId>& providers,
+      std::vector<double>* out) const;
 
   /// CI_q[p] for each provider (parallel array). Supplies the consumer
   /// policy with reputation and expected-completion context (through the
@@ -139,6 +156,13 @@ class Mediator {
   std::vector<double> ComputeConsumerIntentions(
       const model::Query& query,
       const std::vector<model::ProviderId>& providers);
+
+  /// Allocation-free variant: replaces *out (uses member scratch for the
+  /// intermediate expected completions).
+  void ComputeConsumerIntentions(
+      const model::Query& query,
+      const std::vector<model::ProviderId>& providers,
+      std::vector<double>* out);
 
   /// Scalar single-provider CI_q[p] (the provider's own expected completion
   /// is the normalization context, matching ComputeConsumerIntentions over
@@ -152,47 +176,90 @@ class Mediator {
   AllocationMethod& method() { return *method_; }
   const MediatorConfig& config() const { return config_; }
   /// Queries submitted but not yet finalized.
-  size_t inflight_count() const { return inflight_.size(); }
+  size_t inflight_count() const { return inflight_live_; }
+  /// In-flight pool slots ever created (high-water mark of concurrency;
+  /// steady-state mediation recycles them without allocating).
+  size_t inflight_slot_capacity() const { return inflight_pool_.size(); }
 
  private:
   enum class InstanceStatus { kPending, kCompleted, kFailed };
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Slot-versioned handle to a pooled InFlight entry; scheduled events and
+  /// the per-provider inflight lists carry these 8-byte handles instead of
+  /// hashed query ids. A stale handle (the query finalized, the slot maybe
+  /// reused) resolves to null.
+  using InflightHandle = uint64_t;
 
   struct Instance {
     model::ProviderId provider = model::kInvalidId;
     InstanceStatus status = InstanceStatus::kPending;
     double consumer_intention = 0;  ///< CI_q[p], for Equation 1
     bool valid = false;             ///< result passed validation
-    sim::EventId completion_event = 0;
   };
 
   struct InFlight {
     model::Query query;
+    /// The allocation decision, pooled with the slot. consulted /
+    /// consumer_intentions feed the per-query adequation reconstruction at
+    /// finalization.
+    AllocationDecision decision;
     std::vector<Instance> instances;
     int pending = 0;
-    sim::EventId timeout_event = 0;
-    /// CI over the consulted set, for per-query adequation/allocation-
-    /// satisfaction reconstruction.
-    std::vector<double> consulted_consumer_intentions;
+    uint32_t generation = 1;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
   };
 
-  /// Schedules `fn` after `delay` (or runs it via a zero-delay event when
-  /// network simulation is off).
-  void After(double delay, std::function<void()> fn);
+  /// One pending query timeout. The timeout duration is a mediator
+  /// constant, so deadlines are FIFO: instead of one cancellable scheduler
+  /// event per query (whose cancelled heap entry would linger for the full
+  /// timeout span), queries append to this ring and ONE sweep event walks
+  /// it deadline by deadline, skipping entries whose handle went stale
+  /// (query long finalized) without any per-query Schedule/Cancel.
+  struct TimeoutEntry {
+    double deadline;
+    InflightHandle handle;
+  };
+
+  /// Schedules `fn` after `delay` (or a zero-delay event when network
+  /// simulation is off). Not a network message (no latency accounting).
+  void After(double delay, sim::EventFn fn);
   double OneWayLatency();
   /// 2 * max over `fanout`+1 sampled one-way latencies (an intention or bid
   /// round-trip to the consumer and the consulted providers in parallel).
   double RoundTripLatency(size_t fanout);
 
+  /// Pool plumbing.
+  InflightHandle AcquireInflight();
+  InFlight* Resolve(InflightHandle handle);
+  void ReleaseInflight(InflightHandle handle);
+  static uint32_t SlotOf(InflightHandle handle) {
+    return static_cast<uint32_t>(handle);
+  }
+
+  /// Dense per-provider tables (load view, inflight lists, batching
+  /// destinations) sized on demand when providers join at runtime.
+  void EnsureProviderTables(model::ProviderId provider);
+  void LinkProviderInflight(model::ProviderId provider, InflightHandle h);
+  void UnlinkProviderInflight(model::ProviderId provider, InflightHandle h);
+
   void OnQueryArrival(model::Query query);
-  void Dispatch(model::Query query, AllocationDecision decision);
-  void OnInstanceArrival(model::QueryId id, model::ProviderId provider,
+  void Dispatch(InflightHandle handle);
+  void OnInstanceArrival(InflightHandle handle, model::ProviderId provider,
                          double cost);
-  void OnInstanceProcessed(model::QueryId id, model::ProviderId provider,
+  void OnInstanceProcessed(InflightHandle handle, model::ProviderId provider,
                            double cost);
-  void OnResultReceived(model::QueryId id, model::ProviderId provider,
+  void OnResultReceived(InflightHandle handle, model::ProviderId provider,
                         bool valid);
-  void OnTimeout(model::QueryId id);
-  void Finalize(model::QueryId id, bool timed_out);
+  /// Registers the (FIFO) timeout deadline of a freshly dispatched query.
+  void PushTimeout(double deadline, InflightHandle handle);
+  void ScheduleTimeoutSweep(double when);
+  /// Fires due timeouts and skips stale ring entries, then re-arms the
+  /// sweep for the next live deadline.
+  void OnTimeoutSweep();
+  void Finalize(InflightHandle handle, bool timed_out);
   /// Finalizes a query that never got any provider.
   void FinalizeUnallocated(const model::Query& query);
 
@@ -225,24 +292,43 @@ class Mediator {
   std::vector<Mediator*> peers_;
   std::unique_ptr<DepartureModel> departure_;
 
-  /// Cached load reports for the staleness-bounded view.
+  /// Cached load reports for the staleness-bounded view, dense by provider
+  /// id — no hashing on the hot path.
   struct LoadReport {
     double reported_at = -1;
     double backlog = 0;
   };
-  std::unordered_map<model::ProviderId, LoadReport> load_view_;
+  std::vector<LoadReport> load_view_;
 
-  std::unordered_map<model::QueryId, InFlight> inflight_;
-  /// Which in-flight queries have pending instances on each provider
-  /// (consulted on provider departure).
-  std::unordered_map<model::ProviderId,
-                     std::unordered_set<model::QueryId>>
-      provider_inflight_;
-  /// Reused per-query scratch (candidate materialization for full-scan
-  /// methods; alive ids for the departure sweep) — no per-query heap
-  /// allocation on the mediation hot path.
+  /// Slot-versioned in-flight pool + free list.
+  std::vector<InFlight> inflight_pool_;
+  uint32_t inflight_free_ = kNoSlot;
+  size_t inflight_live_ = 0;
+
+  /// FIFO timeout ring (deadline-ordered by construction) + the single
+  /// armed sweep event.
+  std::vector<TimeoutEntry> timeout_ring_;
+  size_t timeout_head_ = 0;
+  bool timeout_sweep_armed_ = false;
+
+  /// Handles of in-flight queries with a pending instance on each provider
+  /// (dense by provider id; consulted on provider departure).
+  std::vector<std::vector<InflightHandle>> provider_inflight_;
+
+  /// Batching destinations: the mediator's own inbox (query arrivals and
+  /// results fan into it) and one inbox per provider.
+  sim::Network::Destination inbox_;
+  std::vector<sim::Network::Destination> provider_dest_;
+
+  /// Reused per-query / per-sweep scratch — no heap allocation on the
+  /// mediation hot path.
   std::vector<model::ProviderId> candidate_scratch_;
   std::vector<model::ProviderId> sweep_scratch_;
+  std::vector<model::ProviderId> consulted_scratch_;
+  std::vector<double> ect_scratch_;
+  std::vector<double> performer_intentions_scratch_;
+  std::vector<InflightHandle> fail_scratch_;
+  QueryOutcome outcome_scratch_;
   MediatorStats stats_;
 };
 

@@ -8,46 +8,57 @@ Provider::Provider(model::ProviderId id, const ProviderParams& params)
     : id_(id),
       params_(params),
       policy_(model::MakeProviderPolicy(params.policy_kind, params.psi)),
-      tracker_(params.memory_k, params.satisfaction_mode) {
+      tracker_(params.memory_k, params.satisfaction_mode),
+      owned_hot_(std::make_unique<ProviderHotState>()) {
   SBQA_CHECK_GT(params.capacity, 0);
   SBQA_CHECK_GT(params.tau_utilization, 0);
   SBQA_CHECK_GE(params.error_rate, 0);
   SBQA_CHECK_LE(params.error_rate, 1);
+  hot_ = owned_hot_.get();
+  hot_slot_ = hot_->Append(params.capacity, params.tau_utilization);
+}
+
+Provider::Provider(model::ProviderId id, const ProviderParams& params,
+                   ProviderHotState* hot, uint32_t hot_slot)
+    : id_(id),
+      params_(params),
+      policy_(model::MakeProviderPolicy(params.policy_kind, params.psi)),
+      tracker_(params.memory_k, params.satisfaction_mode),
+      hot_(hot),
+      hot_slot_(hot_slot) {
+  SBQA_CHECK_GT(params.capacity, 0);
+  SBQA_CHECK_GT(params.tau_utilization, 0);
+  SBQA_CHECK_GE(params.error_rate, 0);
+  SBQA_CHECK_LE(params.error_rate, 1);
+  SBQA_CHECK(hot_ != nullptr);
+  SBQA_CHECK_LT(hot_slot_, hot_->size());
 }
 
 double Provider::Backlog(double now) const {
-  return std::max(0.0, busy_until_ - now);
+  return hot_->Backlog(hot_slot_, now);
 }
 
 double Provider::ExpectedCompletion(double now, double cost) const {
   SBQA_DCHECK_GE(cost, 0);
-  return Backlog(now) + cost / params_.capacity;
+  return hot_->ExpectedCompletion(hot_slot_, now, cost);
 }
 
 double Provider::Enqueue(double now, double cost) {
   SBQA_DCHECK_GE(cost, 0);
-  const double start = std::max(busy_until_, now);
-  busy_until_ = start + cost / params_.capacity;
-  ++outstanding_;
-  return busy_until_;
+  return hot_->Enqueue(hot_slot_, now, cost);
 }
 
 void Provider::OnInstanceFinished(double cost) {
-  SBQA_DCHECK_GT(outstanding_, 0);
-  --outstanding_;
+  SBQA_DCHECK_GT(hot_->outstanding(hot_slot_), 0);
+  hot_->OnInstanceFinished(hot_slot_);
   busy_seconds_ += cost / params_.capacity;
   ++instances_performed_;
 }
 
-void Provider::DropQueue(double now) {
-  busy_until_ = now;
-  outstanding_ = 0;
-  ++queue_epoch_;
-}
+void Provider::DropQueue(double now) { hot_->DropQueue(hot_slot_, now); }
 
 double Provider::UtilizationNorm(double now) const {
-  const double backlog = Backlog(now);
-  return backlog / (backlog + params_.tau_utilization);
+  return hot_->UtilizationNorm(hot_slot_, now);
 }
 
 double Provider::ComputeIntention(const model::Query& query,

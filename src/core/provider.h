@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "core/hot_state.h"
 #include "core/satisfaction.h"
 #include "model/intention.h"
 #include "model/preference.h"
@@ -62,7 +63,15 @@ class ProviderObserver {
 /// ordered).
 class Provider {
  public:
+  /// Standalone construction (tests, tools): the provider owns a private
+  /// single-slot hot-state block.
   Provider(model::ProviderId id, const ProviderParams& params);
+
+  /// Registry construction: queueing state lives in the registry's shared
+  /// struct-of-arrays block at `hot_slot` (appended by the caller). `hot`
+  /// must outlive the provider.
+  Provider(model::ProviderId id, const ProviderParams& params,
+           ProviderHotState* hot, uint32_t hot_slot);
 
   model::ProviderId id() const { return id_; }
   const ProviderParams& params() const { return params_; }
@@ -106,6 +115,9 @@ class Provider {
   }
 
   // --- Queueing -----------------------------------------------------------
+  // The fields behind these accessors live in a struct-of-arrays
+  // ProviderHotState block (shared with all registry providers), so hot
+  // readers can scan dense arrays instead of Provider objects.
 
   /// Seconds of queued work remaining at time `now` (0 when idle).
   double Backlog(double now) const;
@@ -127,13 +139,17 @@ class Provider {
 
   /// Incremented by DropQueue; completion events capture the epoch at
   /// enqueue time and no-op when it changed (stale events of dropped work).
-  uint64_t queue_epoch() const { return queue_epoch_; }
+  uint64_t queue_epoch() const { return hot_->queue_epoch(hot_slot_); }
 
   /// Normalized utilization in [0, 1): backlog / (backlog + tau).
   double UtilizationNorm(double now) const;
 
   /// Instances currently queued or in service.
-  int outstanding() const { return outstanding_; }
+  int outstanding() const { return hot_->outstanding(hot_slot_); }
+
+  /// The shared hot-state block and this provider's slot in it.
+  const ProviderHotState& hot_state() const { return *hot_; }
+  uint32_t hot_slot() const { return hot_slot_; }
 
   /// Total seconds of work completed (for run-level utilization stats).
   double busy_seconds() const { return busy_seconds_; }
@@ -167,10 +183,13 @@ class Provider {
   std::unique_ptr<model::ProviderIntentionPolicy> policy_;
   ProviderSatisfactionTracker tracker_;
 
-  double busy_until_ = 0;  ///< absolute time the queue drains
-  uint64_t queue_epoch_ = 0;
-  int outstanding_ = 0;
-  double busy_seconds_ = 0;
+  /// Queueing state lives here (registry-shared SoA block, or the private
+  /// `owned_hot_` block for standalone providers).
+  ProviderHotState* hot_;
+  uint32_t hot_slot_;
+  std::unique_ptr<ProviderHotState> owned_hot_;
+
+  double busy_seconds_ = 0;  ///< cold run statistics, updated on completion
   int64_t instances_performed_ = 0;
 };
 

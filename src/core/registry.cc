@@ -8,7 +8,9 @@ namespace sbqa::core {
 
 model::ProviderId Registry::AddProvider(const ProviderParams& params) {
   const auto id = static_cast<model::ProviderId>(providers_.size());
-  providers_.emplace_back(id, params);
+  const uint32_t slot = hot_.Append(params.capacity, params.tau_utilization);
+  SBQA_CHECK_EQ(static_cast<size_t>(slot), static_cast<size_t>(id));
+  providers_.emplace_back(id, params, &hot_, slot);
   providers_.back().set_observer(this);
   index_.OnProviderAdded(providers_.back());
   total_capacity_ += params.capacity;

@@ -12,6 +12,7 @@
 
 #include "core/candidate_index.h"
 #include "core/consumer.h"
+#include "core/hot_state.h"
 #include "core/provider.h"
 #include "model/query.h"
 #include "model/types.h"
@@ -67,6 +68,12 @@ class Registry : private ProviderObserver, private ConsumerObserver {
   /// Read access to the live candidate index (invariant checks, benches).
   const CandidateIndex& candidate_index() const { return index_; }
 
+  /// The shared struct-of-arrays hot state of all registry providers,
+  /// indexed by dense provider id (hot readers bypass the Provider
+  /// objects).
+  const ProviderHotState& hot() const { return hot_; }
+  ProviderHotState& hot() { return hot_; }
+
   std::vector<Provider>& providers() { return providers_; }
   const std::vector<Provider>& providers() const { return providers_; }
   std::vector<Consumer>& consumers() { return consumers_; }
@@ -86,6 +93,7 @@ class Registry : private ProviderObserver, private ConsumerObserver {
 
   std::vector<Provider> providers_;
   std::vector<Consumer> consumers_;
+  ProviderHotState hot_;
   CandidateIndex index_;
   size_t active_consumers_ = 0;
   double total_capacity_ = 0;

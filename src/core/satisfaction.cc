@@ -29,7 +29,10 @@ double ConsumerQueryAllocationSatisfaction(
     double obtained_satisfaction,
     const std::vector<double>& candidate_intentions, int n_required) {
   SBQA_CHECK_GE(n_required, 1);
-  std::vector<double> sorted;
+  // Called once per finalized query; the simulator is single-threaded, so a
+  // thread-local scratch keeps the hot path allocation-free once warm.
+  static thread_local std::vector<double> sorted;
+  sorted.clear();
   sorted.reserve(candidate_intentions.size());
   for (double ci : candidate_intentions) {
     sorted.push_back(NormalizeIntention(ci));

@@ -22,24 +22,31 @@ SbqaMethod::SbqaMethod(const SbqaParams& params) : params_(params) {
   SBQA_CHECK_LE(params.fixed_omega, 1);
 }
 
-AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
+void SbqaMethod::Allocate(const AllocationContext& ctx,
+                          AllocationDecision* decision) {
   SBQA_CHECK(ctx.query != nullptr);
   SBQA_CHECK(ctx.candidates != nullptr);
   SBQA_CHECK(ctx.mediator != nullptr);
+  SBQA_CHECK(decision != nullptr);
   Mediator& mediator = *ctx.mediator;
   const model::Query& query = *ctx.query;
 
   // Phase 1 (KnBest): uniform K-sample straight off the candidate index,
-  // keep the kn least utilized (Kn). O(k), independent of |Pq|.
+  // keep the kn least utilized (Kn) — written directly into the pooled
+  // consulted vector. O(k), independent of |Pq|.
   SelectKnBestFrom(*ctx.candidates, mediator, params_.knbest,
-                   &knbest_scratch_, &kn_);
-  std::vector<model::ProviderId>& kn = kn_;
+                   &knbest_scratch_, &decision->consulted);
+  const std::vector<model::ProviderId>& kn = decision->consulted;
   SBQA_CHECK(!kn.empty());
 
   // Phase 2 (SQLB): one round-trip gathers CI_q[p] from the consumer and
-  // PI_q[p] from every p in Kn. Moved into the decision below, not copied.
-  std::vector<double> pi = mediator.ComputeProviderIntentions(query, kn);
-  std::vector<double> ci = mediator.ComputeConsumerIntentions(query, kn);
+  // PI_q[p] from every p in Kn, into the pooled intention vectors.
+  mediator.ComputeProviderIntentions(query, kn,
+                                     &decision->provider_intentions);
+  mediator.ComputeConsumerIntentions(query, kn,
+                                     &decision->consumer_intentions);
+  const std::vector<double>& pi = decision->provider_intentions;
+  const std::vector<double>& ci = decision->consumer_intentions;
 
   const Consumer& consumer = mediator.registry().consumer(query.consumer);
   const double consumer_satisfaction =
@@ -70,16 +77,11 @@ AllocationDecision SbqaMethod::Allocate(const AllocationContext& ctx) {
   // Allocate to the min(q.n, kn) best-scored providers.
   const size_t take =
       std::min(static_cast<size_t>(query.n_results), scored.size());
-  AllocationDecision decision;
-  decision.selected.reserve(take);
+  decision->selected.reserve(take);
   for (size_t i = 0; i < take; ++i) {
-    decision.selected.push_back(scored[i].provider);
+    decision->selected.push_back(scored[i].provider);
   }
-  decision.consulted = std::move(kn);
-  decision.provider_intentions = std::move(pi);
-  decision.consumer_intentions = std::move(ci);
-  decision.used_intention_round = true;
-  return decision;
+  decision->used_intention_round = true;
 }
 
 }  // namespace sbqa::core

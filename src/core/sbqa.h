@@ -55,16 +55,16 @@ class SbqaMethod : public AllocationMethod {
   explicit SbqaMethod(const SbqaParams& params);
 
   std::string name() const override { return params_.name; }
-  AllocationDecision Allocate(const AllocationContext& ctx) override;
+  void Allocate(const AllocationContext& ctx,
+                AllocationDecision* decision) override;
 
   const SbqaParams& params() const { return params_; }
 
  private:
   SbqaParams params_;
-  /// Reused across queries so the steady-state hot path allocates nothing
-  /// beyond the decision it returns.
+  /// Reused across queries — together with the pooled decision vectors the
+  /// steady-state hot path allocates nothing.
   KnBestScratch knbest_scratch_;
-  std::vector<model::ProviderId> kn_;
   std::vector<ScoredProvider> scored_;
 };
 

@@ -1,48 +1,118 @@
 #include "sim/scheduler.h"
 
-#include <limits>
 #include <utility>
 
 namespace sbqa::sim {
 
-EventId Scheduler::Schedule(Time delay, Callback cb) {
+void Scheduler::EventHeap::push(HeapEntry entry) {
+  size_t i = entries_.size();
+  entries_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!EntryBefore(entry, entries_[parent])) break;
+    entries_[i] = entries_[parent];
+    i = parent;
+  }
+  entries_[i] = entry;
+}
+
+void Scheduler::EventHeap::pop() {
+  const HeapEntry last = entries_.back();
+  entries_.pop_back();
+  const size_t n = entries_.size();
+  if (n == 0) return;
+  size_t i = 0;
+  while (true) {
+    const size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    size_t best = first_child;
+    const size_t end = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (EntryBefore(entries_[c], entries_[best])) best = c;
+    }
+    if (!EntryBefore(entries_[best], last)) break;
+    entries_[i] = entries_[best];
+    i = best;
+  }
+  entries_[i] = last;
+}
+
+uint32_t Scheduler::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.seq = 0;
+  // Bumping the generation invalidates every EventId ever issued for this
+  // slot; skip 0 on wraparound so an id can never be the 0 sentinel.
+  if (++s.generation == 0) s.generation = 1;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId Scheduler::Schedule(Time delay, EventFn cb) {
   SBQA_CHECK_GE(delay, 0);
   return ScheduleAt(now_ + delay, std::move(cb));
 }
 
-EventId Scheduler::ScheduleAt(Time when, Callback cb) {
+EventId Scheduler::ScheduleAt(Time when, EventFn cb) {
   SBQA_CHECK_GE(when, now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(cb)});
-  outstanding_.insert(id);
-  return id;
+  const uint32_t slot = AcquireSlot();
+  SBQA_DCHECK_LT(slot, kSlotMask);
+  Slot& s = slots_[slot];
+  s.seq = next_seq_++;
+  SBQA_DCHECK_LT(s.seq, uint64_t{1} << (64 - kSlotBits));
+  s.fn = std::move(cb);
+  queue_.push(HeapEntry{when, (s.seq << kSlotBits) | slot});
+  ++live_;
+  return (static_cast<EventId>(s.generation) << 32) | slot;
 }
 
 bool Scheduler::Cancel(EventId id) {
-  // Lazy cancellation: dropping the id from `outstanding_` marks its heap
-  // entry dead; SkipCancelled discards it on pop. Already-executed or
-  // already-cancelled ids are no longer outstanding, so stale cancels fail
-  // without accumulating state.
-  return outstanding_.erase(id) > 0;
+  const uint32_t slot = static_cast<uint32_t>(id);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // seq == 0 means the slot is free (the event fired or was cancelled); a
+  // generation mismatch means the slot now belongs to a newer event. Either
+  // way the cancel is a stale no-op.
+  if (s.seq == 0 || s.generation != generation) return false;
+  s.fn = EventFn();
+  ReleaseSlot(slot);
+  --live_;
+  return true;
 }
 
-void Scheduler::SkipCancelled() {
-  while (!queue_.empty() && !outstanding_.contains(queue_.top().id)) {
+void Scheduler::SkipStale() {
+  while (!queue_.empty()) {
+    const HeapEntry& top = queue_.top();
+    if (slots_[top.key & kSlotMask].seq == top.key >> kSlotBits) return;
     queue_.pop();
   }
 }
 
 bool Scheduler::Step() {
-  SkipCancelled();
+  SkipStale();
   if (queue_.empty()) return false;
-  // Move the callback out before popping so self-scheduling callbacks are
-  // safe.
-  Event ev = queue_.top();
+  const HeapEntry top = queue_.top();
   queue_.pop();
-  outstanding_.erase(ev.id);
-  now_ = ev.when;
+  const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+  // Move the callback out and release the slot before invoking, so
+  // self-scheduling callbacks are safe (they may reuse this very slot).
+  EventFn fn = std::move(slots_[slot].fn);
+  ReleaseSlot(slot);
+  --live_;
+  now_ = top.when;
   ++executed_;
-  ev.cb();
+  fn();
   return true;
 }
 
@@ -51,7 +121,7 @@ size_t Scheduler::RunUntil(Time t) {
   size_t n = 0;
   stop_requested_ = false;
   while (!stop_requested_) {
-    SkipCancelled();
+    SkipStale();
     if (queue_.empty() || queue_.top().when > t) break;
     Step();
     ++n;

@@ -16,8 +16,10 @@ std::unique_ptr<LatencyModel> MakeLatency(const SimulationConfig& config) {
 
 Simulation::Simulation(const SimulationConfig& config)
     : config_(config), rng_(config.seed) {
+  NetworkConfig net_config;
+  net_config.batch_tick = config.delivery_batch_tick;
   network_ = std::make_unique<Network>(&scheduler_, rng_.Split(),
-                                       MakeLatency(config));
+                                       MakeLatency(config), net_config);
 }
 
 }  // namespace sbqa::sim

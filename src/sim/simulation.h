@@ -19,6 +19,9 @@ struct SimulationConfig {
   double latency_median = 0.020;  ///< one-way message latency median (s)
   double latency_sigma = 0.35;    ///< log-space spread; 0 = constant latency
   double latency_floor = 0.001;   ///< hard minimum latency (s)
+  /// Delivery quantization tick for batched destination-aware sends
+  /// (see NetworkConfig::batch_tick). 0 = exact per-message delivery.
+  double delivery_batch_tick = 0.0;
 };
 
 /// Owns the event scheduler, the network and the root RNG.

@@ -84,15 +84,25 @@ double Rng::Exponential(double lambda) {
 }
 
 double Rng::Normal(double mean, double stddev) {
-  // Marsaglia polar method (discarding the spare keeps the state machine
-  // stateless, which keeps Split()/replay semantics simple).
+  // Marsaglia polar method. Each accepted (u, v) pair yields TWO unit
+  // normals; the spare is cached so every other call costs no raw draws,
+  // no log and no sqrt — the latency-sampling hot path calls this for
+  // every simulated message. Determinism is unchanged (same seed, same
+  // call sequence => same values); Split() children start spare-less.
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
   double u, v, s;
   do {
     u = Uniform(-1, 1);
     v = Uniform(-1, 1);
     s = u * u + v * v;
   } while (s >= 1.0 || s == 0.0);
-  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * scale;
+  has_spare_ = true;
+  return mean + stddev * u * scale;
 }
 
 double Rng::LogNormal(double mu, double sigma) {

@@ -55,6 +55,8 @@ class Rng {
   double Exponential(double lambda);
 
   /// Standard normal via Marsaglia polar method, scaled to (mean, stddev).
+  /// The method's second output is cached, so alternate calls are nearly
+  /// free; the cache is part of the deterministic replay state.
   double Normal(double mean, double stddev);
 
   /// Log-normal: exp(Normal(mu, sigma)).
@@ -110,6 +112,9 @@ class Rng {
 
  private:
   uint64_t state_[4];
+  /// Cached second output of the Marsaglia polar pair (unit normal).
+  double spare_ = 0;
+  bool has_spare_ = false;
 };
 
 }  // namespace sbqa::util

@@ -59,7 +59,9 @@ struct MethodHarness {
     ctx.candidates = &candidate_set;
     ctx.mediator = mediator.get();
     ctx.now = simulation->now();
-    return method.Allocate(ctx);
+    AllocationDecision decision;
+    method.Allocate(ctx, &decision);
+    return decision;
   }
 
   std::unique_ptr<sim::Simulation> simulation;

@@ -52,7 +52,9 @@ struct SbqaHarness {
     ctx.candidates = &candidate_set;
     ctx.mediator = mediator.get();
     ctx.now = simulation->now();
-    return method.Allocate(ctx);
+    AllocationDecision decision;
+    method.Allocate(ctx, &decision);
+    return decision;
   }
 
   std::unique_ptr<sim::Simulation> simulation;

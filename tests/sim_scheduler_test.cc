@@ -2,6 +2,7 @@
 
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +229,96 @@ TEST(SchedulerDeathTest, ScheduleInThePastAborts) {
   Scheduler s;
   s.RunUntil(5.0);
   EXPECT_DEATH(s.ScheduleAt(4.0, [] {}), "CHECK failed");
+}
+
+TEST(SchedulerTest, StaleIdOfRecycledSlotCannotCancelNewOccupant) {
+  // Slot-generation regression: cancel event A (freeing its pool slot),
+  // schedule B (which recycles the slot) — A's id must stay dead and must
+  // not be able to cancel B.
+  Scheduler s;
+  const EventId a = s.Schedule(1.0, [] {});
+  EXPECT_TRUE(s.Cancel(a));
+  bool b_fired = false;
+  const EventId b = s.Schedule(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);  // the recycled slot carries a new generation
+  EXPECT_FALSE(s.Cancel(a));
+  s.Run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SchedulerTest, StaleIdAfterExecutionCannotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId a = s.Schedule(1.0, [] {});
+  s.Run();  // a fired; its slot is free
+  int b_fired = 0;
+  const EventId b = s.Schedule(1.0, [&] { ++b_fired; });
+  EXPECT_FALSE(s.Cancel(a));  // stale id, recycled slot: must be a no-op
+  s.Run();
+  EXPECT_EQ(b_fired, 1);
+  (void)b;
+}
+
+TEST(SchedulerTest, SlotPoolIsRecycledNotGrown) {
+  // Steady-state scheduling must reuse slots: the pool's high-water mark is
+  // the max number of concurrently pending events, not the total scheduled.
+  Scheduler s;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 4; ++i) s.Schedule(1.0, [] {});
+    s.Run();
+  }
+  EXPECT_LE(s.slot_capacity(), 4u);
+}
+
+TEST(SchedulerTest, GoldenSeedDeterminismAgainstReferenceModel) {
+  // The slot-versioned rewrite must execute a pseudo-random
+  // schedule/cancel workload in exactly the order the specification
+  // demands: ascending (timestamp, submission index), cancelled events
+  // skipped. The reference model reproduces the pre-rewrite semantics
+  // (stable sort over live events), so any engine change that alters
+  // same-timestamp FIFO order or cancellation behavior fails this test.
+  struct RefEvent {
+    double when;
+    int label;
+    bool cancelled = false;
+  };
+  Scheduler s;
+  std::vector<RefEvent> reference;
+  std::vector<EventId> ids;
+  std::vector<int> executed;
+
+  unsigned state = 0xC0FFEEu;  // fixed golden seed
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 8;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const double when = static_cast<double>(next() % 100) / 4.0;
+    reference.push_back({when, i});
+    ids.push_back(s.Schedule(when, [&executed, i] { executed.push_back(i); }));
+    if (next() % 4 == 0) {
+      const size_t victim = next() % ids.size();
+      const bool engine_cancelled = s.Cancel(ids[victim]);
+      const bool ref_cancelled =
+          !reference[victim].cancelled;  // live events always cancellable
+      reference[victim].cancelled = true;
+      EXPECT_EQ(engine_cancelled, ref_cancelled);
+    }
+  }
+  s.Run();
+
+  std::vector<int> expected_order;
+  {
+    std::vector<RefEvent> live;
+    for (const RefEvent& e : reference) {
+      if (!e.cancelled) live.push_back(e);
+    }
+    std::stable_sort(live.begin(), live.end(),
+                     [](const RefEvent& a, const RefEvent& b) {
+                       return a.when < b.when;
+                     });
+    for (const RefEvent& e : live) expected_order.push_back(e.label);
+  }
+  EXPECT_EQ(executed, expected_order);
 }
 
 // Property: interleaved schedule/cancel/run sequences preserve ordering.
