@@ -1,0 +1,288 @@
+// Sharded-engine scaling bench.
+//
+// Part 1 — end-to-end sweep: the full demo workload (three projects,
+// captive environment) at 10k and 100k providers, run through the sharded
+// machinery at 1, 2, 4 and 8 shards (worker thread per shard). The 1-shard
+// run IS the baseline: same engine, same barrier windows, so the speedup
+// column isolates what the extra cores buy. Wall-clock speedup requires
+// hardware parallelism — the JSON records host_cores so the regression
+// gate (scripts/check_bench_regression.py --mode sharding) only enforces
+// the 4-shard >= 2x bar on hosts with >= 4 cores.
+//
+// Part 2 — steady-state allocations: a controlled pump harness (the
+// sharded analogue of bench_event_engine's) drives queries through a
+// 4-shard set after a warm-up that grows every per-shard pool to its
+// high-water mark, then asserts the steady-state mediation path performs
+// zero heap allocations per query across all shards (the process-global
+// counting allocator sees every shard thread).
+//
+// Env knobs: SBQA_BENCH_MAX_PROVIDERS trims the sweep list (CI smoke),
+// SBQA_BENCH_DURATION overrides the simulated seconds per run,
+// SBQA_BENCH_SEED the root seed, SBQA_BENCH_JSON the output path.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/mediator.h"
+#include "core/registry.h"
+#include "core/sbqa.h"
+#include "core/shard_directory.h"
+#include "experiments/demo_scenarios.h"
+#include "experiments/runner.h"
+#include "model/reputation.h"
+#include "sim/shard_set.h"
+
+#include "util/counting_alloc.h"
+
+namespace sbqa::bench {
+namespace {
+
+using util::AllocationCount;
+
+struct SweepRow {
+  uint32_t shards = 0;
+  double wall_ms = 0;
+  int64_t queries_finalized = 0;
+  int64_t queries_delegated = 0;
+  double ns_per_query = 0;
+  double speedup_vs_1 = 0;
+};
+
+struct Sweep {
+  size_t providers = 0;
+  std::vector<SweepRow> rows;
+};
+
+experiments::ScenarioConfig SweepConfig(size_t providers, uint32_t shards,
+                                        uint64_t seed, double duration) {
+  // BaseDemoConfig at the requested scale, offered load held constant per
+  // provider (same rescale rule as ApplyEnv).
+  experiments::ScenarioConfig config =
+      experiments::BaseDemoConfig(seed, /*volunteers=*/200, duration);
+  const double ratio = static_cast<double>(providers) / 200.0;
+  config.population.volunteers.count = providers;
+  for (auto& project : config.population.projects) {
+    project.arrival_rate *= ratio;
+  }
+  // Short timeout: bounds the post-run drain horizon (the sweep measures
+  // mediation throughput, not timer span).
+  config.mediator.query_timeout = 60.0;
+  config.sim.shard_count = shards;
+  config.sim.shard_use_threads = true;
+  // Coarser barrier than the default: the demo workload barely uses the
+  // cross-shard mailbox, so trading borrow-hop latency for 4x fewer
+  // barrier synchronizations is free throughput.
+  config.sim.shard_barrier_tick = 0.02;
+  return config;
+}
+
+Sweep RunSweep(size_t providers, uint64_t seed, double duration) {
+  Sweep sweep;
+  sweep.providers = providers;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    // Best of two: the speedup column feeds a CI gate, and one scheduler
+    // hiccup on a shared runner must not read as a scaling regression.
+    double wall_ms = 0;
+    experiments::RunResult result;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const auto start = std::chrono::steady_clock::now();
+      result = experiments::RunShardedScenario(
+          SweepConfig(providers, shards, seed, duration));
+      const double attempt_ms =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count() /
+          1000.0;
+      wall_ms = attempt == 0 ? attempt_ms : std::min(wall_ms, attempt_ms);
+    }
+
+    SweepRow row;
+    row.shards = shards;
+    row.wall_ms = wall_ms;
+    row.queries_finalized = result.summary.queries_finalized;
+    row.queries_delegated = result.summary.queries_delegated;
+    row.ns_per_query =
+        result.summary.queries_finalized > 0
+            ? wall_ms * 1e6 /
+                  static_cast<double>(result.summary.queries_finalized)
+            : 0;
+    row.speedup_vs_1 =
+        sweep.rows.empty() ? 1.0 : sweep.rows.front().wall_ms / wall_ms;
+    sweep.rows.push_back(row);
+
+    std::printf(
+        "  %6zu providers | %u shard%s | %9.1f ms | %7lld queries | "
+        "%8.0f ns/query | speedup %.2fx | delegated %lld\n",
+        providers, shards, shards == 1 ? " " : "s", wall_ms,
+        static_cast<long long>(row.queries_finalized), row.ns_per_query,
+        row.speedup_vs_1, static_cast<long long>(row.queries_delegated));
+  }
+  return sweep;
+}
+
+// --- Part 2: steady-state allocations across a sharded set ------------------
+
+struct AllocRow {
+  double per_query_warmup = 0;
+  double per_query_steady_state = 0;  ///< the gate requires exactly 0
+  uint32_t shards = 0;
+};
+
+/// Controlled pump: a 4-shard set, one SbQA mediator per shard over a
+/// partitioned registry, queries submitted round-robin across shards.
+AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers) {
+  sim::SimulationConfig sim_config;
+  sim_config.seed = 42;
+  sim_config.shard_count = shard_count;
+  // Serial windows: the counting allocator is process-global either way,
+  // but serial keeps the warm/steady split exact and scheduler-noise-free.
+  sim_config.shard_use_threads = false;
+  sim::ShardSet shards(sim_config);
+
+  core::Registry registry;
+  util::Rng setup(7);
+  core::ConsumerParams consumer_params;
+  consumer_params.n_results = 3;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    registry.AddConsumer(consumer_params);
+  }
+  for (size_t i = 0; i < providers; ++i) {
+    core::ProviderParams params;
+    params.capacity = setup.Uniform(0.5, 2.0);
+    const model::ProviderId id = registry.AddProvider(params);
+    for (uint32_t c = 0; c < shard_count; ++c) {
+      registry.provider(id).preferences().Set(static_cast<int32_t>(c),
+                                              setup.Uniform(-1, 1));
+      registry.consumer(static_cast<model::ConsumerId>(c))
+          .preferences()
+          .Set(id, setup.Uniform(-1, 1));
+    }
+  }
+  registry.SetShardCount(shard_count);
+
+  model::ReputationRegistry reputation(registry.provider_count());
+  core::SbqaParams sbqa_params;
+  sbqa_params.knbest = core::KnBestParams{20, 8};
+  std::vector<std::unique_ptr<core::Mediator>> mediators;
+  std::vector<core::Mediator*> mediator_ptrs;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    mediators.push_back(std::make_unique<core::Mediator>(
+        &shards.shard(s), &registry, &reputation,
+        std::make_unique<core::SbqaMethod>(sbqa_params),
+        core::MediatorConfig{}));
+    mediator_ptrs.push_back(mediators.back().get());
+  }
+  core::ShardDirectory directory;
+  directory.Refresh(registry);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    mediators[s]->ConfigureSharding(&shards, s, &directory, mediator_ptrs);
+  }
+
+  model::QueryId next_id = 0;
+  double horizon = 0;
+  const auto pump = [&](int queries_per_shard) {
+    for (int i = 0; i < queries_per_shard; ++i) {
+      for (uint32_t s = 0; s < shard_count; ++s) {
+        model::Query query;
+        query.id = ++next_id;
+        query.consumer = static_cast<model::ConsumerId>(s);
+        query.n_results = 3;
+        query.cost = 0.5;
+        mediators[s]->SubmitQuery(query);
+      }
+      horizon += 0.05;
+      shards.RunUntil(horizon);
+    }
+    horizon += 700.0;  // drain: results, timeout sweeps, ring reset
+    shards.RunUntil(horizon);
+  };
+
+  AllocRow row;
+  row.shards = shard_count;
+  const uint64_t warm_allocs = AllocationCount();
+  pump(400);
+  row.per_query_warmup = static_cast<double>(AllocationCount() - warm_allocs) /
+                         (400.0 * shard_count);
+  const uint64_t steady_allocs = AllocationCount();
+  pump(150);
+  row.per_query_steady_state =
+      static_cast<double>(AllocationCount() - steady_allocs) /
+      (150.0 * shard_count);
+  return row;
+}
+
+}  // namespace
+}  // namespace sbqa::bench
+
+int main() {
+  using namespace sbqa;
+  using namespace sbqa::bench;
+
+  const uint64_t seed = EnvOr("SBQA_BENCH_SEED", 42);
+  const double duration =
+      static_cast<double>(EnvOr("SBQA_BENCH_DURATION", 30));
+  const size_t max_providers =
+      static_cast<size_t>(EnvOr("SBQA_BENCH_MAX_PROVIDERS", 100000));
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  PrintHeader("Sharded multi-core mediation",
+              "Per-shard schedulers + partitioned candidate index + "
+              "deterministic cross-shard mailbox: end-to-end scaling 1 -> 8 "
+              "shards and steady-state allocation audit.");
+  std::printf("host cores: %u (wall-clock speedup needs hardware "
+              "parallelism)\n\n",
+              host_cores);
+
+  std::vector<Sweep> sweeps;
+  for (size_t providers : {size_t{10000}, size_t{100000}}) {
+    if (providers > max_providers) continue;
+    std::printf("%zu-provider sweep (duration %.0fs, seed %llu):\n",
+                providers, duration, static_cast<unsigned long long>(seed));
+    sweeps.push_back(RunSweep(providers, seed, duration));
+    std::printf("\n");
+  }
+
+  std::printf("steady-state allocation audit (4 shards, 10k providers):\n");
+  const AllocRow allocs = MeasureShardedAllocations(4, 10000);
+  std::printf("  warmup %.3f allocs/query, steady state %.3f allocs/query\n\n",
+              allocs.per_query_warmup, allocs.per_query_steady_state);
+
+  JsonWriter json(BenchJsonPath("sharding"));
+  if (!json.ok()) return 0;
+  json.BeginObject();
+  json.Field("bench", "sharding");
+  json.Field("host_cores", static_cast<uint64_t>(host_cores));
+  json.Field("seed", seed);
+  json.Field("duration_s", duration, 1);
+  json.BeginArray("sweeps");
+  for (const Sweep& sweep : sweeps) {
+    json.BeginObject();
+    json.Field("providers", static_cast<uint64_t>(sweep.providers));
+    json.BeginArray("runs");
+    for (const SweepRow& row : sweep.rows) {
+      json.BeginObject();
+      json.Field("shards", row.shards);
+      json.Field("wall_ms", row.wall_ms, 1);
+      json.Field("queries_finalized", row.queries_finalized);
+      json.Field("queries_delegated", row.queries_delegated);
+      json.Field("ns_per_query", row.ns_per_query, 0);
+      json.Field("speedup_vs_1", row.speedup_vs_1, 3);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginObject("allocations");
+  json.Field("shards", allocs.shards);
+  json.Field("per_query_warmup", allocs.per_query_warmup, 3);
+  json.Field("per_query_steady_state", allocs.per_query_steady_state, 3);
+  json.EndObject();
+  json.EndObject();
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Bench regression gate for CI.
+"""Bench regression gates for CI.
 
-Compares a freshly measured BENCH_event_engine.json against the baseline
-committed in the repository and fails (exit 1) when
+Two modes:
+
+--mode event_engine (default): compares a freshly measured
+BENCH_event_engine.json against the baseline committed in the repository
+and fails (exit 1) when
 
   * the end-to-end ns/query of the `exact` run regressed by more than the
     allowed factor, after normalizing for machine speed, or
@@ -15,8 +18,20 @@ the fresh machine's legacy throughput to the baseline machine's before
 comparing, so a slow shared CI runner does not produce a false regression
 and a fast one cannot mask a real one.
 
-Usage: check_bench_regression.py <fresh.json> <committed-baseline.json>
-       [--max-regression 2.0]
+--mode sharding: gates a freshly measured BENCH_sharding.json and fails
+(exit 1) when
+
+  * the steady-state allocations-per-query of the sharded engine is
+    nonzero (enforced on every host), or
+  * the 4-shard end-to-end speedup over 1 shard on the largest provider
+    sweep drops below --min-speedup (default 2.0) — enforced only when
+    the measuring host has >= 4 cores (the JSON records host_cores);
+    wall-clock parallel speedup cannot exist without hardware
+    parallelism, so single-core hosts only run the allocation gate.
+
+Usage: check_bench_regression.py <fresh.json> [<committed-baseline.json>]
+       [--max-regression 2.0] [--mode event_engine|sharding]
+       [--min-speedup 2.0]
 """
 
 import argparse
@@ -39,20 +54,7 @@ def legacy_events_per_sec(doc):
     return sum(rates) / len(rates)
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("fresh")
-    parser.add_argument("baseline")
-    parser.add_argument("--max-regression", type=float, default=2.0,
-                        help="fail when machine-normalized fresh ns/query "
-                             "exceeds baseline by more than this factor")
-    args = parser.parse_args()
-
-    with open(args.fresh) as f:
-        fresh = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
+def check_event_engine(fresh, baseline, max_regression):
     machine_speed = legacy_events_per_sec(fresh) / legacy_events_per_sec(
         baseline)
     fresh_ns = exact_ns_per_query(fresh)
@@ -62,10 +64,10 @@ def main():
     print(f"machine speed vs baseline host: {machine_speed:.2f}x")
     print(f"ns/query: fresh={fresh_ns:.0f} normalized={normalized_ns:.0f} "
           f"baseline={baseline_ns:.0f} ratio={ratio:.2f}x "
-          f"(limit {args.max_regression:.2f}x)")
+          f"(limit {max_regression:.2f}x)")
 
     failed = False
-    if ratio > args.max_regression:
+    if ratio > max_regression:
         print("FAIL: end-to-end ns/query regressed beyond the limit")
         failed = True
 
@@ -74,6 +76,75 @@ def main():
     if allocs != 0.0:
         print("FAIL: steady-state mediation is no longer allocation-free")
         failed = True
+    return failed
+
+
+def check_sharding(fresh, min_speedup):
+    failed = False
+
+    allocs = float(fresh["allocations"]["per_query_steady_state"])
+    shards = int(fresh["allocations"]["shards"])
+    print(f"steady-state allocations/query across {shards} shards: "
+          f"{allocs:.3f}")
+    if allocs != 0.0:
+        print("FAIL: the sharded steady state is no longer allocation-free")
+        failed = True
+
+    sweeps = fresh.get("sweeps", [])
+    if not sweeps:
+        # A trimmed smoke run (SBQA_BENCH_MAX_PROVIDERS below the smallest
+        # sweep) has nothing to gate the speedup on; the allocation gate
+        # above already ran. CI runs untrimmed, so its sweeps are present.
+        print("NOTE: no sweeps in the bench JSON (trimmed run) — "
+              "speedup bar skipped")
+        return failed
+    largest = max(sweeps, key=lambda s: int(s["providers"]))
+    four = [r for r in largest["runs"] if int(r["shards"]) == 4]
+    if not four:
+        print("FAIL: no 4-shard run in the largest sweep")
+        return True
+    speedup = float(four[0]["speedup_vs_1"])
+    host_cores = int(fresh.get("host_cores", 0))
+    print(f"4-shard speedup at {largest['providers']} providers: "
+          f"{speedup:.2f}x on a {host_cores}-core host "
+          f"(bar {min_speedup:.2f}x, enforced at >= 4 cores)")
+    if host_cores >= 4:
+        if speedup < min_speedup:
+            print("FAIL: 4-shard end-to-end speedup dropped below the bar")
+            failed = True
+    else:
+        print("NOTE: < 4 cores — the parallel-speedup bar is not "
+              "enforceable on this host; allocation gate only")
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed baseline JSON (event_engine mode)")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="event_engine: fail when machine-normalized "
+                             "fresh ns/query exceeds baseline by more than "
+                             "this factor")
+    parser.add_argument("--mode", choices=["event_engine", "sharding"],
+                        default="event_engine")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="sharding: minimum 4-shard end-to-end speedup "
+                             "on the largest sweep (hosts with >= 4 cores)")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if args.mode == "event_engine":
+        if args.baseline is None:
+            parser.error("event_engine mode requires a baseline JSON")
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        failed = check_event_engine(fresh, baseline, args.max_regression)
+    else:
+        failed = check_sharding(fresh, args.min_speedup)
 
     sys.exit(1 if failed else 0)
 

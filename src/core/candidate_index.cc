@@ -91,6 +91,16 @@ size_t CandidateIndex::CountFor(model::QueryClassId query_class) const {
          (classed != nullptr ? classed->items.size() : 0);
 }
 
+void CandidateIndex::CollectClassCounts(
+    std::vector<std::pair<model::QueryClassId, size_t>>* out) const {
+  SBQA_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(by_class_.size());
+  for (const auto& [query_class, set] : by_class_) {
+    out->emplace_back(query_class, set.items.size());
+  }
+}
+
 void CandidateIndex::CollectFor(model::QueryClassId query_class,
                                 std::vector<model::ProviderId>* out) const {
   SBQA_CHECK(out != nullptr);

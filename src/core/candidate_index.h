@@ -63,6 +63,15 @@ class CandidateIndex {
   /// |Pq| for a query of class `query_class`. O(1).
   size_t CountFor(model::QueryClassId query_class) const;
 
+  /// Alive providers with no class restriction. O(1).
+  size_t alive_generalist_count() const { return generalists_.items.size(); }
+
+  /// Replaces *out with (class, alive restricted-provider count) for every
+  /// class the index currently tracks (arbitrary order, zero counts
+  /// included). O(#classes); feeds the cross-shard candidate directory.
+  void CollectClassCounts(
+      std::vector<std::pair<model::QueryClassId, size_t>>* out) const;
+
   /// Replaces *out with Pq for `query_class` (index order, not sorted).
   void CollectFor(model::QueryClassId query_class,
                   std::vector<model::ProviderId>* out) const;

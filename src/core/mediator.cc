@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/shard_directory.h"
+#include "sim/shard_set.h"
 #include "util/check.h"
 
 namespace sbqa::core {
@@ -59,17 +61,36 @@ void Mediator::NotifyPeersProviderGone(model::ProviderId provider) {
   }
 }
 
+void Mediator::ConfigureSharding(sim::ShardSet* shards, uint32_t shard,
+                                 const ShardDirectory* directory,
+                                 std::vector<Mediator*> shard_mediators) {
+  SBQA_CHECK(shards != nullptr);
+  SBQA_CHECK(directory != nullptr);
+  SBQA_CHECK_LT(shard, shards->shard_count());
+  SBQA_CHECK_EQ(shard_mediators.size(),
+                static_cast<size_t>(shards->shard_count()));
+  SBQA_CHECK(shard_mediators[shard] == this);
+  shard_set_ = shards;
+  shard_id_ = shard;
+  directory_ = directory;
+  shard_mediators_ = std::move(shard_mediators);
+}
+
 void Mediator::ScheduleDepartureSweep() {
   sim_->scheduler().Schedule(departure_->config().sweep_interval, [this] {
-    // Sweep everyone: dissatisfaction can build up without mediation events
-    // reaching a participant (e.g. a volunteer nobody proposes queries to
-    // has Definition-2 satisfaction 0). The alive ids are copied out of the
-    // index first because departures mutate it mid-loop.
-    registry_->CollectAliveProviders(&sweep_scratch_);
+    // Sweep everyone this mediator owns: dissatisfaction can build up
+    // without mediation events reaching a participant (e.g. a volunteer
+    // nobody proposes queries to has Definition-2 satisfaction 0). In
+    // sharded mode every shard's mediator sweeps its own partition (the
+    // whole population when unsharded: partition 0 is everything). The
+    // alive ids are copied out of the index first because departures
+    // mutate it mid-loop.
+    registry_->CollectAliveProvidersForShard(shard_id_, &sweep_scratch_);
     for (model::ProviderId p : sweep_scratch_) {
       MaybeDepartProvider(p);
     }
     for (const Consumer& c : registry_->consumers()) {
+      if (registry_->ConsumerShard(c.id()) != shard_id_) continue;
       if (c.active()) MaybeRetireConsumer(c.id());
     }
     ScheduleDepartureSweep();
@@ -189,19 +210,68 @@ void Mediator::SubmitQuery(model::Query query) {
 }
 
 void Mediator::OnQueryArrival(model::Query query) {
-  // Index-backed Pq view: O(1) to build and to test for emptiness; the
-  // method decides whether to sample it (O(k)) or materialize it (full-scan
-  // baselines, into the reused scratch buffer).
+  Mediate(std::move(query), shard_id_);
+}
+
+void Mediator::OnDelegatedQuery(model::Query query, uint32_t origin_shard) {
+  ++stats_.queries_borrowed;
+  Mediate(std::move(query), origin_shard);
+}
+
+bool Mediator::TryDelegate(const model::Query& query) {
+  if (shard_set_ == nullptr) return false;
+  const uint32_t target =
+      directory_->FindShardWith(query.query_class, shard_id_);
+  if (target == ShardDirectory::kNoShard) return false;
+  ++stats_.queries_delegated;
+  Mediator* peer = shard_mediators_[target];
+  const uint32_t origin = shard_id_;
+  shard_set_->PostTo(shard_id_, target, sim_->now() + OneWayLatency(),
+                     sim::EventFn([peer, query, origin] {
+                       peer->OnDelegatedQuery(query, origin);
+                     }));
+  return true;
+}
+
+void Mediator::RouteOutcomeHome(uint32_t origin_shard,
+                                const QueryOutcome& outcome) {
+  Mediator* home = shard_mediators_[origin_shard];
+  // The outcome is copied into the closure (heap EventFn: it exceeds the
+  // inline buffer). Acceptable: the borrow path is the rare fallback, not
+  // the steady-state allocation-free path.
+  shard_set_->PostTo(shard_id_, origin_shard, sim_->now() + OneWayLatency(),
+                     sim::EventFn([home, copy = outcome]() mutable {
+                       home->OnDelegatedOutcome(std::move(copy));
+                     }));
+}
+
+void Mediator::OnDelegatedOutcome(QueryOutcome outcome) {
+  // Stamp arrival-side timing: the response time the consumer experienced
+  // includes the two mailbox hops of the borrow round trip.
+  outcome.completed_at = sim_->now();
+  outcome.response_time = sim_->now() - outcome.query.issued_at;
+  RecordConsumerOutcome(&outcome);
+}
+
+void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
+  // Index-backed Pq view over this shard's partition: O(1) to build and to
+  // test for emptiness; the method decides whether to sample it (O(k)) or
+  // materialize it (full-scan baselines, into the reused scratch buffer).
   const CandidateSet candidates =
-      registry_->CandidatesFor(query, &candidate_scratch_);
+      registry_->CandidatesForShard(shard_id_, query, &candidate_scratch_);
   if (candidates.empty()) {
-    FinalizeUnallocated(query);
+    // Borrow path — only for this shard's own queries: a borrowed query
+    // whose target pool went dry since the directory snapshot reports
+    // unallocated at home rather than bouncing between shards.
+    if (origin_shard == shard_id_ && TryDelegate(query)) return;
+    FinalizeUnallocated(query, origin_shard);
     return;
   }
 
   const InflightHandle h = AcquireInflight();
   InFlight& f = inflight_pool_[SlotOf(h)];
   f.query = query;
+  f.origin_shard = origin_shard;
 
   AllocationContext ctx;
   ctx.query = &f.query;
@@ -267,8 +337,9 @@ void Mediator::Dispatch(InflightHandle h) {
     // The method could not (or chose not to) allocate anybody, e.g. an
     // economic mediation with no affordable bid.
     const model::Query query = f->query;
+    const uint32_t origin_shard = f->origin_shard;
     ReleaseInflight(h);
-    FinalizeUnallocated(query);
+    FinalizeUnallocated(query, origin_shard);
     return;
   }
 
@@ -493,11 +564,17 @@ void Mediator::Finalize(InflightHandle h, bool timed_out) {
       outcome.satisfaction, f->decision.consumer_intentions,
       f->query.n_results);
 
+  const uint32_t origin_shard = f->origin_shard;
   ReleaseInflight(h);
-  RecordConsumerOutcome(&outcome);
+  if (origin_shard == shard_id_) {
+    RecordConsumerOutcome(&outcome);
+  } else {
+    RouteOutcomeHome(origin_shard, outcome);
+  }
 }
 
-void Mediator::FinalizeUnallocated(const model::Query& query) {
+void Mediator::FinalizeUnallocated(const model::Query& query,
+                                   uint32_t origin_shard) {
   ++stats_.queries_unallocated;
   QueryOutcome& outcome = outcome_scratch_;
   ResetOutcome(&outcome);
@@ -509,7 +586,11 @@ void Mediator::FinalizeUnallocated(const model::Query& query) {
   outcome.satisfaction = 0;
   outcome.adequation = 0;
   outcome.allocation_satisfaction = 1;  // nothing was achievable
-  RecordConsumerOutcome(&outcome);
+  if (origin_shard == shard_id_) {
+    RecordConsumerOutcome(&outcome);
+  } else {
+    RouteOutcomeHome(origin_shard, outcome);
+  }
 }
 
 void Mediator::RecordConsumerOutcome(QueryOutcome* outcome) {

@@ -31,11 +31,18 @@
 #include "core/satisfaction.h"
 #include "model/query.h"
 #include "model/reputation.h"
+#include "sim/network.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
+namespace sbqa::sim {
+class ShardSet;
+}  // namespace sbqa::sim
+
 namespace sbqa::core {
+
+class ShardDirectory;
 
 /// Mediator-level configuration.
 struct MediatorConfig {
@@ -66,6 +73,11 @@ struct MediatorStats {
   int64_t provider_departures = 0;
   int64_t provider_offline_events = 0;  ///< churn, not dissatisfaction
   int64_t consumer_retirements = 0;
+  /// Cross-shard borrow protocol (sharded mode only): queries this
+  /// mediator forwarded to a peer shard because its own candidate pool for
+  /// the class was dry, and queries it mediated on behalf of a peer.
+  int64_t queries_delegated = 0;
+  int64_t queries_borrowed = 0;
   util::RunningStats response_time;
   util::RunningStats query_satisfaction;
 };
@@ -94,6 +106,33 @@ class Mediator {
   /// mediator takes a provider out (departure or churn). `peers` may
   /// contain `this`; it is ignored.
   void SetPeers(std::vector<Mediator*> peers);
+
+  /// Sharded mode: wires this mediator as shard `shard`'s mediator of a
+  /// ShardSet. Its candidate pool becomes registry partition `shard`, its
+  /// departure sweep covers only shard-owned participants, and a dry
+  /// candidate pool triggers the cross-shard borrow path: the query is
+  /// forwarded over the mailbox to the first shard (fixed wrap-around
+  /// order, per `directory`) that has candidates for the class, mediated
+  /// there against that shard's providers, and the outcome is routed back
+  /// here for the consumer-side bookkeeping — so provider state is only
+  /// ever touched by its owning shard, and consumer state by its own.
+  /// `shards` and `directory` must outlive the mediator;
+  /// `shard_mediators[s]` is shard s's mediator (including this one).
+  void ConfigureSharding(sim::ShardSet* shards, uint32_t shard,
+                         const ShardDirectory* directory,
+                         std::vector<Mediator*> shard_mediators);
+
+  /// This mediator's shard id (0 when unsharded).
+  uint32_t shard() const { return shard_id_; }
+
+  // --- Cross-shard mailbox entry points (public for the EventFn closures
+  // --- the mailbox delivers; not part of the user API) ---------------------
+
+  /// A peer shard's mediator forwarded `query` here (its pool was dry).
+  void OnDelegatedQuery(model::Query query, uint32_t origin_shard);
+  /// A borrowed query finalized on its executing shard; records the
+  /// consumer-side outcome at home.
+  void OnDelegatedOutcome(QueryOutcome outcome);
 
   /// Entry point: the consumer issues `query` at the current simulation
   /// time (query.issued_at is stamped here). The mediation proceeds through
@@ -209,6 +248,10 @@ class Mediator {
     int pending = 0;
     uint32_t generation = 1;
     uint32_t next_free = kNoSlot;
+    /// Shard whose consumer issued the query (== the mediator's own shard
+    /// except for borrowed queries, whose outcomes route home over the
+    /// mailbox).
+    uint32_t origin_shard = 0;
     bool live = false;
   };
 
@@ -246,6 +289,15 @@ class Mediator {
   void UnlinkProviderInflight(model::ProviderId provider, InflightHandle h);
 
   void OnQueryArrival(model::Query query);
+  /// The shared mediation body: allocates `query` against this shard's
+  /// candidate pool on behalf of `origin_shard`.
+  void Mediate(model::Query query, uint32_t origin_shard);
+  /// Borrow path: forwards a locally unallocatable query to a peer shard
+  /// with candidates (per the directory). False when unsharded or nobody
+  /// has candidates.
+  bool TryDelegate(const model::Query& query);
+  /// Sends a borrowed query's outcome back to its origin shard.
+  void RouteOutcomeHome(uint32_t origin_shard, const QueryOutcome& outcome);
   void Dispatch(InflightHandle handle);
   void OnInstanceArrival(InflightHandle handle, model::ProviderId provider,
                          double cost);
@@ -260,8 +312,9 @@ class Mediator {
   /// sweep for the next live deadline.
   void OnTimeoutSweep();
   void Finalize(InflightHandle handle, bool timed_out);
-  /// Finalizes a query that never got any provider.
-  void FinalizeUnallocated(const model::Query& query);
+  /// Finalizes a query that never got any provider, routing the outcome to
+  /// `origin_shard`'s mediator when the query was borrowed.
+  void FinalizeUnallocated(const model::Query& query, uint32_t origin_shard);
 
   /// Records the consumer-side satisfaction values for a finalized query
   /// and runs the consumer departure check.
@@ -291,6 +344,13 @@ class Mediator {
   std::vector<MediationObserver*> observers_;
   std::vector<Mediator*> peers_;
   std::unique_ptr<DepartureModel> departure_;
+
+  /// Sharded-mode wiring (null/empty when unsharded; shard_id_ 0 then
+  /// selects registry partition 0 == the whole population).
+  sim::ShardSet* shard_set_ = nullptr;
+  const ShardDirectory* directory_ = nullptr;
+  std::vector<Mediator*> shard_mediators_;
+  uint32_t shard_id_ = 0;
 
   /// Cached load reports for the staleness-bounded view, dense by provider
   /// id — no hashing on the hot path.

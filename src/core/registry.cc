@@ -6,13 +6,21 @@
 
 namespace sbqa::core {
 
+Registry::Registry() {
+  partitions_.push_back(std::make_unique<CandidateIndex>());
+  active_consumers_.push_back(0);
+}
+
 model::ProviderId Registry::AddProvider(const ProviderParams& params) {
   const auto id = static_cast<model::ProviderId>(providers_.size());
   const uint32_t slot = hot_.Append(params.capacity, params.tau_utilization);
   SBQA_CHECK_EQ(static_cast<size_t>(slot), static_cast<size_t>(id));
   providers_.emplace_back(id, params, &hot_, slot);
   providers_.back().set_observer(this);
-  index_.OnProviderAdded(providers_.back());
+  // Providers joining after SetShardCount (open systems) go round-robin;
+  // the initial population gets contiguous blocks in SetShardCount.
+  provider_shard_.push_back(static_cast<uint32_t>(id) % shard_count_);
+  partitions_[provider_shard_.back()]->OnProviderAdded(providers_.back());
   total_capacity_ += params.capacity;
   return id;
 }
@@ -21,7 +29,7 @@ model::ConsumerId Registry::AddConsumer(const ConsumerParams& params) {
   const auto id = static_cast<model::ConsumerId>(consumers_.size());
   consumers_.emplace_back(id, params);
   consumers_.back().set_observer(this);
-  ++active_consumers_;  // consumers start active
+  ++active_consumers_[ConsumerShard(id)];  // consumers start active
   return id;
 }
 
@@ -49,23 +57,99 @@ const Consumer& Registry::consumer(model::ConsumerId id) const {
   return consumers_[static_cast<size_t>(id)];
 }
 
+void Registry::SetShardCount(uint32_t shard_count) {
+  SBQA_CHECK_GE(shard_count, 1u);
+  if (shard_count == 1 && partitions_.size() == 1) {
+    // Already the single-partition layout. Keep the incrementally built
+    // index AS IS: a rebuild would reorder its dense sets (providers that
+    // were restricted after registration occupy different slots), which
+    // would perturb uniform sampling and break the bit-for-bit equivalence
+    // between shard_count=1 and the classic engine.
+    shard_count_ = 1;
+    return;
+  }
+  shard_count_ = shard_count;
+
+  // Contiguous provider blocks: shard s owns ids [s*block, (s+1)*block).
+  // Contiguity keeps each shard's slice of the SoA hot state a disjoint
+  // byte range, so shard threads never false-share a cache line.
+  const size_t count = providers_.size();
+  const size_t block = (count + shard_count - 1) / shard_count;
+  partitions_.clear();
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    partitions_.push_back(std::make_unique<CandidateIndex>());
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t shard =
+        block == 0 ? 0
+                   : static_cast<uint32_t>(
+                         std::min<size_t>(i / block, shard_count - 1));
+    provider_shard_[i] = shard;
+    partitions_[shard]->OnProviderAdded(providers_[i]);
+  }
+
+  active_consumers_.assign(shard_count, 0);
+  for (const Consumer& c : consumers_) {
+    if (c.active()) ++active_consumers_[ConsumerShard(c.id())];
+  }
+}
+
+CandidateSet Registry::CandidatesForShard(
+    uint32_t shard, const model::Query& query,
+    std::vector<model::ProviderId>* scratch) const {
+  return CandidateSet(partitions_[shard].get(), query.query_class, scratch);
+}
+
 CandidateSet Registry::CandidatesFor(
     const model::Query& query,
     std::vector<model::ProviderId>* scratch) const {
-  return CandidateSet(&index_, query.query_class, scratch);
+  return CandidatesForShard(0, query, scratch);
 }
 
 std::vector<model::ProviderId> Registry::ProvidersFor(
     const model::Query& query) const {
   std::vector<model::ProviderId> out;
-  index_.CollectFor(query.query_class, &out);
+  std::vector<model::ProviderId> partition;
+  for (const auto& index : partitions_) {
+    index->CollectFor(query.query_class, &partition);
+    out.insert(out.end(), partition.begin(), partition.end());
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void Registry::CollectAliveProviders(
     std::vector<model::ProviderId>* out) const {
-  index_.CollectAlive(out);
+  SBQA_CHECK(out != nullptr);
+  partitions_[0]->CollectAlive(out);
+  std::vector<model::ProviderId> partition;
+  for (size_t s = 1; s < partitions_.size(); ++s) {
+    partitions_[s]->CollectAlive(&partition);
+    out->insert(out->end(), partition.begin(), partition.end());
+  }
+}
+
+void Registry::CollectAliveProvidersForShard(
+    uint32_t shard, std::vector<model::ProviderId>* out) const {
+  partitions_[shard]->CollectAlive(out);
+}
+
+size_t Registry::alive_provider_count() const {
+  size_t total = 0;
+  for (const auto& index : partitions_) total += index->alive_count();
+  return total;
+}
+
+size_t Registry::active_consumer_count() const {
+  int64_t total = 0;
+  for (int64_t count : active_consumers_) total += count;
+  return static_cast<size_t>(total);
+}
+
+double Registry::AliveCapacity() const {
+  double total = 0;
+  for (const auto& index : partitions_) total += index->alive_capacity();
+  return total;
 }
 
 }  // namespace sbqa::core

@@ -6,6 +6,20 @@
 /// system and answers the mediator's "which providers can treat q" queries
 /// (the paper's set Pq) through an incrementally maintained candidate
 /// index, so the mediation hot path never scans the population.
+///
+/// Sharded systems partition the registry WITHOUT splitting ownership of
+/// the participant objects: after SetShardCount(n) the candidate index is
+/// split into n per-shard partitions (contiguous provider-id blocks, so
+/// each shard's slice of the struct-of-arrays hot state is a contiguous
+/// byte range — no false sharing between shard threads), the
+/// active-consumer counter becomes per-shard, and every eligibility
+/// notification routes to the owning shard's partition only. The ownership
+/// discipline that makes the sharded engine race-free lives here:
+/// participant state is only MUTATED by its owning shard; immutable-
+/// after-build fields (params, policies, preference profiles) may be read
+/// by any shard. Cross-shard aggregates (alive_provider_count,
+/// AliveCapacity, active_consumer_count) must only be read when shards are
+/// quiescent — at a barrier, or after the run.
 
 #include <memory>
 #include <vector>
@@ -27,7 +41,7 @@ namespace sbqa::core {
 /// which code path mutates a participant.
 class Registry : private ProviderObserver, private ConsumerObserver {
  public:
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -42,35 +56,74 @@ class Registry : private ProviderObserver, private ConsumerObserver {
   Consumer& consumer(model::ConsumerId id);
   const Consumer& consumer(model::ConsumerId id) const;
 
-  /// The paper's Pq as an index-backed view: O(1) to build, O(1) size,
-  /// O(k) uniform sampling. `scratch` backs lazy materialization for
-  /// full-scan methods and must outlive the returned set.
+  // --- Sharding -------------------------------------------------------------
+
+  /// Partitions the registry into `shard_count` shards: providers get
+  /// contiguous id blocks, consumers go round-robin (id % shard_count),
+  /// and the candidate index is rebuilt as per-shard partitions. Call once,
+  /// after the initial population is built and before the simulation runs.
+  void SetShardCount(uint32_t shard_count);
+  uint32_t shard_count() const { return shard_count_; }
+
+  /// Owning shard of a provider / consumer.
+  uint32_t ProviderShard(model::ProviderId id) const {
+    return provider_shard_[static_cast<size_t>(id)];
+  }
+  uint32_t ConsumerShard(model::ConsumerId id) const {
+    return static_cast<uint32_t>(id) % shard_count_;
+  }
+
+  /// The paper's Pq restricted to one shard's provider partition, as an
+  /// index-backed view: O(1) to build, O(1) size, O(k) uniform sampling.
+  /// `scratch` backs lazy materialization for full-scan methods and must
+  /// outlive the returned set. The mediation hot path of shard s only ever
+  /// touches partition s — cross-shard candidate borrowing goes through
+  /// the mailbox protocol (see Mediator), never through this call.
+  CandidateSet CandidatesForShard(uint32_t shard, const model::Query& query,
+                                  std::vector<model::ProviderId>* scratch)
+      const;
+
+  /// Unsharded convenience (partition 0 == the whole population when
+  /// shard_count() == 1): the paper's Pq as an index-backed view.
   CandidateSet CandidatesFor(const model::Query& query,
                              std::vector<model::ProviderId>* scratch) const;
 
-  /// Pq materialized (ascending ids). Convenience for tests and tooling;
-  /// the mediation path uses CandidatesFor.
+  /// Pq materialized across all partitions (ascending ids). Convenience
+  /// for tests and tooling; the mediation path uses CandidatesForShard.
   std::vector<model::ProviderId> ProvidersFor(const model::Query& query) const;
 
-  /// Replaces *out with every alive provider id (index order). O(alive).
+  /// Replaces *out with every alive provider id (all partitions,
+  /// partition-then-index order). O(alive).
   void CollectAliveProviders(std::vector<model::ProviderId>* out) const;
 
-  /// O(1), maintained incrementally by the candidate index.
-  size_t alive_provider_count() const { return index_.alive_count(); }
-  size_t active_consumer_count() const { return active_consumers_; }
+  /// Replaces *out with shard `shard`'s alive provider ids (index order).
+  void CollectAliveProvidersForShard(
+      uint32_t shard, std::vector<model::ProviderId>* out) const;
+
+  /// O(#shards), maintained incrementally by the partitions. Cross-shard
+  /// aggregate: only read at barriers / after the run in sharded mode.
+  size_t alive_provider_count() const;
+  size_t active_consumer_count() const;
 
   /// Sum of capacities of alive providers (the paper's "total system
-  /// capacity" that dissatisfaction erodes). O(1).
-  double AliveCapacity() const { return index_.alive_capacity(); }
+  /// capacity" that dissatisfaction erodes). O(#shards); barrier-read only
+  /// in sharded mode.
+  double AliveCapacity() const;
   /// Sum of capacities of all providers ever registered. O(1).
   double TotalCapacity() const { return total_capacity_; }
 
-  /// Read access to the live candidate index (invariant checks, benches).
-  const CandidateIndex& candidate_index() const { return index_; }
+  /// Read access to shard `shard`'s live candidate-index partition
+  /// (invariant checks, the cross-shard directory refresh, benches).
+  const CandidateIndex& shard_index(uint32_t shard) const {
+    return *partitions_[shard];
+  }
+  /// Unsharded convenience: the single partition of a shard_count()==1
+  /// registry.
+  const CandidateIndex& candidate_index() const { return *partitions_[0]; }
 
   /// The shared struct-of-arrays hot state of all registry providers,
   /// indexed by dense provider id (hot readers bypass the Provider
-  /// objects).
+  /// objects). Shard threads only touch their own contiguous slice.
   const ProviderHotState& hot() const { return hot_; }
   ProviderHotState& hot() { return hot_; }
 
@@ -81,21 +134,29 @@ class Registry : private ProviderObserver, private ConsumerObserver {
 
  private:
   void OnProviderEligibilityChanged(const Provider& provider) override {
-    index_.OnProviderChanged(provider);
+    partitions_[ProviderShard(provider.id())]->OnProviderChanged(provider);
   }
   void OnConsumerActivityChanged(const Consumer& consumer) override {
+    // Owning shard only (single writer per counter in sharded mode).
+    int64_t& count = active_consumers_[ConsumerShard(consumer.id())];
     if (consumer.active()) {
-      ++active_consumers_;
+      ++count;
     } else {
-      --active_consumers_;
+      --count;
     }
   }
 
   std::vector<Provider> providers_;
   std::vector<Consumer> consumers_;
   ProviderHotState hot_;
-  CandidateIndex index_;
-  size_t active_consumers_ = 0;
+  /// Candidate-index partitions, one per shard (exactly one before
+  /// SetShardCount).
+  std::vector<std::unique_ptr<CandidateIndex>> partitions_;
+  /// Owning shard per provider (contiguous blocks after SetShardCount).
+  std::vector<uint32_t> provider_shard_;
+  /// Active-consumer count per owning shard.
+  std::vector<int64_t> active_consumers_;
+  uint32_t shard_count_ = 1;
   double total_capacity_ = 0;
 };
 

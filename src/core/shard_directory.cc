@@ -1,0 +1,47 @@
+#include "core/shard_directory.h"
+
+#include "core/registry.h"
+
+namespace sbqa::core {
+
+void ShardDirectory::Refresh(const Registry& registry) {
+  const uint32_t n = registry.shard_count();
+  entries_.resize(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    const CandidateIndex& index = registry.shard_index(s);
+    Entry& entry = entries_[s];
+    entry.generalists = index.alive_generalist_count();
+    index.CollectClassCounts(&scratch_);
+    // Sorted so CountFor can binary-search and so the snapshot's layout
+    // does not depend on hash-map iteration order.
+    std::sort(scratch_.begin(), scratch_.end());
+    entry.class_counts.assign(scratch_.begin(), scratch_.end());
+  }
+}
+
+size_t ShardDirectory::CountFor(uint32_t shard,
+                                model::QueryClassId query_class) const {
+  const Entry& entry = entries_[shard];
+  const auto it = std::lower_bound(
+      entry.class_counts.begin(), entry.class_counts.end(), query_class,
+      [](const std::pair<model::QueryClassId, size_t>& e,
+         model::QueryClassId c) { return e.first < c; });
+  const size_t restricted =
+      (it != entry.class_counts.end() && it->first == query_class)
+          ? it->second
+          : 0;
+  return entry.generalists + restricted;
+}
+
+uint32_t ShardDirectory::FindShardWith(model::QueryClassId query_class,
+                                       uint32_t from) const {
+  const uint32_t n = shard_count();
+  if (n <= 1) return kNoShard;
+  for (uint32_t step = 1; step < n; ++step) {
+    const uint32_t shard = (from + step) % n;
+    if (CountFor(shard, query_class) > 0) return shard;
+  }
+  return kNoShard;
+}
+
+}  // namespace sbqa::core

@@ -1,0 +1,66 @@
+#ifndef SBQA_CORE_SHARD_DIRECTORY_H_
+#define SBQA_CORE_SHARD_DIRECTORY_H_
+
+/// \file
+/// Cross-shard candidate directory: a barrier-refreshed snapshot of every
+/// shard's candidate availability (alive generalists + per-class restricted
+/// counts). When a shard's own candidate pool for a query class runs dry,
+/// its mediator consults this directory to pick the borrow target — the
+/// next shard, in a fixed wrap-around scan order, that reported candidates
+/// for the class — and forwards the query over the mailbox protocol.
+///
+/// Concurrency contract: Refresh() runs only on the barrier driver thread
+/// while every shard worker is parked; shard threads treat the directory
+/// as read-only during a window. The directory is therefore always one
+/// barrier tick stale, which is fine — a stale positive just makes the
+/// target shard route the query onward to nobody and report it
+/// unallocated, exactly as an unsharded dry pool would.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+namespace sbqa::core {
+
+class Registry;
+
+/// Per-shard candidate availability as of the last barrier.
+class ShardDirectory {
+ public:
+  static constexpr uint32_t kNoShard = UINT32_MAX;
+
+  /// Snapshots every partition's generalist and per-class counts.
+  /// Driver-thread only (see the concurrency contract above). Reuses its
+  /// buffers: steady-state refreshes allocate nothing.
+  void Refresh(const Registry& registry);
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(entries_.size());
+  }
+
+  /// Candidate count for `query_class` on `shard` as of the last refresh.
+  size_t CountFor(uint32_t shard, model::QueryClassId query_class) const;
+
+  /// The first shard after `from` (wrapping, `from` itself excluded) that
+  /// reported candidates for `query_class`; kNoShard when nobody has any.
+  /// The fixed scan order keeps borrow routing deterministic and spreads
+  /// different origins' borrows over different targets.
+  uint32_t FindShardWith(model::QueryClassId query_class,
+                         uint32_t from) const;
+
+ private:
+  struct Entry {
+    size_t generalists = 0;
+    /// (class, alive restricted count), sorted by class.
+    std::vector<std::pair<model::QueryClassId, size_t>> class_counts;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::pair<model::QueryClassId, size_t>> scratch_;
+};
+
+}  // namespace sbqa::core
+
+#endif  // SBQA_CORE_SHARD_DIRECTORY_H_

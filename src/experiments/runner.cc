@@ -1,15 +1,162 @@
 #include "experiments/runner.h"
 
+#include <algorithm>
 #include <memory>
 
+#include "core/shard_directory.h"
 #include "metrics/collector.h"
 #include "model/reputation.h"
+#include "sim/shard_set.h"
 #include "util/check.h"
 
 namespace sbqa::experiments {
 
+/// Sharded flavour of RunScenario: one scheduler/network/RNG stream,
+/// registry partition, mediator, workload slice and churn slice per shard,
+/// advanced by the ShardSet barrier protocol. Construction mirrors the
+/// single-engine path phase for phase, so a 1-shard run performs the same
+/// RNG splits and event submissions in the same order — that is what makes
+/// shard_count=1 bit-identical to the classic engine.
+RunResult RunShardedScenario(const ScenarioConfig& config) {
+  SBQA_CHECK_GT(config.duration, 0);
+  // Unsupported combinations in sharded mode (all scenario-level, none
+  // fundamental): runtime volunteer joins would grow the shared registry
+  // vectors mid-window, shared observers would be called from every worker
+  // thread, and in-shard federation is subsumed by sharding itself.
+  SBQA_CHECK(!config.joins.enabled);
+  SBQA_CHECK(config.observers.empty());
+  SBQA_CHECK_LE(config.mediator_count, 1u);
+
+  sim::SimulationConfig sim_config = config.sim;
+  sim_config.seed = config.seed;
+  sim::ShardSet shards(sim_config);
+  const uint32_t shard_count = shards.shard_count();
+
+  // Population: one shared registry, built from shard 0's stream exactly
+  // like the single-engine path (the population is therefore identical
+  // across shard counts), then partitioned.
+  core::Registry registry;
+  util::Rng population_rng = shards.shard(0).NewRng();
+  const boinc::BuiltPopulation population =
+      boinc::BuildPopulation(config.population, &registry, &population_rng);
+  if (config.population_hook) {
+    config.population_hook(&registry, population, &population_rng);
+  }
+  registry.SetShardCount(shard_count);
+
+  model::ReputationRegistry reputation(registry.provider_count());
+
+  // One mediator per shard, then the cross-shard wiring.
+  std::vector<std::unique_ptr<core::Mediator>> mediators;
+  std::vector<core::Mediator*> mediator_ptrs;
+  mediators.reserve(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    mediators.push_back(std::make_unique<core::Mediator>(
+        &shards.shard(s), &registry, &reputation, MakeMethod(config.method),
+        config.mediator));
+    mediator_ptrs.push_back(mediators.back().get());
+  }
+  core::ShardDirectory directory;
+  directory.Refresh(registry);
+  if (shard_count > 1) {
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      mediators[s]->ConfigureSharding(&shards, s, &directory, mediator_ptrs);
+    }
+  }
+  if (config.departure.providers_can_leave ||
+      config.departure.consumers_can_leave) {
+    for (auto& mediator : mediators) {
+      // Every shard sweeps its own partition (the single-engine path's
+      // "one sweeper" rule, per shard).
+      mediator->SetDepartureModel(config.departure, /*run_sweep=*/true);
+    }
+  }
+
+  // Metrics: one collector with a per-shard observer stream each, sampled
+  // at barriers (all workers parked).
+  std::vector<sim::Simulation*> sims;
+  for (uint32_t s = 0; s < shard_count; ++s) sims.push_back(&shards.shard(s));
+  metrics::Collector collector(sims, &registry, mediator_ptrs,
+                               config.sample_interval);
+  if (config.shard_observer_factory) {
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      if (core::MediationObserver* observer =
+              config.shard_observer_factory(s)) {
+        mediators[s]->AddObserver(observer);
+      }
+    }
+  }
+
+  // Workload: one generator per project, each living on its consumer's
+  // owning shard with that shard's strided query-id stream.
+  std::vector<std::unique_ptr<workload::QueryIdSource>> ids;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    ids.push_back(std::make_unique<workload::QueryIdSource>(
+        static_cast<model::QueryId>(s) + 1,
+        static_cast<model::QueryId>(shard_count)));
+  }
+  std::vector<std::unique_ptr<workload::QueryGenerator>> generators;
+  SBQA_CHECK_EQ(population.projects.size(), config.population.projects.size());
+  for (size_t i = 0; i < population.projects.size(); ++i) {
+    const boinc::ProjectSpec& project = config.population.projects[i];
+    const uint32_t shard = registry.ConsumerShard(population.projects[i]);
+    workload::ArrivalParams arrivals;
+    arrivals.rate = project.arrival_rate;
+    arrivals.end_time = config.duration;
+    generators.push_back(std::make_unique<workload::QueryGenerator>(
+        &shards.shard(shard), mediator_ptrs[shard], ids[shard].get(),
+        population.projects[i], arrivals, project.cost));
+    generators.back()->Start();
+  }
+
+  // Churn: each volunteer's availability process lives on its owning
+  // shard (same volunteer order as the single-engine path within a shard).
+  std::vector<std::vector<model::ProviderId>> churn_slices(shard_count);
+  for (model::ProviderId volunteer : population.volunteers) {
+    churn_slices[registry.ProviderShard(volunteer)].push_back(volunteer);
+  }
+  std::vector<std::vector<std::unique_ptr<workload::ChurnProcess>>> churn;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    churn.push_back(workload::StartChurn(&shards.shard(s), mediator_ptrs[s],
+                                         churn_slices[s], config.churn));
+  }
+
+  // Barrier hooks: refresh the borrow directory (only consulted when
+  // there are peers to borrow from), then sample metrics when a sample
+  // point has been reached. Hook order matters only for determinism, not
+  // correctness — both read quiescent state.
+  if (shard_count > 1) {
+    shards.AddBarrierHook(
+        [&directory, &registry](double) { directory.Refresh(registry); });
+  }
+  collector.Snapshot();  // t = 0 baseline, like Collector::Start()
+  double next_sample = config.sample_interval;
+  const double sample_until = config.duration;
+  shards.AddBarrierHook([&collector, &next_sample, sample_until,
+                         &config](double now) {
+    while (next_sample <= now + 1e-9 && next_sample <= sample_until + 1e-9) {
+      collector.Snapshot();
+      next_sample += config.sample_interval;
+    }
+  });
+
+  shards.RunUntil(config.duration);
+  // Drain in-flight queries (and cross-shard mailboxes) so satisfaction /
+  // response accounting is complete.
+  const double drain_horizon = config.duration + config.mediator.query_timeout;
+  shards.RunUntil(drain_horizon);
+
+  RunResult result;
+  result.summary = collector.Summarize(config.duration);
+  result.series = collector.series();
+  result.consumers = collector.ConsumerSnapshots();
+  result.providers = collector.ProviderSnapshots();
+  return result;
+}
+
 RunResult RunScenario(const ScenarioConfig& config) {
   SBQA_CHECK_GT(config.duration, 0);
+  if (config.sim.shard_count > 1) return RunShardedScenario(config);
 
   // Substrate.
   sim::SimulationConfig sim_config = config.sim;

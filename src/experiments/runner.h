@@ -23,7 +23,17 @@ struct RunResult {
 };
 
 /// Runs one scenario to completion (synchronously) and aggregates.
+/// Dispatches to the sharded engine when config.sim.shard_count > 1.
 RunResult RunScenario(const ScenarioConfig& config);
+
+/// The sharded engine entry point: per-shard schedulers, a partitioned
+/// registry and the deterministic cross-shard mailbox (see
+/// sim/shard_set.h). RunScenario calls this for shard_count > 1; it is
+/// public so tests and benches can also drive shard_count = 1 through the
+/// sharded machinery — which is bit-identical to the classic engine — for
+/// apples-to-apples comparisons. Requires joins disabled, no shared
+/// observers and mediator_count <= 1.
+RunResult RunShardedScenario(const ScenarioConfig& config);
 
 /// Runs the same scenario once per method, holding everything else equal
 /// (including the seed, so populations are identical across techniques).

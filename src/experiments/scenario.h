@@ -63,8 +63,17 @@ struct ScenarioConfig {
 
   /// Extra mediation observers attached to the mediator for the run (not
   /// owned; must outlive RunScenario). Used by invariant-checking tests
-  /// and custom metrics.
+  /// and custom metrics. Single-engine runs only: with sim.shard_count > 1
+  /// a shared observer would be called from every shard's worker thread —
+  /// use shard_observer_factory instead.
   std::vector<core::MediationObserver*> observers;
+
+  /// Sharded runs: optional factory called once per shard id; the returned
+  /// observer (not owned; may be null) is attached to that shard's
+  /// mediator only, so it is single-writer by construction and needs no
+  /// synchronization. Used by the cross-shard determinism tests to record
+  /// per-shard allocation traces.
+  std::function<core::MediationObserver*(uint32_t)> shard_observer_factory;
 };
 
 /// Marks the environment captive: nobody may leave (paper Scenarios 1, 3).

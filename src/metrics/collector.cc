@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#include "sim/network.h"
 #include "util/check.h"
 
 namespace sbqa::metrics {
+
+Collector::Stream::Stream(Collector* owner_in)
+    : owner(owner_in), response_hist(0.0, 120.0, 480), recent_response(256) {}
+
+void Collector::Stream::OnQueryCompleted(const core::QueryOutcome& outcome) {
+  ++completed;
+  if (outcome.validated) ++validated;
+  if (outcome.results_received >= 1) {
+    response_hist.Add(outcome.response_time);
+    recent_response.Push(outcome.response_time);
+  }
+}
+
+void Collector::Stream::OnProviderDeparted(model::ProviderId provider,
+                                           double) {
+  // The departing provider is owned by the mediator's shard, so this read
+  // stays within the single-writer discipline.
+  departed_provider_satisfaction.push_back(
+      owner->registry_->provider(provider).satisfaction());
+}
 
 Collector::Collector(sim::Simulation* sim, core::Registry* registry,
                      core::Mediator* mediator, double sample_interval)
@@ -14,20 +35,28 @@ Collector::Collector(sim::Simulation* sim, core::Registry* registry,
 Collector::Collector(sim::Simulation* sim, core::Registry* registry,
                      std::vector<core::Mediator*> mediators,
                      double sample_interval)
-    : sim_(sim),
+    : Collector(std::vector<sim::Simulation*>{sim}, registry,
+                std::move(mediators), sample_interval) {}
+
+Collector::Collector(std::vector<sim::Simulation*> sims,
+                     core::Registry* registry,
+                     std::vector<core::Mediator*> mediators,
+                     double sample_interval)
+    : sims_(std::move(sims)),
       registry_(registry),
       mediators_(std::move(mediators)),
-      sample_interval_(sample_interval),
-      response_hist_(0.0, 120.0, 480),
-      recent_response_(256) {
-  SBQA_CHECK(sim_ != nullptr);
+      sample_interval_(sample_interval) {
+  SBQA_CHECK(!sims_.empty());
+  for (sim::Simulation* sim : sims_) SBQA_CHECK(sim != nullptr);
   SBQA_CHECK(registry_ != nullptr);
   SBQA_CHECK(!mediators_.empty());
   SBQA_CHECK_GT(sample_interval, 0);
   initial_provider_count_ = registry_->provider_count();
+  streams_.reserve(mediators_.size());
   for (core::Mediator* mediator : mediators_) {
     SBQA_CHECK(mediator != nullptr);
-    mediator->AddObserver(this);
+    streams_.push_back(std::make_unique<Stream>(this));
+    mediator->AddObserver(streams_.back().get());
   }
 }
 
@@ -46,10 +75,30 @@ core::MediatorStats Collector::AggregateStats() const {
     total.provider_departures += s.provider_departures;
     total.provider_offline_events += s.provider_offline_events;
     total.consumer_retirements += s.consumer_retirements;
+    total.queries_delegated += s.queries_delegated;
+    total.queries_borrowed += s.queries_borrowed;
     total.response_time.Merge(s.response_time);
     total.query_satisfaction.Merge(s.query_satisfaction);
   }
   return total;
+}
+
+int64_t Collector::TotalCompleted() const {
+  int64_t total = 0;
+  for (const auto& stream : streams_) total += stream->completed;
+  return total;
+}
+
+int64_t Collector::TotalValidated() const {
+  int64_t total = 0;
+  for (const auto& stream : streams_) total += stream->validated;
+  return total;
+}
+
+util::Histogram Collector::response_histogram() const {
+  util::Histogram merged(0.0, 120.0, 480);
+  for (const auto& stream : streams_) merged.Merge(stream->response_hist);
+  return merged;
 }
 
 void Collector::Start(double until) {
@@ -59,32 +108,16 @@ void Collector::Start(double until) {
 }
 
 void Collector::ScheduleTick() {
-  if (sim_->now() + sample_interval_ > sample_until_) return;
-  sim_->scheduler().Schedule(sample_interval_, [this] {
+  sim::Simulation* sim = sims_.front();
+  if (sim->now() + sample_interval_ > sample_until_) return;
+  sim->scheduler().Schedule(sample_interval_, [this] {
     Snapshot();
     ScheduleTick();
   });
 }
 
-void Collector::OnQueryCompleted(const core::QueryOutcome& outcome) {
-  ++completed_;
-  if (outcome.validated) ++validated_;
-  satisfaction_stats_.Add(outcome.satisfaction);
-  if (outcome.results_received >= 1) {
-    response_hist_.Add(outcome.response_time);
-    recent_response_.Push(outcome.response_time);
-  }
-}
-
-void Collector::OnProviderDeparted(model::ProviderId provider, double) {
-  departed_provider_satisfaction_.push_back(
-      registry_->provider(provider).satisfaction());
-}
-
-void Collector::OnConsumerRetired(model::ConsumerId, double) {}
-
 void Collector::Snapshot() {
-  const double now = sim_->now();
+  const double now = sims_.front()->now();
 
   // Consumer-side aggregates (consumers with at least one completed query).
   double c_sat = 0, c_adq = 0;
@@ -122,11 +155,21 @@ void Collector::Snapshot() {
                               : 0.0);
   series_.mean_backlog.Add(now, p_alive ? backlog_sum / p_alive : 0.0);
   series_.backlog_gini.Add(now, util::GiniCoefficient(backlogs));
-  series_.recent_response_time.Add(now, recent_response_.Mean(0.0));
 
+  // Windowed recent-response mean, weighted across the streams' windows.
+  double window_sum = 0;
+  size_t window_n = 0;
+  for (const auto& stream : streams_) {
+    window_sum += stream->recent_response.Sum();
+    window_n += stream->recent_response.size();
+  }
+  series_.recent_response_time.Add(
+      now, window_n ? window_sum / static_cast<double>(window_n) : 0.0);
+
+  const int64_t completed = TotalCompleted();
   const double completed_delta =
-      static_cast<double>(completed_ - completed_at_last_sample_);
-  completed_at_last_sample_ = completed_;
+      static_cast<double>(completed - completed_at_last_sample_);
+  completed_at_last_sample_ = completed;
   series_.throughput.Add(now, completed_delta / sample_interval_);
 }
 
@@ -174,7 +217,9 @@ RunSummary Collector::Summarize(double duration) const {
     p_alloc += p.satisfaction_tracker().allocation_satisfaction();
     ++p_alive;
   }
-  for (double v : departed_provider_satisfaction_) p_sat_all += v;
+  for (const auto& stream : streams_) {
+    for (double v : stream->departed_provider_satisfaction) p_sat_all += v;
+  }
   const size_t p_total = registry_->provider_count();
   s.provider_satisfaction = p_alive ? p_sat / p_alive : 0.0;
   s.provider_satisfaction_all =
@@ -185,15 +230,18 @@ RunSummary Collector::Summarize(double duration) const {
 
   // Performance.
   const core::MediatorStats ms = AggregateStats();
-  s.mean_response_time = response_hist_.mean();
-  s.p50_response_time = response_hist_.Percentile(0.50);
-  s.p95_response_time = response_hist_.Percentile(0.95);
-  s.p99_response_time = response_hist_.Percentile(0.99);
+  const util::Histogram response = response_histogram();
+  s.mean_response_time = response.mean();
+  s.p50_response_time = response.Percentile(0.50);
+  s.p95_response_time = response.Percentile(0.95);
+  s.p99_response_time = response.Percentile(0.99);
   s.queries_submitted = ms.queries_submitted;
   s.queries_finalized = ms.queries_finalized;
   s.queries_fully_served = ms.queries_fully_served;
   s.queries_unallocated = ms.queries_unallocated;
   s.queries_timed_out = ms.queries_timed_out;
+  s.queries_delegated = ms.queries_delegated;
+  s.queries_borrowed = ms.queries_borrowed;
   s.throughput = static_cast<double>(ms.queries_finalized) / duration;
   s.fully_served_fraction =
       ms.queries_finalized
@@ -233,11 +281,14 @@ RunSummary Collector::Summarize(double duration) const {
   s.mean_provider_busy_fraction =
       p_total ? busy / (static_cast<double>(p_total) * duration) : 0.0;
 
+  const int64_t completed = TotalCompleted();
   s.validated_fraction =
-      completed_ ? static_cast<double>(validated_) /
-                       static_cast<double>(completed_)
-                 : 0.0;
-  s.messages_sent = sim_->network().messages_sent();
+      completed ? static_cast<double>(TotalValidated()) /
+                      static_cast<double>(completed)
+                : 0.0;
+  uint64_t messages = 0;
+  for (sim::Simulation* sim : sims_) messages += sim->network().messages_sent();
+  s.messages_sent = messages;
   return s;
 }
 
@@ -262,7 +313,7 @@ std::vector<ParticipantSnapshot> Collector::ConsumerSnapshots() const {
 std::vector<ParticipantSnapshot> Collector::ProviderSnapshots() const {
   std::vector<ParticipantSnapshot> out;
   out.reserve(registry_->provider_count());
-  const double now = sim_->now();
+  const double now = sims_.front()->now();
   for (const core::Provider& p : registry_->providers()) {
     ParticipantSnapshot snap;
     snap.id = p.id();

@@ -5,6 +5,14 @@
 /// The metrics collector observes a running mediator and periodically
 /// snapshots the participant population, producing both the on-line time
 /// series (paper Fig. 2b) and the end-of-run summary tables.
+///
+/// Observer state is kept in one stream PER OBSERVED MEDIATOR (merged on
+/// read), so that in sharded mode — one mediator per shard, one worker
+/// thread per shard — each stream has a single writer and the collector
+/// stays race-free without locks. Population snapshots read the whole
+/// registry and must only run while shards are quiescent: the legacy
+/// single-engine path schedules them as simulation events (Start), the
+/// sharded path drives Snapshot() from a ShardSet barrier hook.
 
 #include <memory>
 #include <vector>
@@ -20,12 +28,13 @@
 
 namespace sbqa::metrics {
 
-/// Observes one mediator for the duration of a run.
-class Collector : public core::MediationObserver {
+/// Observes one mediator (or a federation / shard set of them) for the
+/// duration of a run.
+class Collector {
  public:
   /// `sample_interval` seconds between population snapshots. All pointers
-  /// must outlive the collector; the collector registers itself as an
-  /// observer of `mediator`.
+  /// must outlive the collector; the collector registers one observer
+  /// stream on `mediator`.
   Collector(sim::Simulation* sim, core::Registry* registry,
             core::Mediator* mediator, double sample_interval = 10.0);
 
@@ -35,15 +44,21 @@ class Collector : public core::MediationObserver {
             std::vector<core::Mediator*> mediators,
             double sample_interval = 10.0);
 
-  /// Schedules periodic snapshots until `until` (simulation time).
+  /// Sharded flavour: `sims[s]` is shard s's simulation (sims[0] is the
+  /// time reference for snapshots) and `mediators[s]` its mediator.
+  /// Network counters are summed across all sims. Drive sampling from a
+  /// barrier hook via Snapshot(); do not call Start().
+  Collector(std::vector<sim::Simulation*> sims, core::Registry* registry,
+            std::vector<core::Mediator*> mediators,
+            double sample_interval = 10.0);
+
+  /// Schedules periodic snapshots until `until` (simulation time) as
+  /// events of sims[0]. Single-engine mode only (the snapshot reads every
+  /// shard's state, which is only safe mid-run when there is one shard).
   void Start(double until);
 
-  // MediationObserver:
-  void OnQueryCompleted(const core::QueryOutcome& outcome) override;
-  void OnProviderDeparted(model::ProviderId provider, double now) override;
-  void OnConsumerRetired(model::ConsumerId consumer, double now) override;
-
-  /// Takes one population snapshot now (also called periodically).
+  /// Takes one population snapshot now. In sharded mode call this from a
+  /// barrier hook (all shard workers parked).
   void Snapshot();
 
   /// Builds the end-of-run aggregate. `duration` is the simulated run
@@ -55,30 +70,45 @@ class Collector : public core::MediationObserver {
   std::vector<ParticipantSnapshot> ProviderSnapshots() const;
 
   const RunSeries& series() const { return series_; }
-  const util::Histogram& response_histogram() const { return response_hist_; }
+  /// Response-time distribution merged across the observed mediators.
+  util::Histogram response_histogram() const;
 
  private:
+  /// Single-writer observer state of one mediator. In sharded mode only
+  /// the owning shard's thread touches it; merged on read at barriers /
+  /// end of run.
+  struct Stream final : core::MediationObserver {
+    Stream(Collector* owner);
+
+    void OnQueryCompleted(const core::QueryOutcome& outcome) override;
+    void OnProviderDeparted(model::ProviderId provider, double now) override;
+
+    Collector* owner;
+    int64_t completed = 0;
+    int64_t validated = 0;
+    util::Histogram response_hist;
+    util::WindowedMean recent_response;
+    /// Satisfaction of departed providers frozen at departure time, so the
+    /// "all providers" aggregate includes them.
+    std::vector<double> departed_provider_satisfaction;
+  };
+
   void ScheduleTick();
   /// Sums counters and merges distributions across the observed mediators.
   core::MediatorStats AggregateStats() const;
+  int64_t TotalCompleted() const;
+  int64_t TotalValidated() const;
 
-  sim::Simulation* sim_;
+  std::vector<sim::Simulation*> sims_;
   core::Registry* registry_;
   std::vector<core::Mediator*> mediators_;
+  std::vector<std::unique_ptr<Stream>> streams_;
   double sample_interval_;
   double sample_until_ = 0;
 
   RunSeries series_;
-  util::Histogram response_hist_;
-  util::RunningStats satisfaction_stats_;
-  util::WindowedMean recent_response_;
-  int64_t completed_ = 0;
-  int64_t validated_ = 0;
   int64_t completed_at_last_sample_ = 0;
   size_t initial_provider_count_ = 0;
-  /// Satisfaction of departed providers frozen at departure time, so the
-  /// "all providers" aggregate includes them.
-  std::vector<double> departed_provider_satisfaction_;
 };
 
 }  // namespace sbqa::metrics

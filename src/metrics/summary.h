@@ -38,6 +38,11 @@ struct RunSummary {
   int64_t queries_fully_served = 0;
   int64_t queries_unallocated = 0;
   int64_t queries_timed_out = 0;
+  /// Cross-shard borrow protocol (0 unless sharded): queries forwarded to
+  /// a peer shard because the origin's candidate pool was dry / mediated
+  /// on behalf of a peer.
+  int64_t queries_delegated = 0;
+  int64_t queries_borrowed = 0;
   double fully_served_fraction = 0;
 
   // Autonomy / retention. With runtime joins, retention ratios are over

@@ -6,8 +6,9 @@
 /// [-1, 1] that participants hold towards each other (consumers towards
 /// providers, providers towards consumers/projects).
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "util/check.h"
 
@@ -16,6 +17,15 @@ namespace sbqa::model {
 /// Sparse map from target id to preference in [-1, 1] with a default for
 /// unlisted targets. -1 = strongly against, 0 = indifferent, 1 = strongly
 /// interested.
+///
+/// Stored as a small sorted flat vector instead of a hash map: the
+/// mediation decision path probes ~8 preferences per query, and a
+/// branch-predictable scan (tiny profiles: a provider's handful of
+/// projects) or a binary search (large profiles: a project's view of the
+/// volunteer population) over one contiguous array beats hashing into
+/// node-allocated buckets on both lookup latency and memory. Profiles are
+/// built in roughly ascending target order (dense registry ids), so Set is
+/// an amortized O(1) append during population construction.
 class PreferenceProfile {
  public:
   /// `default_value` applies to ids without an explicit entry.
@@ -24,16 +34,38 @@ class PreferenceProfile {
 
   /// Sets the preference for `target` (clamped into [-1, 1]).
   void Set(int32_t target, double preference) {
-    prefs_[target] = Clamp(preference);
+    const double value = Clamp(preference);
+    if (prefs_.empty() || prefs_.back().target < target) {
+      prefs_.push_back(Entry{target, value});  // in-order build: append
+      return;
+    }
+    const auto it = LowerBound(target);
+    if (it != prefs_.end() && it->target == target) {
+      it->value = value;
+    } else {
+      prefs_.insert(it, Entry{target, value});
+    }
   }
 
   /// Preference for `target`, or the default when unset.
   double Get(int32_t target) const {
-    auto it = prefs_.find(target);
-    return it == prefs_.end() ? default_value_ : it->second;
+    if (prefs_.size() <= kLinearScanMax) {
+      for (const Entry& e : prefs_) {
+        if (e.target == target) return e.value;
+        if (e.target > target) break;  // sorted: target is absent
+      }
+      return default_value_;
+    }
+    const auto it = LowerBound(target);
+    return (it != prefs_.end() && it->target == target) ? it->value
+                                                        : default_value_;
   }
 
-  bool Has(int32_t target) const { return prefs_.contains(target); }
+  bool Has(int32_t target) const {
+    const auto it = LowerBound(target);
+    return it != prefs_.end() && it->target == target;
+  }
+
   double default_value() const { return default_value_; }
   size_t explicit_count() const { return prefs_.size(); }
 
@@ -41,11 +73,32 @@ class PreferenceProfile {
   double MeanExplicit() const {
     if (prefs_.empty()) return default_value_;
     double sum = 0;
-    for (const auto& [id, v] : prefs_) sum += v;
+    for (const Entry& e : prefs_) sum += e.value;
     return sum / static_cast<double>(prefs_.size());
   }
 
  private:
+  struct Entry {
+    int32_t target;
+    double value;
+  };
+
+  /// Profiles at or below this size are scanned linearly; the scan's
+  /// forward branch is almost always taken, unlike a binary search's
+  /// data-dependent splits.
+  static constexpr size_t kLinearScanMax = 16;
+
+  std::vector<Entry>::iterator LowerBound(int32_t target) {
+    return std::lower_bound(
+        prefs_.begin(), prefs_.end(), target,
+        [](const Entry& e, int32_t t) { return e.target < t; });
+  }
+  std::vector<Entry>::const_iterator LowerBound(int32_t target) const {
+    return std::lower_bound(
+        prefs_.begin(), prefs_.end(), target,
+        [](const Entry& e, int32_t t) { return e.target < t; });
+  }
+
   static double Clamp(double v) {
     if (v < -1.0) return -1.0;
     if (v > 1.0) return 1.0;
@@ -53,7 +106,7 @@ class PreferenceProfile {
   }
 
   double default_value_;
-  std::unordered_map<int32_t, double> prefs_;
+  std::vector<Entry> prefs_;  ///< sorted by target
 };
 
 }  // namespace sbqa::model

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 
+#include "sim/latency.h"
+#include "util/check.h"
+
 namespace sbqa::sim {
+
+Network::~Network() = default;
 
 Network::Network(Scheduler* scheduler, util::Rng rng,
                  std::unique_ptr<LatencyModel> latency, NetworkConfig config)

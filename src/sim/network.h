@@ -15,18 +15,18 @@
 /// batch_tick == 0 (the default) every message schedules its own event and
 /// timing is exact.
 
-#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "sim/event_fn.h"
-#include "sim/latency.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
 namespace sbqa::sim {
+
+class LatencyModel;  // latency.h is only needed to construct models
 
 /// Network-fabric tuning knobs.
 struct NetworkConfig {
@@ -50,6 +50,7 @@ class Network {
   /// `scheduler` and `rng` must outlive the network.
   Network(Scheduler* scheduler, util::Rng rng,
           std::unique_ptr<LatencyModel> latency, NetworkConfig config = {});
+  ~Network();  // out of line: LatencyModel is forward-declared here
 
   /// Delivers `deliver` after one sampled one-way latency.
   /// Returns the event id (cancellable until delivery).

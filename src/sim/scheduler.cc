@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/check.h"
+
 namespace sbqa::sim {
 
 void Scheduler::EventHeap::push(HeapEntry entry) {

@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "sim/event_fn.h"
-#include "util/check.h"
 
 namespace sbqa::sim {
 
@@ -73,6 +72,14 @@ class Scheduler {
 
   Time now() const { return now_; }
   bool empty() const { return live_ == 0; }
+  /// Lower bound on the next event's timestamp (conservative: a lazily
+  /// cancelled heap top may report earlier than the next live event);
+  /// +infinity when nothing is pending. Lets the sharded driver skip
+  /// waking workers for windows it can prove empty.
+  Time next_event_bound() const {
+    return queue_.empty() ? kNoEvent : queue_.top().when;
+  }
+  static constexpr Time kNoEvent = 1e300;
   /// Pending (non-cancelled) events.
   size_t pending() const { return live_; }
   /// Total events executed since construction.

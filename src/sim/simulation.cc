@@ -1,5 +1,8 @@
 #include "sim/simulation.h"
 
+#include "sim/latency.h"
+#include "sim/network.h"
+
 namespace sbqa::sim {
 
 namespace {
@@ -21,5 +24,9 @@ Simulation::Simulation(const SimulationConfig& config)
   network_ = std::make_unique<Network>(&scheduler_, rng_.Split(),
                                        MakeLatency(config), net_config);
 }
+
+Simulation::~Simulation() = default;
+
+Network& Simulation::network() { return *network_; }
 
 }  // namespace sbqa::sim

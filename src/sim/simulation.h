@@ -3,15 +3,18 @@
 
 /// \file
 /// Top-level simulation context bundling the scheduler, network fabric and
-/// the root random stream. Every experiment builds exactly one Simulation.
+/// the root random stream. Every experiment builds exactly one Simulation —
+/// or, in sharded mode, one per shard (see shard_set.h).
 
+#include <cstdint>
 #include <memory>
 
-#include "sim/network.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
 
 namespace sbqa::sim {
+
+class Network;
 
 /// Configuration of the simulation substrate.
 struct SimulationConfig {
@@ -22,15 +25,32 @@ struct SimulationConfig {
   /// Delivery quantization tick for batched destination-aware sends
   /// (see NetworkConfig::batch_tick). 0 = exact per-message delivery.
   double delivery_batch_tick = 0.0;
+
+  // --- Sharding (consumed by ShardSet and the experiment runner; a
+  // --- standalone Simulation ignores these) --------------------------------
+
+  /// Number of independent shards, each with its own scheduler, network,
+  /// registry partition and mediator, connected by the deterministic
+  /// cross-shard mailbox. 1 = the classic single-engine simulation.
+  uint32_t shard_count = 1;
+  /// Width (seconds) of the barrier window: shards run independently for
+  /// one window, then exchange cross-shard messages at the barrier. Bounds
+  /// the extra latency of a cross-shard hop.
+  double shard_barrier_tick = 0.005;
+  /// Run one worker thread per shard between barriers. Off = the driver
+  /// runs shards sequentially in shard order; both modes produce identical
+  /// traces (shards only interact at barriers).
+  bool shard_use_threads = true;
 };
 
 /// Owns the event scheduler, the network and the root RNG.
 class Simulation {
  public:
   explicit Simulation(const SimulationConfig& config = {});
+  ~Simulation();
 
   Scheduler& scheduler() { return scheduler_; }
-  Network& network() { return *network_; }
+  Network& network();  // defined out of line (Network is forward-declared)
 
   /// Root random stream (use NewRng() for per-entity streams).
   util::Rng& rng() { return rng_; }

@@ -39,6 +39,18 @@ uint64_t Rng::Next() {
 
 Rng Rng::Split() { return Rng(Next() ^ 0xA02BDBF7BB3C0A7ull); }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  if (stream == 0) return seed;
+  // Two chained SplitMix64 avalanches over (stream, seed). A single xor or
+  // addition would leave Rng's own SplitMix64 seeding walking overlapping
+  // sequences for adjacent streams; the double mix decorrelates every
+  // state word.
+  uint64_t z = stream;
+  uint64_t a = SplitMix64(&z);
+  z = seed ^ a;
+  return SplitMix64(&z);
+}
+
 double Rng::NextDouble() {
   // 53 high-quality bits -> [0, 1).
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;

@@ -39,6 +39,21 @@ class Rng {
   /// overlap the parent's for any practical horizon.
   Rng Split();
 
+  /// Stateless seed derivation for numbered parallel streams (one per
+  /// simulation shard): a full-avalanche hash of (seed, stream), so the
+  /// four state words of any two streams are unrelated — unlike seed
+  /// arithmetic, which would hand adjacent streams overlapping SplitMix64
+  /// seeding sequences. Stream 0 IS the root seed (StreamSeed(s, 0) == s),
+  /// so a 1-shard system reproduces the unsharded engine bit for bit.
+  /// Unlike Split(), the result depends only on (seed, stream), never on
+  /// how much of any stream was consumed.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream);
+
+  /// Rng(StreamSeed(seed, stream)).
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(StreamSeed(seed, stream));
+  }
+
   /// Uniform double in [0, 1).
   double NextDouble();
 

@@ -102,6 +102,10 @@ class WindowedMean {
     return sum_ / static_cast<double>(window_.size());
   }
 
+  /// Sum of retained observations (lets several windows merge into one
+  /// weighted mean without re-walking their contents).
+  double Sum() const { return sum_; }
+
   void Clear() {
     window_.Clear();
     sum_ = 0;

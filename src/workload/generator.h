@@ -18,13 +18,27 @@
 
 namespace sbqa::workload {
 
-/// Shared monotonically increasing query id source (one per simulation).
+/// Shared monotonically increasing query id source (one per simulation —
+/// or one per shard, with disjoint strided streams, so shards never
+/// contend on or collide over query ids).
 class QueryIdSource {
  public:
-  model::QueryId Next() { return next_++; }
+  QueryIdSource() = default;
+  /// Strided stream: ids start, start+stride, ... Shard s of n uses
+  /// (s + 1, n), which partitions the id space disjointly across shards
+  /// and degenerates to the classic 1, 2, 3, ... for (1, 1).
+  QueryIdSource(model::QueryId start, model::QueryId stride)
+      : next_(start), stride_(stride) {}
+
+  model::QueryId Next() {
+    const model::QueryId id = next_;
+    next_ += stride_;
+    return id;
+  }
 
  private:
   model::QueryId next_ = 1;
+  model::QueryId stride_ = 1;
 };
 
 /// Arrival-process parameters for one consumer.

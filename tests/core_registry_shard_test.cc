@@ -1,0 +1,193 @@
+// Tests for the partitioned registry (per-shard candidate-index views,
+// contiguous provider blocks, per-shard consumer counters) and for the
+// barrier-refreshed cross-shard candidate directory.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/shard_directory.h"
+#include "util/rng.h"
+
+namespace sbqa::core {
+namespace {
+
+void Populate(Registry* registry, size_t providers, size_t consumers) {
+  for (size_t i = 0; i < providers; ++i) {
+    ProviderParams params;
+    params.capacity = 1.0 + static_cast<double>(i % 3);
+    registry->AddProvider(params);
+  }
+  for (size_t i = 0; i < consumers; ++i) {
+    registry->AddConsumer(ConsumerParams{});
+  }
+}
+
+model::Query QueryOfClass(model::QueryClassId c) {
+  model::Query query;
+  query.query_class = c;
+  return query;
+}
+
+TEST(RegistryShardTest, ContiguousBlocksCoverEveryProviderExactlyOnce) {
+  Registry registry;
+  Populate(&registry, 10, 3);
+  registry.SetShardCount(4);
+  // 10 providers over 4 shards: blocks of 3 -> 3, 3, 3, 1.
+  std::vector<size_t> per_shard(4, 0);
+  uint32_t last_shard = 0;
+  for (model::ProviderId p = 0; p < 10; ++p) {
+    const uint32_t shard = registry.ProviderShard(p);
+    ASSERT_LT(shard, 4u);
+    EXPECT_GE(shard, last_shard);  // contiguous, nondecreasing blocks
+    last_shard = shard;
+    ++per_shard[shard];
+  }
+  EXPECT_EQ(per_shard, (std::vector<size_t>{3, 3, 3, 1}));
+
+  size_t total_alive = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    total_alive += registry.shard_index(s).alive_count();
+  }
+  EXPECT_EQ(total_alive, 10u);
+  EXPECT_EQ(registry.alive_provider_count(), 10u);
+}
+
+TEST(RegistryShardTest, ShardViewsPartitionCandidates) {
+  Registry registry;
+  Populate(&registry, 12, 2);
+  registry.SetShardCount(3);
+  std::vector<model::ProviderId> scratch;
+  std::vector<model::ProviderId> seen;
+  for (uint32_t s = 0; s < 3; ++s) {
+    const CandidateSet view =
+        registry.CandidatesForShard(s, QueryOfClass(0), &scratch);
+    EXPECT_EQ(view.size(), 4u);
+    for (model::ProviderId p : view.All()) {
+      EXPECT_EQ(registry.ProviderShard(p), s);
+      seen.push_back(p);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<model::ProviderId> expected;
+  for (model::ProviderId p = 0; p < 12; ++p) expected.push_back(p);
+  EXPECT_EQ(seen, expected);  // disjoint union == whole population
+}
+
+TEST(RegistryShardTest, EligibilityChangesRouteToOwningPartition) {
+  Registry registry;
+  Populate(&registry, 8, 1);
+  registry.SetShardCount(2);
+  registry.provider(6).set_alive(false);  // shard 1 (block size 4)
+  EXPECT_EQ(registry.shard_index(0).alive_count(), 4u);
+  EXPECT_EQ(registry.shard_index(1).alive_count(), 3u);
+  EXPECT_EQ(registry.alive_provider_count(), 7u);
+  registry.provider(6).set_alive(true);
+  EXPECT_EQ(registry.shard_index(1).alive_count(), 4u);
+}
+
+TEST(RegistryShardTest, PerShardSamplingStaysInPartition) {
+  Registry registry;
+  Populate(&registry, 20, 1);
+  registry.SetShardCount(4);
+  util::Rng rng(3);
+  std::vector<model::ProviderId> scratch;
+  std::vector<model::ProviderId> sample;
+  for (int draw = 0; draw < 20; ++draw) {
+    const CandidateSet view =
+        registry.CandidatesForShard(2, QueryOfClass(0), &scratch);
+    view.SampleUniform(3, rng, &sample);
+    ASSERT_EQ(sample.size(), 3u);
+    for (model::ProviderId p : sample) {
+      EXPECT_EQ(registry.ProviderShard(p), 2u);
+    }
+  }
+}
+
+TEST(RegistryShardTest, ConsumerCountersArePerShard) {
+  Registry registry;
+  Populate(&registry, 4, 6);
+  registry.SetShardCount(3);
+  EXPECT_EQ(registry.active_consumer_count(), 6u);
+  EXPECT_EQ(registry.ConsumerShard(0), 0u);
+  EXPECT_EQ(registry.ConsumerShard(4), 1u);  // round robin
+  registry.consumer(4).set_active(false);
+  registry.consumer(2).set_active(false);
+  EXPECT_EQ(registry.active_consumer_count(), 4u);
+  registry.consumer(4).set_active(true);
+  EXPECT_EQ(registry.active_consumer_count(), 5u);
+}
+
+TEST(RegistryShardTest, SingleShardKeepsIncrementallyBuiltIndex) {
+  Registry registry;
+  Populate(&registry, 6, 1);
+  const CandidateIndex* before = &registry.candidate_index();
+  registry.SetShardCount(1);
+  // No rebuild: the exact index object (and therefore its sampling order)
+  // survives, which keeps shard_count=1 bit-identical to the classic
+  // engine.
+  EXPECT_EQ(&registry.candidate_index(), before);
+}
+
+TEST(ShardDirectoryTest, CountsFollowPartitions) {
+  Registry registry;
+  Populate(&registry, 9, 3);
+  registry.provider(0).RestrictClasses({model::QueryClassId{2}});
+  registry.SetShardCount(3);
+  ShardDirectory directory;
+  directory.Refresh(registry);
+
+  ASSERT_EQ(directory.shard_count(), 3u);
+  // Shard 0: two generalists + one provider restricted to class 2.
+  EXPECT_EQ(directory.CountFor(0, 0), 2u);
+  EXPECT_EQ(directory.CountFor(0, 2), 3u);
+  EXPECT_EQ(directory.CountFor(1, 0), 3u);
+  EXPECT_EQ(directory.CountFor(2, 7), 3u);  // unknown class: generalists
+}
+
+TEST(ShardDirectoryTest, FindShardWithScansFixedWrapOrder) {
+  Registry registry;
+  Populate(&registry, 8, 2);
+  registry.SetShardCount(4);
+  // Starve shards 1 and 2 of class 5: restrict their providers to class 0.
+  for (model::ProviderId p = 2; p < 6; ++p) {
+    registry.provider(p).RestrictClasses({model::QueryClassId{0}});
+  }
+  ShardDirectory directory;
+  directory.Refresh(registry);
+
+  // From shard 1, the first peer with class-5 candidates (wrap order
+  // 2 -> 3) is shard 3.
+  EXPECT_EQ(directory.FindShardWith(5, 1), 3u);
+  // From shard 3 the next is shard 0.
+  EXPECT_EQ(directory.FindShardWith(5, 3), 0u);
+  // Class 0 is everywhere; from shard 0 the next shard is 1.
+  EXPECT_EQ(directory.FindShardWith(0, 0), 1u);
+}
+
+TEST(ShardDirectoryTest, RefreshTracksChurn) {
+  Registry registry;
+  Populate(&registry, 4, 1);
+  registry.SetShardCount(2);
+  ShardDirectory directory;
+  directory.Refresh(registry);
+  EXPECT_EQ(directory.CountFor(1, 0), 2u);
+
+  registry.provider(2).set_alive(false);
+  registry.provider(3).set_alive(false);
+  // Stale until the next barrier refresh.
+  EXPECT_EQ(directory.CountFor(1, 0), 2u);
+  directory.Refresh(registry);
+  EXPECT_EQ(directory.CountFor(1, 0), 0u);
+  EXPECT_EQ(directory.FindShardWith(0, 0), ShardDirectory::kNoShard);
+  // Nobody anywhere: no borrow target from shard 1 either.
+  registry.provider(0).set_alive(false);
+  registry.provider(1).set_alive(false);
+  directory.Refresh(registry);
+  EXPECT_EQ(directory.FindShardWith(0, 1), ShardDirectory::kNoShard);
+}
+
+}  // namespace
+}  // namespace sbqa::core

@@ -115,6 +115,41 @@ TEST(PreferenceTest, MeanExplicit) {
   EXPECT_DOUBLE_EQ(p.MeanExplicit(), 0.5);
 }
 
+TEST(PreferenceTest, OutOfOrderInsertionStaysConsistent) {
+  // The flat-vector representation appends for ascending ids (the build
+  // path) but must also handle arbitrary insertion order (scripted
+  // scenario hooks).
+  PreferenceProfile p(-0.25);
+  p.Set(50, 0.5);
+  p.Set(10, 0.1);
+  p.Set(30, 0.3);
+  p.Set(10, -0.1);  // overwrite the middle of the sorted run
+  EXPECT_EQ(p.explicit_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.Get(10), -0.1);
+  EXPECT_DOUBLE_EQ(p.Get(30), 0.3);
+  EXPECT_DOUBLE_EQ(p.Get(50), 0.5);
+  EXPECT_DOUBLE_EQ(p.Get(20), -0.25);  // gaps fall back to the default
+  EXPECT_DOUBLE_EQ(p.Get(0), -0.25);
+  EXPECT_DOUBLE_EQ(p.Get(60), -0.25);
+}
+
+TEST(PreferenceTest, LargeProfileUsesBinarySearchPath) {
+  // Above the linear-scan cutoff the profile switches to binary search;
+  // exercise both boundaries of the sorted array and an interior miss.
+  PreferenceProfile p(0.0);
+  for (int32_t id = 0; id < 200; ++id) {
+    p.Set(id * 2, (id % 2 == 0) ? 0.25 : -0.25);  // even targets only
+  }
+  EXPECT_EQ(p.explicit_count(), 200u);
+  EXPECT_DOUBLE_EQ(p.Get(0), 0.25);
+  EXPECT_DOUBLE_EQ(p.Get(398), -0.25);
+  EXPECT_DOUBLE_EQ(p.Get(101), 0.0);  // odd target: absent
+  EXPECT_DOUBLE_EQ(p.Get(-3), 0.0);
+  EXPECT_DOUBLE_EQ(p.Get(400), 0.0);
+  EXPECT_TRUE(p.Has(398));
+  EXPECT_FALSE(p.Has(399));
+}
+
 // --- ReputationRegistry -----------------------------------------------------
 
 TEST(ReputationTest, StartsAtPrior) {

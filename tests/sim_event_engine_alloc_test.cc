@@ -18,6 +18,7 @@
 #include "core/registry.h"
 #include "core/sbqa.h"
 #include "model/reputation.h"
+#include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "sim/simulation.h"
