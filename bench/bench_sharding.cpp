@@ -14,7 +14,17 @@
 // 4-shard set after a warm-up that grows every per-shard pool to its
 // high-water mark, then asserts the steady-state mediation path performs
 // zero heap allocations per query across all shards (the process-global
-// counting allocator sees every shard thread).
+// counting allocator sees every shard thread). Measured twice: a quiet
+// population, and one under periodic availability churn flowing through
+// the epoch-based membership log — the elastic-membership gate requires
+// churn to stay allocation-free too.
+//
+// Part 3 — churn + joins turnover sweep: the demo workload with ~10% of
+// the population cycling offline and ~10% joining at runtime over the
+// run, through the barrier-applied membership protocol at 4 shards.
+// Reports the epoch-apply cost (driver wall-clock inside the membership
+// phase) as a share of total wall time; the regression gate bounds it at
+// 5%.
 //
 // Env knobs: SBQA_BENCH_MAX_PROVIDERS trims the sweep list (CI smoke),
 // SBQA_BENCH_DURATION overrides the simulated seconds per run,
@@ -133,9 +143,34 @@ struct AllocRow {
   uint32_t shards = 0;
 };
 
+/// Epoch applier mirroring the experiment runner's RunnerMembership (the
+/// canonical version, which also wires reputation + churn for joins):
+/// route each op to the owning shard's mediator. This pump harness never
+/// queues joins — OnProviderJoined aborts rather than silently skipping
+/// the reputation growth a real join needs.
+struct BenchMembership final : core::MembershipApplier {
+  core::Registry* registry = nullptr;
+  std::vector<core::Mediator*>* mediators = nullptr;
+  void ApplyAvailability(model::ProviderId p, bool available) override {
+    (*mediators)[registry->ProviderShard(p)]->ApplyProviderAvailability(
+        p, available);
+  }
+  void ApplyDeparture(model::ProviderId p) override {
+    (*mediators)[registry->ProviderShard(p)]->ApplyProviderDeparture(p);
+  }
+  void OnProviderJoined(model::ProviderId) override {
+    SBQA_CHECK(false);  // joins need reputation wiring; see RunnerMembership
+  }
+};
+
 /// Controlled pump: a 4-shard set, one SbQA mediator per shard over a
 /// partitioned registry, queries submitted round-robin across shards.
-AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers) {
+/// With `churn`, a deterministic periodic availability rotation flows
+/// through the membership log (one provider offline, one back online
+/// every third pump step) — the steady state must remain allocation-free
+/// under it.
+AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers,
+                                   bool churn) {
   sim::SimulationConfig sim_config;
   sim_config.seed = 42;
   sim_config.shard_count = shard_count;
@@ -182,11 +217,20 @@ AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers) {
   for (uint32_t s = 0; s < shard_count; ++s) {
     mediators[s]->ConfigureSharding(&shards, s, &directory, mediator_ptrs);
   }
+  BenchMembership membership;
+  membership.registry = &registry;
+  membership.mediators = &mediator_ptrs;
+  shards.SetMembershipHook(
+      [&](double) { registry.AdvanceEpoch(&membership); });
+  shards.AddBarrierHook(
+      [&](double) { directory.RefreshIfChanged(registry); });
 
   model::QueryId next_id = 0;
   double horizon = 0;
+  int step = 0;
+  const size_t block = providers / shard_count;
   const auto pump = [&](int queries_per_shard) {
-    for (int i = 0; i < queries_per_shard; ++i) {
+    for (int i = 0; i < queries_per_shard; ++i, ++step) {
       for (uint32_t s = 0; s < shard_count; ++s) {
         model::Query query;
         query.id = ++next_id;
@@ -195,12 +239,47 @@ AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers) {
         query.cost = 0.5;
         mediators[s]->SubmitQuery(query);
       }
+      if (churn && step % 3 == 0) {
+        // Periodic rotation over the first ten ids of one shard's block:
+        // deterministic, bounded offline set, pool never dry (the borrow
+        // fallback would allocate). j is a per-shard rotation counter,
+        // decoupled from the shard choice — deriving the local index
+        // from k directly would lock its residue to the shard's and make
+        // the victim/revival sets disjoint (no real flips after warmup).
+        const int k = step / 3;
+        const int j = k / static_cast<int>(shard_count);
+        const auto base = static_cast<model::ProviderId>(
+            static_cast<size_t>(k % shard_count) * block);
+        const auto victim = static_cast<model::ProviderId>(base + j % 10);
+        const auto revived =
+            static_cast<model::ProviderId>(base + (j + 5) % 10);
+        mediators[registry.ProviderShard(victim)]->SetProviderAvailability(
+            victim, false);
+        mediators[registry.ProviderShard(revived)]->SetProviderAvailability(
+            revived, true);
+      }
       horizon += 0.05;
       shards.RunUntil(horizon);
     }
     horizon += 700.0;  // drain: results, timeout sweeps, ring reset
     shards.RunUntil(horizon);
   };
+
+  // Burst pre-warm: push the in-flight pool / timeout ring past any
+  // concurrency the measured phases reach, so high-water growth cannot
+  // masquerade as a steady-state allocation.
+  for (int burst = 0; burst < 200; ++burst) {
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      model::Query query;
+      query.id = ++next_id;
+      query.consumer = static_cast<model::ConsumerId>(s);
+      query.n_results = 3;
+      query.cost = 0.5;
+      mediators[s]->SubmitQuery(query);
+    }
+  }
+  horizon += 700.0;
+  shards.RunUntil(horizon);
 
   AllocRow row;
   row.shards = shard_count;
@@ -213,6 +292,69 @@ AllocRow MeasureShardedAllocations(uint32_t shard_count, size_t providers) {
   row.per_query_steady_state =
       static_cast<double>(AllocationCount() - steady_allocs) /
       (150.0 * shard_count);
+  return row;
+}
+
+// --- Part 3: churn + joins turnover through the membership protocol ---------
+
+struct TurnoverRow {
+  size_t providers = 0;
+  uint32_t shards = 0;
+  double wall_ms = 0;
+  int64_t queries_finalized = 0;
+  int64_t provider_joins = 0;
+  int64_t offline_events = 0;
+  int64_t provider_departures = 0;
+  uint64_t membership_epochs = 0;
+  uint64_t membership_ops = 0;
+  double epoch_apply_ms = 0;
+  double epoch_apply_share = 0;  ///< the gate requires < 0.05
+  double ns_per_query = 0;
+};
+
+/// The full dynamic scenario: ~10% of the population cycles through an
+/// offline spell and ~10% joins at runtime, all barrier-applied.
+TurnoverRow RunTurnover(size_t providers, uint32_t shards, uint64_t seed,
+                        double duration) {
+  experiments::ScenarioConfig config =
+      SweepConfig(providers, shards, seed, duration);
+  config.churn.enabled = true;
+  // One offline spell per ~10 run-lengths of online time => ~10% of the
+  // population experiences an outage during the run; outages last ~2% of
+  // the run each.
+  config.churn.mean_online = 10.0 * duration;
+  config.churn.mean_offline = duration / 50.0;
+  config.churn.initial_online_fraction = 1.0;
+  config.joins.enabled = true;
+  config.joins.max_joins = providers / 10;
+  config.joins.rate =
+      static_cast<double>(config.joins.max_joins) / duration;
+
+  const auto start = std::chrono::steady_clock::now();
+  const experiments::RunResult result = experiments::RunShardedScenario(config);
+  const double wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1000.0;
+
+  TurnoverRow row;
+  row.providers = providers;
+  row.shards = shards;
+  row.wall_ms = wall_ms;
+  row.queries_finalized = result.summary.queries_finalized;
+  row.provider_joins = result.summary.provider_joins;
+  row.offline_events = result.summary.provider_offline_events;
+  row.provider_departures = result.summary.provider_departures;
+  row.membership_epochs = result.membership_epochs;
+  row.membership_ops = result.membership_ops;
+  row.epoch_apply_ms = result.membership_apply_seconds * 1000.0;
+  row.epoch_apply_share = wall_ms > 0 ? row.epoch_apply_ms / wall_ms : 0;
+  row.ns_per_query =
+      result.summary.queries_finalized > 0
+          ? wall_ms * 1e6 /
+                static_cast<double>(result.summary.queries_finalized)
+          : 0;
   return row;
 }
 
@@ -247,10 +389,37 @@ int main() {
     std::printf("\n");
   }
 
-  std::printf("steady-state allocation audit (4 shards, 10k providers):\n");
-  const AllocRow allocs = MeasureShardedAllocations(4, 10000);
-  std::printf("  warmup %.3f allocs/query, steady state %.3f allocs/query\n\n",
+  const size_t alloc_providers = std::min<size_t>(10000, max_providers);
+  std::printf("steady-state allocation audit (4 shards, %zu providers):\n",
+              alloc_providers);
+  const AllocRow allocs =
+      MeasureShardedAllocations(4, alloc_providers, /*churn=*/false);
+  std::printf("  quiet: warmup %.3f allocs/query, steady state %.3f "
+              "allocs/query\n",
               allocs.per_query_warmup, allocs.per_query_steady_state);
+  const AllocRow churn_allocs =
+      MeasureShardedAllocations(4, alloc_providers, /*churn=*/true);
+  std::printf("  churn: warmup %.3f allocs/query, steady state %.3f "
+              "allocs/query\n\n",
+              churn_allocs.per_query_warmup,
+              churn_allocs.per_query_steady_state);
+
+  const size_t turnover_providers = std::min<size_t>(10000, max_providers);
+  std::printf("churn + joins turnover sweep (10%% population turnover, "
+              "%zu providers, 4 shards):\n",
+              turnover_providers);
+  const TurnoverRow turnover =
+      RunTurnover(turnover_providers, 4, seed, duration);
+  std::printf(
+      "  %9.1f ms | %7lld queries | %8.0f ns/query | %lld joins | "
+      "%lld offline | %llu epochs (%llu ops) | epoch apply %.2f ms "
+      "(%.2f%% of wall)\n\n",
+      turnover.wall_ms, static_cast<long long>(turnover.queries_finalized),
+      turnover.ns_per_query, static_cast<long long>(turnover.provider_joins),
+      static_cast<long long>(turnover.offline_events),
+      static_cast<unsigned long long>(turnover.membership_epochs),
+      static_cast<unsigned long long>(turnover.membership_ops),
+      turnover.epoch_apply_ms, 100.0 * turnover.epoch_apply_share);
 
   JsonWriter json(BenchJsonPath("sharding"));
   if (!json.ok()) return 0;
@@ -282,6 +451,28 @@ int main() {
   json.Field("shards", allocs.shards);
   json.Field("per_query_warmup", allocs.per_query_warmup, 3);
   json.Field("per_query_steady_state", allocs.per_query_steady_state, 3);
+  json.EndObject();
+  json.BeginObject("allocations_churn");
+  json.Field("shards", churn_allocs.shards);
+  json.Field("per_query_warmup", churn_allocs.per_query_warmup, 3);
+  json.Field("per_query_steady_state", churn_allocs.per_query_steady_state,
+             3);
+  json.EndObject();
+  json.BeginObject("turnover");
+  json.Field("providers", static_cast<uint64_t>(turnover.providers));
+  json.Field("shards", turnover.shards);
+  json.Field("wall_ms", turnover.wall_ms, 1);
+  json.Field("queries_finalized", turnover.queries_finalized);
+  json.Field("ns_per_query", turnover.ns_per_query, 0);
+  json.Field("provider_joins", turnover.provider_joins);
+  json.Field("offline_events", turnover.offline_events);
+  json.Field("provider_departures", turnover.provider_departures);
+  json.Field("membership_epochs",
+             static_cast<uint64_t>(turnover.membership_epochs));
+  json.Field("membership_ops",
+             static_cast<uint64_t>(turnover.membership_ops));
+  json.Field("epoch_apply_ms", turnover.epoch_apply_ms, 3);
+  json.Field("epoch_apply_share", turnover.epoch_apply_share, 5);
   json.EndObject();
   json.EndObject();
   return 0;

@@ -6,11 +6,13 @@
 ///   sbqa_cli [--method=sbqa|sqlb|knbest|capacity|qlb|economic|
 ///             interest|random|roundrobin]
 ///            [--volunteers=N] [--duration=S] [--seed=N]
-///            [--env=captive|autonomous] [--mediators=N]
+///            [--env=captive|autonomous] [--mediators=N] [--shards=N]
 ///            [--k=N] [--kn=N] [--omega=adaptive|0..1]
 ///            [--churn] [--joins] [--charts]
 ///
-/// Defaults reproduce Scenario 3/4 at the paper scale.
+/// Defaults reproduce Scenario 3/4 at the paper scale. --shards=N runs
+/// the multi-core sharded engine (one scheduler/mediator per shard,
+/// epoch-applied membership); every other flag composes with it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,7 @@ struct Flags {
   uint64_t seed = 42;
   std::string env = "captive";
   size_t mediators = 1;
+  size_t shards = 1;
   size_t k = 20;
   size_t kn = 8;
   std::string omega = "adaptive";
@@ -57,6 +60,7 @@ int Usage() {
       "interest|random|roundrobin]\n"
       "                [--volunteers=N] [--duration=S] [--seed=N]\n"
       "                [--env=captive|autonomous] [--mediators=N]\n"
+      "                [--shards=N]\n"
       "                [--k=N] [--kn=N] [--omega=adaptive|0..1]\n"
       "                [--churn] [--joins] [--charts]\n");
   return 2;
@@ -107,6 +111,8 @@ int main(int argc, char** argv) {
       flags.env = value;
     } else if (ParseFlag(argv[i], "--mediators", &value)) {
       flags.mediators = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      flags.shards = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--k", &value)) {
       flags.k = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--kn", &value)) {
@@ -123,8 +129,14 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (flags.volunteers == 0 || flags.duration <= 0 || flags.mediators == 0) {
+  if (flags.volunteers == 0 || flags.duration <= 0 || flags.mediators == 0 ||
+      flags.shards == 0) {
     return Usage();
+  }
+  if (flags.shards > 1 && flags.mediators > 1) {
+    std::fprintf(stderr, "--shards already runs one mediator per shard; "
+                         "--mediators must stay 1 with --shards > 1\n");
+    return 2;
   }
 
   experiments::ScenarioConfig config = experiments::BaseDemoConfig(
@@ -133,6 +145,7 @@ int main(int argc, char** argv) {
                ? experiments::WithAutonomousEnvironment(config)
                : experiments::WithCaptiveEnvironment(config);
   config.mediator_count = flags.mediators;
+  config.sim.shard_count = static_cast<uint32_t>(flags.shards);
   config.method = MakeSpec(flags);
   if (flags.churn) {
     config.churn.enabled = true;
@@ -147,10 +160,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("sbqa_cli: %s, %zu volunteers, %.0fs, %s, %zu mediator(s), "
-              "seed %llu\n\n",
+              "%zu shard(s), seed %llu\n\n",
               experiments::MethodName(config.method).c_str(),
               flags.volunteers, flags.duration, flags.env.c_str(),
-              flags.mediators,
+              flags.mediators, flags.shards,
               static_cast<unsigned long long>(flags.seed));
 
   const experiments::RunResult result = experiments::RunScenario(config);

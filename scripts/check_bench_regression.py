@@ -22,7 +22,10 @@ and a fast one cannot mask a real one.
 (exit 1) when
 
   * the steady-state allocations-per-query of the sharded engine is
-    nonzero (enforced on every host), or
+    nonzero — quiet population AND under availability churn flowing
+    through the epoch-based membership log (enforced on every host), or
+  * the epoch-apply cost of the churn+joins turnover sweep exceeds
+    --max-epoch-share (default 0.05) of the run's wall time, or
   * the 4-shard end-to-end speedup over 1 shard on the largest provider
     sweep drops below --min-speedup (default 2.0) — enforced only when
     the measuring host has >= 4 cores (the JSON records host_cores);
@@ -31,7 +34,7 @@ and a fast one cannot mask a real one.
 
 Usage: check_bench_regression.py <fresh.json> [<committed-baseline.json>]
        [--max-regression 2.0] [--mode event_engine|sharding]
-       [--min-speedup 2.0]
+       [--min-speedup 2.0] [--max-epoch-share 0.05]
 """
 
 import argparse
@@ -79,7 +82,7 @@ def check_event_engine(fresh, baseline, max_regression):
     return failed
 
 
-def check_sharding(fresh, min_speedup):
+def check_sharding(fresh, min_speedup, max_epoch_share):
     failed = False
 
     allocs = float(fresh["allocations"]["per_query_steady_state"])
@@ -89,6 +92,37 @@ def check_sharding(fresh, min_speedup):
     if allocs != 0.0:
         print("FAIL: the sharded steady state is no longer allocation-free")
         failed = True
+
+    churn = fresh.get("allocations_churn")
+    if churn is None:
+        print("NOTE: no allocations_churn section (pre-elastic-membership "
+              "JSON) — churn allocation gate skipped")
+    else:
+        churn_allocs = float(churn["per_query_steady_state"])
+        print(f"steady-state allocations/query under availability churn: "
+              f"{churn_allocs:.3f}")
+        if churn_allocs != 0.0:
+            print("FAIL: availability churn is no longer allocation-free "
+                  "in steady state")
+            failed = True
+
+    turnover = fresh.get("turnover")
+    if turnover is None:
+        print("NOTE: no turnover section (pre-elastic-membership JSON) — "
+              "epoch-apply gate skipped")
+    else:
+        share = float(turnover["epoch_apply_share"])
+        print(f"epoch-apply share of wall time in the churn+joins sweep: "
+              f"{share:.4f} (limit {max_epoch_share:.2f}); "
+              f"{turnover['membership_ops']} membership ops over "
+              f"{turnover['membership_epochs']} epochs")
+        if share >= max_epoch_share:
+            print("FAIL: membership epoch application costs too large a "
+                  "share of the run")
+            failed = True
+        if int(turnover["provider_joins"]) <= 0:
+            print("FAIL: the turnover sweep materialized no runtime joins")
+            failed = True
 
     sweeps = fresh.get("sweeps", [])
     if not sweeps:
@@ -132,6 +166,10 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="sharding: minimum 4-shard end-to-end speedup "
                              "on the largest sweep (hosts with >= 4 cores)")
+    parser.add_argument("--max-epoch-share", type=float, default=0.05,
+                        help="sharding: maximum fraction of the turnover "
+                             "run's wall time spent applying membership "
+                             "epochs")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -144,7 +182,8 @@ def main():
             baseline = json.load(f)
         failed = check_event_engine(fresh, baseline, args.max_regression)
     else:
-        failed = check_sharding(fresh, args.min_speedup)
+        failed = check_sharding(fresh, args.min_speedup,
+                                args.max_epoch_share)
 
     sys.exit(1 if failed else 0)
 

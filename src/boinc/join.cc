@@ -41,15 +41,30 @@ void VolunteerJoinProcess::ScheduleNext() {
 
 void VolunteerJoinProcess::Join() {
   if (static_cast<size_t>(joined_) >= params_.max_joins) return;
-  const model::ProviderId id =
-      AddVolunteer(spec_, projects_, &mediator_->registry(), &rng_);
-  reputation_->GrowTo(mediator_->registry().provider_count());
-  ++joined_;
-  joined_ids_.push_back(id);
-  if (churn_.enabled) {
-    churn_processes_.push_back(std::make_unique<workload::ChurnProcess>(
-        sim_, mediator_, id, churn_));
-    churn_processes_.back()->Start();
+  if (mediator_->deferred_membership()) {
+    // Epoch op: the volunteer is drawn (from this process's rng_) and
+    // added at the next barrier, with every shard worker parked. The
+    // epoch applier handles reputation growth and churn wiring on the
+    // owner shard; joined_ids_ is filled at apply time on the driver.
+    ++joined_;
+    mediator_->registry().QueueJoin(
+        mediator_->shard(), [this](core::Registry* registry) {
+          const model::ProviderId id =
+              AddVolunteer(spec_, projects_, registry, &rng_);
+          joined_ids_.push_back(id);
+          return id;
+        });
+  } else {
+    const model::ProviderId id =
+        AddVolunteer(spec_, projects_, &mediator_->registry(), &rng_);
+    reputation_->GrowTo(mediator_->registry().provider_count());
+    ++joined_;
+    joined_ids_.push_back(id);
+    if (churn_.enabled) {
+      churn_processes_.push_back(std::make_unique<workload::ChurnProcess>(
+          sim_, mediator_, id, churn_));
+      churn_processes_.back()->Start();
+    }
   }
   ScheduleNext();
 }

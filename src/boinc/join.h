@@ -6,6 +6,19 @@
 /// other half of the paper's "participants may join and leave at will").
 /// Joined volunteers are full citizens — preferences, reputation slot,
 /// optional availability churn — and become eligible for Pq immediately.
+///
+/// Sharded mode: when the driving mediator defers membership
+/// (Mediator::deferred_membership), a join arrival enqueues a
+/// Registry::QueueJoin op instead of growing the registry mid-window; the
+/// volunteer materializes at the next epoch barrier, drawn from this
+/// process's own RNG stream in fixed (source-shard, FIFO) apply order, so
+/// runs stay bit-reproducible per (seed, shard_count). The epoch applier —
+/// not this process — wires the newcomer's reputation slot and churn
+/// process, because the owner shard is only known once the id is assigned
+/// at apply time (deterministic id hash). The experiment runner gives each
+/// shard its own join process with rate / shard_count and a strided slice
+/// of max_joins, which partitions the configured arrival stream across
+/// shards.
 
 #include <memory>
 #include <vector>
@@ -43,7 +56,10 @@ class VolunteerJoinProcess {
 
   void Start();
 
+  /// Volunteers joined (sharded mode: queued; they materialize at the
+  /// next epoch barrier).
   int64_t joined() const { return joined_; }
+  /// Ids of materialized volunteers (sharded mode: filled at apply time).
   const std::vector<model::ProviderId>& joined_ids() const {
     return joined_ids_;
   }

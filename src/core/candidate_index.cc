@@ -8,19 +8,21 @@ namespace sbqa::core {
 
 void CandidateIndex::DenseIdSet::Insert(model::ProviderId id) {
   SBQA_DCHECK(!contains(id));
-  pos[id] = items.size();
+  const size_t i = static_cast<size_t>(id);
+  if (pos.size() <= i) pos.resize(i + 1, kAbsent);
+  pos[i] = items.size();
   items.push_back(id);
 }
 
 void CandidateIndex::DenseIdSet::Erase(model::ProviderId id) {
-  auto it = pos.find(id);
-  SBQA_DCHECK(it != pos.end());
-  const size_t at = it->second;
+  const size_t i = static_cast<size_t>(id);
+  SBQA_DCHECK(contains(id));
+  const size_t at = pos[i];
   const model::ProviderId last = items.back();
   items[at] = last;
-  pos[last] = at;
+  pos[static_cast<size_t>(last)] = at;
   items.pop_back();
-  pos.erase(it);
+  pos[i] = kAbsent;
 }
 
 void CandidateIndex::OnProviderAdded(const Provider& provider) {

@@ -93,10 +93,22 @@ class CandidateIndex {
   /// Unordered id set with O(1) insert/erase (swap-with-last) and a dense
   /// `items` array for O(1) random access during sampling.
   struct DenseIdSet {
-    std::vector<model::ProviderId> items;
-    std::unordered_map<model::ProviderId, size_t> pos;
+    static constexpr size_t kAbsent = static_cast<size_t>(-1);
 
-    bool contains(model::ProviderId id) const { return pos.contains(id); }
+    std::vector<model::ProviderId> items;
+    /// Position of each member in `items`, dense by provider id (kAbsent
+    /// for non-members). A plain vector instead of a hash map: churn
+    /// toggles Insert/Erase on every availability flip, and the elastic-
+    /// membership gate requires those to be allocation-free in steady
+    /// state — the vector only grows when a new highest id first enters
+    /// (amortized, and in sharded mode only at epoch barriers). Also
+    /// removes the last hashing from the membership path.
+    std::vector<size_t> pos;
+
+    bool contains(model::ProviderId id) const {
+      const size_t i = static_cast<size_t>(id);
+      return i < pos.size() && pos[i] != kAbsent;
+    }
     void Insert(model::ProviderId id);
     void Erase(model::ProviderId id);
   };

@@ -640,6 +640,19 @@ void Mediator::FailProviderInstances(model::ProviderId provider) {
 
 void Mediator::SetProviderAvailability(model::ProviderId provider,
                                        bool available) {
+  if (deferred_membership()) {
+    // Epoch op: no pre-filtering beyond finality — several toggles may
+    // queue in one window and the apply-time no-change check collapses
+    // them to the right net effect in FIFO order.
+    if (registry_->provider(provider).departed()) return;
+    registry_->QueueAvailabilityChange(shard_id_, provider, available);
+    return;
+  }
+  ApplyProviderAvailability(provider, available);
+}
+
+void Mediator::ApplyProviderAvailability(model::ProviderId provider,
+                                         bool available) {
   Provider& p = registry_->provider(provider);
   if (p.departed()) return;  // dissatisfaction departures are final
   if (available == p.alive()) return;
@@ -663,6 +676,18 @@ void Mediator::MaybeDepartProvider(model::ProviderId provider) {
   if (departure_ == nullptr) return;
   Provider& p = registry_->provider(provider);
   if (!departure_->ShouldProviderLeave(p, sim_->now())) return;
+  if (deferred_membership()) {
+    // The provider keeps serving until the barrier; later mediations this
+    // window may queue the same departure again (deduped at apply).
+    registry_->QueueDeparture(shard_id_, provider);
+    return;
+  }
+  ApplyProviderDeparture(provider);
+}
+
+void Mediator::ApplyProviderDeparture(model::ProviderId provider) {
+  Provider& p = registry_->provider(provider);
+  if (p.departed()) return;  // duplicate op in this window's log
 
   p.MarkDeparted();
   p.DropQueue(sim_->now());

@@ -143,8 +143,31 @@ class Mediator {
   /// Availability (churn) control: taking a provider offline fails its
   /// pending instances and drops its queue; bringing it back online makes
   /// it eligible for Pq again. Departed providers (dissatisfaction) stay
-  /// gone. No-op when the state does not change.
+  /// gone. No-op when the state does not change. In sharded mode
+  /// (deferred_membership()) the change becomes an epoch op: it is queued
+  /// into the registry's membership log and takes effect at the next
+  /// barrier, applied by the epoch applier via ApplyProviderAvailability.
   void SetProviderAvailability(model::ProviderId provider, bool available);
+
+  /// Whether membership mutations (availability churn, departures, joins)
+  /// defer to the registry's epoch log instead of applying immediately.
+  /// True exactly when the mediator is wired into a ShardSet.
+  bool deferred_membership() const { return shard_set_ != nullptr; }
+
+  // --- Epoch-applier entry points (barrier driver, workers parked) ----------
+
+  /// Immediate-mode body of an availability change; called by the epoch
+  /// applier at barriers in sharded mode (and by SetProviderAvailability
+  /// directly when unsharded). Must run on this mediator's shard context.
+  void ApplyProviderAvailability(model::ProviderId provider, bool available);
+
+  /// Immediate-mode body of a permanent departure: marks the provider
+  /// departed, drops its queue and fails its in-flight instances, which
+  /// finalizes affected queries through the normal outcome machinery
+  /// (borrowed queries route their outcomes home over the mailbox).
+  /// Idempotent — the membership log may hold duplicate departure ops for
+  /// one window.
+  void ApplyProviderDeparture(model::ProviderId provider);
 
   // --- Helpers for allocation methods --------------------------------------
 
@@ -323,8 +346,10 @@ class Mediator {
   /// Fails every pending instance held by `provider` (departure or churn),
   /// finalizing queries whose last instance died.
   void FailProviderInstances(model::ProviderId provider);
-  /// Runs the departure check for one provider; performs the departure
-  /// (failing its in-flight instances) when triggered.
+  /// Runs the departure check for one provider; when triggered, performs
+  /// the departure immediately (unsharded) or queues a departure op for
+  /// the next epoch (sharded — the provider stays alive until the
+  /// barrier, where ApplyProviderDeparture runs).
   void MaybeDepartProvider(model::ProviderId provider);
   void MaybeRetireConsumer(model::ConsumerId consumer);
   /// Periodic whole-population departure evaluation (autonomous mode).

@@ -1,14 +1,18 @@
 #include "core/registry.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sbqa::core {
 
 Registry::Registry() {
   partitions_.push_back(std::make_unique<CandidateIndex>());
   active_consumers_.push_back(0);
+  pending_membership_.resize(1);
+  apply_scratch_.resize(1);
 }
 
 model::ProviderId Registry::AddProvider(const ProviderParams& params) {
@@ -17,9 +21,11 @@ model::ProviderId Registry::AddProvider(const ProviderParams& params) {
   SBQA_CHECK_EQ(static_cast<size_t>(slot), static_cast<size_t>(id));
   providers_.emplace_back(id, params, &hot_, slot);
   providers_.back().set_observer(this);
-  // Providers joining after SetShardCount (open systems) go round-robin;
-  // the initial population gets contiguous blocks in SetShardCount.
-  provider_shard_.push_back(static_cast<uint32_t>(id) % shard_count_);
+  // Providers joining after SetShardCount (open systems) get their owner
+  // shard from the deterministic id hash — stable for the whole run, so
+  // provider state never migrates; the initial population gets contiguous
+  // blocks in SetShardCount.
+  provider_shard_.push_back(JoinOwnerShard(id));
   partitions_[provider_shard_.back()]->OnProviderAdded(providers_.back());
   total_capacity_ += params.capacity;
   return id;
@@ -92,6 +98,92 @@ void Registry::SetShardCount(uint32_t shard_count) {
   for (const Consumer& c : consumers_) {
     if (c.active()) ++active_consumers_[ConsumerShard(c.id())];
   }
+  pending_membership_.clear();
+  pending_membership_.resize(shard_count);
+  apply_scratch_.clear();
+  apply_scratch_.resize(shard_count);
+}
+
+// --- Elastic membership (epoch protocol) -------------------------------------
+
+uint32_t Registry::JoinOwnerShard(model::ProviderId id) const {
+  if (shard_count_ <= 1) return 0;
+  // SplitMix64 avalanche of the dense id: deterministic, uniform, and
+  // independent of the join's source shard or the window's other traffic.
+  return static_cast<uint32_t>(
+      util::SplitMix64Avalanche(
+          static_cast<uint64_t>(static_cast<uint32_t>(id))) %
+      shard_count_);
+}
+
+void Registry::QueueAvailabilityChange(uint32_t source_shard,
+                                       model::ProviderId provider,
+                                       bool available) {
+  SBQA_DCHECK_LT(source_shard, pending_membership_.size());
+  pending_membership_[source_shard].availability.emplace_back(
+      provider, available ? uint8_t{1} : uint8_t{0});
+}
+
+void Registry::QueueDeparture(uint32_t source_shard,
+                              model::ProviderId provider) {
+  SBQA_DCHECK_LT(source_shard, pending_membership_.size());
+  pending_membership_[source_shard].departures.push_back(provider);
+}
+
+void Registry::QueueJoin(uint32_t source_shard, JoinFn join) {
+  SBQA_DCHECK_LT(source_shard, pending_membership_.size());
+  pending_membership_[source_shard].joins.push_back(std::move(join));
+}
+
+bool Registry::HasPendingMembershipOps() const {
+  for (const MembershipOps& ops : pending_membership_) {
+    if (!ops.availability.empty() || !ops.departures.empty() ||
+        !ops.joins.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Registry::AdvanceEpoch(MembershipApplier* applier) {
+  SBQA_CHECK(applier != nullptr);
+  if (!HasPendingMembershipOps()) return;
+  // The WHOLE log is swapped out before any op runs: application may
+  // enqueue follow-up ops (a joined volunteer's churn process starting
+  // offline), and those belong to the NEXT epoch regardless of their
+  // kind — not to a moving target in this one.
+  for (size_t s = 0; s < pending_membership_.size(); ++s) {
+    std::swap(pending_membership_[s], apply_scratch_[s]);
+  }
+  // Fixed (op-kind, source-shard, FIFO) order.
+  uint64_t applied = 0;
+  for (MembershipOps& ops : apply_scratch_) {
+    for (const auto& [provider, available] : ops.availability) {
+      applier->ApplyAvailability(provider, available != 0);
+      ++applied;
+    }
+  }
+  for (MembershipOps& ops : apply_scratch_) {
+    for (model::ProviderId provider : ops.departures) {
+      applier->ApplyDeparture(provider);
+      ++applied;
+    }
+  }
+  for (MembershipOps& ops : apply_scratch_) {
+    for (JoinFn& join : ops.joins) {
+      const model::ProviderId id = join(this);
+      SBQA_CHECK_EQ(static_cast<size_t>(id) + 1, providers_.size());
+      applier->OnProviderJoined(id);
+      ++applied;
+    }
+  }
+  for (MembershipOps& ops : apply_scratch_) {
+    ops.availability.clear();
+    ops.departures.clear();
+    ops.joins.clear();  // releases the applied closures; keeps capacity
+  }
+  membership_ops_applied_ += applied;
+  if (applied > 0) ++membership_epoch_;
 }
 
 CandidateSet Registry::CandidatesForShard(

@@ -20,8 +20,29 @@
 /// by any shard. Cross-shard aggregates (alive_provider_count,
 /// AliveCapacity, active_consumer_count) must only be read when shards are
 /// quiescent — at a barrier, or after the run.
+///
+/// Elastic membership (epoch protocol): in sharded mode the population is
+/// only ever mutated at barrier EPOCHS, never mid-window. Shard threads
+/// enqueue membership ops during a window — QueueAvailabilityChange /
+/// QueueDeparture / QueueJoin, each into its source shard's single-writer
+/// log — and the barrier driver applies the whole log in one
+/// AdvanceEpoch() call with every worker parked, in fixed
+/// (op-kind, source-shard, FIFO) order: availability changes first, then
+/// departures (so a departure queued in the same window as a revival is
+/// the last word), then joins (so new dense ids never depend on the
+/// window's other traffic). Joins grow the shared provider vectors, the
+/// SoA hot-state arrays and the owner shard's CandidateIndex partition in
+/// place (amortized block growth — safe exactly because every worker is
+/// parked); the owner shard of a joined provider is a deterministic
+/// SplitMix64 hash of its id, so ownership never migrates mid-run and a
+/// rerun reproduces the same assignment bit for bit. Every applied epoch
+/// bumps membership_epoch(), which ShardDirectory snapshots to skip
+/// refreshes when nothing changed.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/candidate_index.h"
@@ -32,6 +53,30 @@
 #include "model/types.h"
 
 namespace sbqa::core {
+
+class Registry;
+
+/// Performs the mediator-side effects of membership ops applied at an
+/// epoch barrier (failing a departing provider's in-flight instances,
+/// wiring a joined volunteer's reputation slot and churn process, ...).
+/// Registry::AdvanceEpoch orchestrates the fixed application order; the
+/// applier routes each op to the owning shard's mediator. Runs on the
+/// barrier driver thread with every shard worker parked.
+class MembershipApplier {
+ public:
+  virtual ~MembershipApplier() = default;
+
+  /// Applies one availability change (churn on/off) to `provider`.
+  virtual void ApplyAvailability(model::ProviderId provider,
+                                 bool available) = 0;
+  /// Applies one permanent departure to `provider`. May be called more
+  /// than once per provider (the op dedupes at apply time, not at queue
+  /// time); implementations must be idempotent.
+  virtual void ApplyDeparture(model::ProviderId provider) = 0;
+  /// Called right after a queued join materialized `provider` (its owner
+  /// shard is Registry::ProviderShard(provider) by then).
+  virtual void OnProviderJoined(model::ProviderId provider) = 0;
+};
 
 /// Owns participants; ids are dense indices assigned on insertion.
 ///
@@ -73,6 +118,47 @@ class Registry : private ProviderObserver, private ConsumerObserver {
     return static_cast<uint32_t>(id) % shard_count_;
   }
 
+  // --- Elastic membership (epoch protocol) ----------------------------------
+
+  /// A queued join: materializes one provider (AddProvider plus whatever
+  /// preference/profile setup the caller's domain needs) and returns its id.
+  /// Invoked by AdvanceEpoch on the barrier driver thread.
+  using JoinFn = std::function<model::ProviderId(Registry*)>;
+
+  /// Enqueue membership ops from shard `source_shard`'s execution context
+  /// (its worker thread mid-window, or the driver at a barrier). Each
+  /// source shard's log is single-writer, so no locks are involved; ops
+  /// take effect at the next AdvanceEpoch, in (op-kind, source-shard,
+  /// FIFO) order.
+  void QueueAvailabilityChange(uint32_t source_shard,
+                               model::ProviderId provider, bool available);
+  void QueueDeparture(uint32_t source_shard, model::ProviderId provider);
+  void QueueJoin(uint32_t source_shard, JoinFn join);
+
+  /// Whether any membership op is waiting for the next epoch.
+  bool HasPendingMembershipOps() const;
+
+  /// Applies the whole membership log (barrier driver only, workers
+  /// parked): all availability changes, then all departures, then all
+  /// joins, each kind swept source-shard 0..n-1 in FIFO order. Ops
+  /// enqueued DURING application (e.g. a joined volunteer's churn process
+  /// starting offline) land in the next epoch. Bumps membership_epoch()
+  /// when at least one op was applied. No-op on an empty log.
+  void AdvanceEpoch(MembershipApplier* applier);
+
+  /// Monotonic count of applied (non-empty) membership epochs. The
+  /// ShardDirectory snapshots this to skip refreshes when membership did
+  /// not change.
+  uint64_t membership_epoch() const { return membership_epoch_; }
+  /// Total membership ops applied across all epochs (bench/telemetry).
+  uint64_t membership_ops_applied() const { return membership_ops_applied_; }
+
+  /// Deterministic owner shard of a provider joining with dense id `id`
+  /// (SplitMix64 avalanche mod shard count; always 0 when unsharded).
+  /// Stable for the whole run: provider state never migrates between
+  /// shards.
+  uint32_t JoinOwnerShard(model::ProviderId id) const;
+
   /// The paper's Pq restricted to one shard's provider partition, as an
   /// index-backed view: O(1) to build, O(1) size, O(k) uniform sampling.
   /// `scratch` backs lazy materialization for full-scan methods and must
@@ -104,6 +190,12 @@ class Registry : private ProviderObserver, private ConsumerObserver {
   /// aggregate: only read at barriers / after the run in sharded mode.
   size_t alive_provider_count() const;
   size_t active_consumer_count() const;
+
+  /// Active consumers owned by one shard (the directory's load signal;
+  /// barrier-read only in sharded mode). O(1).
+  size_t active_consumer_count(uint32_t shard) const {
+    return static_cast<size_t>(active_consumers_[shard]);
+  }
 
   /// Sum of capacities of alive providers (the paper's "total system
   /// capacity" that dissatisfaction erodes). O(#shards); barrier-read only
@@ -146,6 +238,18 @@ class Registry : private ProviderObserver, private ConsumerObserver {
     }
   }
 
+  /// One source shard's slice of the membership log (single writer: that
+  /// shard's thread mid-window, or the driver at barriers), padded so two
+  /// shards' op bookkeeping never shares a cache line mid-window.
+  struct alignas(64) MembershipOps {
+    /// (provider, online) availability changes, FIFO.
+    std::vector<std::pair<model::ProviderId, uint8_t>> availability;
+    /// Departures, FIFO; may hold duplicates (deduped at apply).
+    std::vector<model::ProviderId> departures;
+    /// Joins, FIFO.
+    std::vector<JoinFn> joins;
+  };
+
   std::vector<Provider> providers_;
   std::vector<Consumer> consumers_;
   ProviderHotState hot_;
@@ -156,6 +260,16 @@ class Registry : private ProviderObserver, private ConsumerObserver {
   std::vector<uint32_t> provider_shard_;
   /// Active-consumer count per owning shard.
   std::vector<int64_t> active_consumers_;
+  /// Membership log, indexed by source shard (size shard_count_).
+  std::vector<MembershipOps> pending_membership_;
+  /// Apply-time scratch (same shape as the log): AdvanceEpoch swaps the
+  /// WHOLE log here before running any op, so ops enqueued during
+  /// application — of any kind — land in the next epoch. Vector storage
+  /// circulates between the two arrays, so steady-state epochs allocate
+  /// nothing.
+  std::vector<MembershipOps> apply_scratch_;
+  uint64_t membership_epoch_ = 0;
+  uint64_t membership_ops_applied_ = 0;
   uint32_t shard_count_ = 1;
   double total_capacity_ = 0;
 };

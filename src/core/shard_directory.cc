@@ -11,12 +11,32 @@ void ShardDirectory::Refresh(const Registry& registry) {
     const CandidateIndex& index = registry.shard_index(s);
     Entry& entry = entries_[s];
     entry.generalists = index.alive_generalist_count();
+    entry.active_consumers = registry.active_consumer_count(s);
     index.CollectClassCounts(&scratch_);
     // Sorted so CountFor can binary-search and so the snapshot's layout
     // does not depend on hash-map iteration order.
     std::sort(scratch_.begin(), scratch_.end());
     entry.class_counts.assign(scratch_.begin(), scratch_.end());
   }
+  epoch_ = registry.membership_epoch();
+  snapshot_valid_ = true;
+}
+
+bool ShardDirectory::RefreshIfChanged(const Registry& registry) {
+  const uint32_t n = registry.shard_count();
+  if (snapshot_valid_ && entries_.size() == n &&
+      epoch_ == registry.membership_epoch()) {
+    bool consumers_unchanged = true;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (entries_[s].active_consumers != registry.active_consumer_count(s)) {
+        consumers_unchanged = false;
+        break;
+      }
+    }
+    if (consumers_unchanged) return false;
+  }
+  Refresh(registry);
+  return true;
 }
 
 size_t ShardDirectory::CountFor(uint32_t shard,
@@ -37,11 +57,28 @@ uint32_t ShardDirectory::FindShardWith(model::QueryClassId query_class,
                                        uint32_t from) const {
   const uint32_t n = shard_count();
   if (n <= 1) return kNoShard;
+  uint32_t best = kNoShard;
+  uint64_t best_consumers = 0;
+  uint64_t best_candidates = 0;
   for (uint32_t step = 1; step < n; ++step) {
     const uint32_t shard = (from + step) % n;
-    if (CountFor(shard, query_class) > 0) return shard;
+    const uint64_t candidates =
+        static_cast<uint64_t>(CountFor(shard, query_class));
+    if (candidates == 0) continue;
+    const uint64_t consumers =
+        static_cast<uint64_t>(entries_[shard].active_consumers);
+    // Load = consumers / candidates, compared exactly by cross-
+    // multiplication (no floating point, no tie surprises). A strict <
+    // keeps the first shard in wrap order on equal load — the
+    // deterministic tie-break.
+    if (best == kNoShard ||
+        consumers * best_candidates < best_consumers * candidates) {
+      best = shard;
+      best_consumers = consumers;
+      best_candidates = candidates;
+    }
   }
-  return kNoShard;
+  return best;
 }
 
 }  // namespace sbqa::core

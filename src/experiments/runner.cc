@@ -11,20 +11,73 @@
 
 namespace sbqa::experiments {
 
+namespace {
+
+/// Epoch applier of the sharded runner: routes each membership op applied
+/// by Registry::AdvanceEpoch to the owning shard's mediator, and wires
+/// newly joined volunteers — reputation slot, availability churn process
+/// on the owner shard's scheduler. Lives on the runner's stack for the
+/// whole run; invoked only at barriers with every worker parked.
+class RunnerMembership final : public core::MembershipApplier {
+ public:
+  RunnerMembership(core::Registry* registry, sim::ShardSet* shards,
+                   std::vector<core::Mediator*> mediators,
+                   model::ReputationRegistry* reputation,
+                   const workload::ChurnParams& churn)
+      : registry_(registry),
+        shards_(shards),
+        mediators_(std::move(mediators)),
+        reputation_(reputation),
+        churn_(churn) {}
+
+  void ApplyAvailability(model::ProviderId provider,
+                         bool available) override {
+    Owner(provider)->ApplyProviderAvailability(provider, available);
+  }
+
+  void ApplyDeparture(model::ProviderId provider) override {
+    Owner(provider)->ApplyProviderDeparture(provider);
+  }
+
+  void OnProviderJoined(model::ProviderId provider) override {
+    reputation_->GrowTo(registry_->provider_count());
+    if (churn_.enabled) {
+      // The newcomer's availability process lives on its owner shard; its
+      // first toggle (possibly "start offline") queues into the NEXT
+      // epoch, like every other membership op.
+      const uint32_t owner = registry_->ProviderShard(provider);
+      join_churn_.push_back(std::make_unique<workload::ChurnProcess>(
+          &shards_->shard(owner), mediators_[owner], provider, churn_));
+      join_churn_.back()->Start();
+    }
+  }
+
+ private:
+  core::Mediator* Owner(model::ProviderId provider) {
+    return mediators_[registry_->ProviderShard(provider)];
+  }
+
+  core::Registry* registry_;
+  sim::ShardSet* shards_;
+  std::vector<core::Mediator*> mediators_;
+  model::ReputationRegistry* reputation_;
+  workload::ChurnParams churn_;
+  std::vector<std::unique_ptr<workload::ChurnProcess>> join_churn_;
+};
+
+}  // namespace
+
 /// Sharded flavour of RunScenario: one scheduler/network/RNG stream,
 /// registry partition, mediator, workload slice and churn slice per shard,
 /// advanced by the ShardSet barrier protocol. Construction mirrors the
 /// single-engine path phase for phase, so a 1-shard run performs the same
 /// RNG splits and event submissions in the same order — that is what makes
-/// shard_count=1 bit-identical to the classic engine.
+/// shard_count=1 bit-identical to the classic engine (at one shard
+/// membership ops also apply immediately, classic-style, instead of
+/// deferring to epoch barriers).
 RunResult RunShardedScenario(const ScenarioConfig& config) {
   SBQA_CHECK_GT(config.duration, 0);
-  // Unsupported combinations in sharded mode (all scenario-level, none
-  // fundamental): runtime volunteer joins would grow the shared registry
-  // vectors mid-window, shared observers would be called from every worker
-  // thread, and in-shard federation is subsumed by sharding itself.
-  SBQA_CHECK(!config.joins.enabled);
-  SBQA_CHECK(config.observers.empty());
+  // In-shard federation is subsumed by sharding itself.
   SBQA_CHECK_LE(config.mediator_count, 1u);
 
   sim::SimulationConfig sim_config = config.sim;
@@ -73,11 +126,21 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   }
 
   // Metrics: one collector with a per-shard observer stream each, sampled
-  // at barriers (all workers parked).
+  // at barriers (all workers parked). Shared observers attach directly to
+  // the single mediator at shard_count = 1 (classic semantics, bit-equal
+  // traces) and through the collector's barrier-replayed cross-shard mux
+  // otherwise.
   std::vector<sim::Simulation*> sims;
   for (uint32_t s = 0; s < shard_count; ++s) sims.push_back(&shards.shard(s));
   metrics::Collector collector(sims, &registry, mediator_ptrs,
                                config.sample_interval);
+  for (core::MediationObserver* observer : config.observers) {
+    if (shard_count == 1) {
+      mediators[0]->AddObserver(observer);
+    } else {
+      collector.AttachSharedObserver(observer);
+    }
+  }
   if (config.shard_observer_factory) {
     for (uint32_t s = 0; s < shard_count; ++s) {
       if (core::MediationObserver* observer =
@@ -111,6 +174,8 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
 
   // Churn: each volunteer's availability process lives on its owning
   // shard (same volunteer order as the single-engine path within a shard).
+  // At shard_count > 1 the toggles become epoch ops of the membership log;
+  // at one shard they apply immediately, exactly like the classic engine.
   std::vector<std::vector<model::ProviderId>> churn_slices(shard_count);
   for (model::ProviderId volunteer : population.volunteers) {
     churn_slices[registry.ProviderShard(volunteer)].push_back(volunteer);
@@ -121,13 +186,59 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
                                          churn_slices[s], config.churn));
   }
 
-  // Barrier hooks: refresh the borrow directory (only consulted when
-  // there are peers to borrow from), then sample metrics when a sample
-  // point has been reached. Hook order matters only for determinism, not
-  // correctness — both read quiescent state.
+  // Open-system joins. One shard: the classic single process (immediate
+  // mode — same RNG splits, same event order as the single-engine path).
+  // Several shards: one process per shard carrying a strided slice of the
+  // configured arrival stream (rate / n each; max_joins split by stride),
+  // whose arrivals enqueue QueueJoin epoch ops.
+  std::vector<std::unique_ptr<boinc::VolunteerJoinProcess>> joins;
+  if (config.joins.enabled) {
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      boinc::VolunteerJoinParams join_params = config.joins;
+      if (shard_count > 1) {
+        join_params.rate = config.joins.rate / shard_count;
+        join_params.max_joins =
+            config.joins.max_joins > s
+                ? (config.joins.max_joins - s + shard_count - 1) / shard_count
+                : 0;
+      }
+      joins.push_back(std::make_unique<boinc::VolunteerJoinProcess>(
+          &shards.shard(s), mediator_ptrs[s], &reputation, config.population,
+          population.projects, join_params, config.churn));
+      joins.back()->Start();
+    }
+  }
+
+  // Membership phase of the barrier sequence (drain mailboxes -> apply
+  // membership log -> refresh directory -> resume): the driver applies
+  // every queued op through the owning shard's mediator while all workers
+  // are parked. Initial ops (churn's "start offline" draws) are applied
+  // right here so the t = 0 population state matches the classic engine.
+  RunnerMembership membership(&registry, &shards, mediator_ptrs, &reputation,
+                              config.churn);
   if (shard_count > 1) {
+    shards.SetMembershipHook([&registry, &membership](double) {
+      registry.AdvanceEpoch(&membership);
+    });
+    if (registry.HasPendingMembershipOps()) {
+      registry.AdvanceEpoch(&membership);
+    }
+    directory.Refresh(registry);
+  }
+
+  // Barrier hooks (they run after the membership phase): refresh the
+  // borrow directory when membership or load changed, flush buffered
+  // events to the shared observers, then sample metrics when a sample
+  // point has been reached. Hook order matters only for determinism, not
+  // correctness — all of them read quiescent state.
+  if (shard_count > 1) {
+    shards.AddBarrierHook([&directory, &registry](double) {
+      directory.RefreshIfChanged(registry);
+    });
+  }
+  if (collector.has_shared_observers()) {
     shards.AddBarrierHook(
-        [&directory, &registry](double) { directory.Refresh(registry); });
+        [&collector](double) { collector.FlushSharedObservers(); });
   }
   collector.Snapshot();  // t = 0 baseline, like Collector::Start()
   double next_sample = config.sample_interval;
@@ -145,12 +256,16 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   // response accounting is complete.
   const double drain_horizon = config.duration + config.mediator.query_timeout;
   shards.RunUntil(drain_horizon);
+  collector.FlushSharedObservers();  // settlement-window stragglers
 
   RunResult result;
   result.summary = collector.Summarize(config.duration);
   result.series = collector.series();
   result.consumers = collector.ConsumerSnapshots();
   result.providers = collector.ProviderSnapshots();
+  result.membership_epochs = registry.membership_epoch();
+  result.membership_ops = registry.membership_ops_applied();
+  result.membership_apply_seconds = shards.membership_apply_seconds();
   return result;
 }
 

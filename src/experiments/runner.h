@@ -20,6 +20,13 @@ struct RunResult {
   metrics::RunSeries series;
   std::vector<metrics::ParticipantSnapshot> consumers;
   std::vector<metrics::ParticipantSnapshot> providers;
+  /// Elastic-membership telemetry of sharded runs (zero in single-engine
+  /// runs and at shard_count = 1, where membership applies immediately):
+  /// applied epochs / ops and the driver wall-clock seconds spent applying
+  /// them — the epoch-apply cost the bench regression gate bounds.
+  uint64_t membership_epochs = 0;
+  uint64_t membership_ops = 0;
+  double membership_apply_seconds = 0;
 };
 
 /// Runs one scenario to completion (synchronously) and aggregates.
@@ -31,8 +38,12 @@ RunResult RunScenario(const ScenarioConfig& config);
 /// sim/shard_set.h). RunScenario calls this for shard_count > 1; it is
 /// public so tests and benches can also drive shard_count = 1 through the
 /// sharded machinery — which is bit-identical to the classic engine — for
-/// apples-to-apples comparisons. Requires joins disabled, no shared
-/// observers and mediator_count <= 1.
+/// apples-to-apples comparisons. Supports the full dynamic-population
+/// feature set: availability churn and runtime volunteer joins become
+/// barrier-applied epoch ops of the registry's membership log, and shared
+/// observers are replayed through the collector's deterministic
+/// cross-shard mux. Requires mediator_count <= 1 (in-shard federation is
+/// subsumed by sharding itself).
 RunResult RunShardedScenario(const ScenarioConfig& config);
 
 /// Runs the same scenario once per method, holding everything else equal

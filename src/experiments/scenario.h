@@ -61,11 +61,14 @@ struct ScenarioConfig {
                      util::Rng*)>
       population_hook;
 
-  /// Extra mediation observers attached to the mediator for the run (not
-  /// owned; must outlive RunScenario). Used by invariant-checking tests
-  /// and custom metrics. Single-engine runs only: with sim.shard_count > 1
-  /// a shared observer would be called from every shard's worker thread —
-  /// use shard_observer_factory instead.
+  /// Extra mediation observers attached for the run (not owned; must
+  /// outlive RunScenario). Used by invariant-checking tests and custom
+  /// metrics. With sim.shard_count > 1 they become SHARED observers fed
+  /// through the collector's cross-shard mux: every shard buffers its
+  /// events single-writer and the barrier driver replays them in fixed
+  /// (shard, FIFO) order — deterministic, but delivered at barrier
+  /// granularity rather than at event time. Observers needing per-shard
+  /// event-time callbacks should use shard_observer_factory instead.
   std::vector<core::MediationObserver*> observers;
 
   /// Sharded runs: optional factory called once per shard id; the returned

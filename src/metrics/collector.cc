@@ -10,6 +10,15 @@ namespace sbqa::metrics {
 Collector::Stream::Stream(Collector* owner_in)
     : owner(owner_in), response_hist(0.0, 120.0, 480), recent_response(256) {}
 
+Collector::Stream::PendingEvent& Collector::Stream::Buffer(
+    PendingEvent::Kind kind, double now) {
+  pending.emplace_back();
+  PendingEvent& event = pending.back();
+  event.kind = kind;
+  event.now = now;
+  return event;
+}
+
 void Collector::Stream::OnQueryCompleted(const core::QueryOutcome& outcome) {
   ++completed;
   if (outcome.validated) ++validated;
@@ -17,14 +26,44 @@ void Collector::Stream::OnQueryCompleted(const core::QueryOutcome& outcome) {
     response_hist.Add(outcome.response_time);
     recent_response.Push(outcome.response_time);
   }
+  if (!owner->shared_observers_.empty()) {
+    Buffer(PendingEvent::Kind::kCompleted, outcome.completed_at).outcome =
+        outcome;
+  }
+}
+
+void Collector::Stream::OnMediation(const model::Query& query,
+                                    const core::AllocationDecision& decision,
+                                    double now) {
+  if (owner->shared_observers_.empty()) return;
+  PendingEvent& event = Buffer(PendingEvent::Kind::kMediation, now);
+  event.query = query;
+  event.decision = decision;
 }
 
 void Collector::Stream::OnProviderDeparted(model::ProviderId provider,
-                                           double) {
+                                           double now) {
   // The departing provider is owned by the mediator's shard, so this read
   // stays within the single-writer discipline.
   departed_provider_satisfaction.push_back(
       owner->registry_->provider(provider).satisfaction());
+  if (!owner->shared_observers_.empty()) {
+    Buffer(PendingEvent::Kind::kDeparted, now).provider = provider;
+  }
+}
+
+void Collector::Stream::OnProviderAvailabilityChanged(
+    model::ProviderId provider, bool available, double now) {
+  if (owner->shared_observers_.empty()) return;
+  PendingEvent& event = Buffer(PendingEvent::Kind::kAvailability, now);
+  event.provider = provider;
+  event.available = available;
+}
+
+void Collector::Stream::OnConsumerRetired(model::ConsumerId consumer,
+                                          double now) {
+  if (owner->shared_observers_.empty()) return;
+  Buffer(PendingEvent::Kind::kRetired, now).consumer = consumer;
 }
 
 Collector::Collector(sim::Simulation* sim, core::Registry* registry,
@@ -57,6 +96,43 @@ Collector::Collector(std::vector<sim::Simulation*> sims,
     SBQA_CHECK(mediator != nullptr);
     streams_.push_back(std::make_unique<Stream>(this));
     mediator->AddObserver(streams_.back().get());
+  }
+}
+
+void Collector::AttachSharedObserver(core::MediationObserver* observer) {
+  SBQA_CHECK(observer != nullptr);
+  shared_observers_.push_back(observer);
+}
+
+void Collector::FlushSharedObservers() {
+  if (shared_observers_.empty()) return;
+  // Fixed (mediator/shard, FIFO) replay order — the deterministic merged
+  // view of the run's event streams.
+  for (const auto& stream : streams_) {
+    for (const Stream::PendingEvent& event : stream->pending) {
+      for (core::MediationObserver* observer : shared_observers_) {
+        switch (event.kind) {
+          case Stream::PendingEvent::Kind::kMediation:
+            observer->OnMediation(event.query, event.decision, event.now);
+            break;
+          case Stream::PendingEvent::Kind::kCompleted:
+            observer->OnQueryCompleted(event.outcome);
+            break;
+          case Stream::PendingEvent::Kind::kDeparted:
+            observer->OnProviderDeparted(event.provider, event.now);
+            break;
+          case Stream::PendingEvent::Kind::kAvailability:
+            observer->OnProviderAvailabilityChanged(event.provider,
+                                                    event.available,
+                                                    event.now);
+            break;
+          case Stream::PendingEvent::Kind::kRetired:
+            observer->OnConsumerRetired(event.consumer, event.now);
+            break;
+        }
+      }
+    }
+    stream->pending.clear();
   }
 }
 

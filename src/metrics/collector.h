@@ -13,6 +13,15 @@
 /// registry and must only run while shards are quiescent: the legacy
 /// single-engine path schedules them as simulation events (Start), the
 /// sharded path drives Snapshot() from a ShardSet barrier hook.
+///
+/// Shared observers under sharding: an observer that wants to watch EVERY
+/// shard cannot be attached to the mediators directly (it would be called
+/// from every worker thread). AttachSharedObserver instead turns each
+/// per-mediator stream into a single-writer event buffer; at every barrier
+/// the driver calls FlushSharedObservers(), which replays the buffered
+/// events to the shared observers in fixed (shard, FIFO) order — the same
+/// merged cross-shard snapshot view the counters get, and just as
+/// deterministic.
 
 #include <memory>
 #include <vector>
@@ -61,6 +70,24 @@ class Collector {
   /// barrier hook (all shard workers parked).
   void Snapshot();
 
+  /// Registers an observer shared across every observed mediator (not
+  /// owned; must outlive the collector). Events are buffered per mediator
+  /// stream (single writer) and replayed by FlushSharedObservers — attach
+  /// before the run starts. Safe in sharded mode, unlike attaching the
+  /// observer to each mediator directly. Buffering COPIES each event's
+  /// payload (for mediations, the full AllocationDecision): this is a
+  /// diagnostics/tests path, deliberately outside the engine's
+  /// allocation-free steady-state contract — runs without shared
+  /// observers buffer nothing.
+  void AttachSharedObserver(core::MediationObserver* observer);
+
+  /// Replays all buffered events to the shared observers in fixed
+  /// (mediator/shard, FIFO) order and clears the buffers. Call from a
+  /// barrier hook (workers parked) and once after the run's final drain.
+  void FlushSharedObservers();
+
+  bool has_shared_observers() const { return !shared_observers_.empty(); }
+
   /// Builds the end-of-run aggregate. `duration` is the simulated run
   /// length used for throughput and busy fractions.
   RunSummary Summarize(double duration) const;
@@ -78,10 +105,38 @@ class Collector {
   /// the owning shard's thread touches it; merged on read at barriers /
   /// end of run.
   struct Stream final : core::MediationObserver {
+    /// One buffered mediation event, replayed to the shared observers at
+    /// barriers. Only recorded when shared observers are attached.
+    struct PendingEvent {
+      enum class Kind : uint8_t {
+        kMediation,
+        kCompleted,
+        kDeparted,
+        kAvailability,
+        kRetired,
+      };
+      Kind kind = Kind::kCompleted;
+      bool available = false;
+      double now = 0;
+      model::ProviderId provider = model::kInvalidId;
+      model::ConsumerId consumer = model::kInvalidId;
+      model::Query query;
+      core::AllocationDecision decision;
+      core::QueryOutcome outcome;
+    };
+
     Stream(Collector* owner);
 
     void OnQueryCompleted(const core::QueryOutcome& outcome) override;
+    void OnMediation(const model::Query& query,
+                     const core::AllocationDecision& decision,
+                     double now) override;
     void OnProviderDeparted(model::ProviderId provider, double now) override;
+    void OnProviderAvailabilityChanged(model::ProviderId provider,
+                                       bool available, double now) override;
+    void OnConsumerRetired(model::ConsumerId consumer, double now) override;
+
+    PendingEvent& Buffer(PendingEvent::Kind kind, double now);
 
     Collector* owner;
     int64_t completed = 0;
@@ -91,6 +146,9 @@ class Collector {
     /// Satisfaction of departed providers frozen at departure time, so the
     /// "all providers" aggregate includes them.
     std::vector<double> departed_provider_satisfaction;
+    /// Events awaiting the next FlushSharedObservers (empty when no shared
+    /// observer is attached).
+    std::vector<PendingEvent> pending;
   };
 
   void ScheduleTick();
@@ -103,6 +161,7 @@ class Collector {
   core::Registry* registry_;
   std::vector<core::Mediator*> mediators_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<core::MediationObserver*> shared_observers_;
   double sample_interval_;
   double sample_until_ = 0;
 

@@ -1,6 +1,7 @@
 #include "sim/shard_set.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -29,7 +30,8 @@ struct ShardSet::Threads {
   std::vector<char> active;
 };
 
-ShardSet::ShardSet(const SimulationConfig& config) : config_(config) {
+ShardSet::ShardSet(const SimulationConfig& config)
+    : config_(config), barrier_tick_(config.shard_barrier_tick) {
   SBQA_CHECK_GE(config.shard_count, 1u);
   SBQA_CHECK_GT(config.shard_barrier_tick, 0);
   const uint32_t n = config.shard_count;
@@ -75,6 +77,11 @@ void ShardSet::PostTo(uint32_t src, uint32_t dst, Time deliver_at,
 
 void ShardSet::AddBarrierHook(std::function<void(Time)> hook) {
   hooks_.push_back(std::move(hook));
+}
+
+void ShardSet::SetMembershipHook(std::function<void(Time)> hook) {
+  SBQA_CHECK(membership_hook_ == nullptr);
+  membership_hook_ = std::move(hook);
 }
 
 uint64_t ShardSet::cross_shard_messages() const {
@@ -139,7 +146,7 @@ void ShardSet::RunWindow(Time target) {
   for (auto& shard : shards_) shard->RunUntil(target);
 }
 
-bool ShardSet::DrainMailboxes() {
+bool ShardSet::DrainMailboxes(uint64_t* drained) {
   // Fixed (destination, source, FIFO) order: the only place cross-shard
   // effects are sequenced, hence the determinism of the whole protocol.
   const uint32_t n = shard_count();
@@ -148,6 +155,7 @@ bool ShardSet::DrainMailboxes() {
     Scheduler& scheduler = shards_[dst]->scheduler();
     for (uint32_t src = 0; src < n; ++src) {
       std::vector<Pending>& queue = out_[src].to[dst];
+      *drained += queue.size();
       for (Pending& message : queue) {
         const Time when = std::max(message.deliver_at, barrier_now_);
         if (when <= barrier_now_) any_due = true;
@@ -160,19 +168,63 @@ bool ShardSet::DrainMailboxes() {
   return any_due;
 }
 
+bool ShardSet::MailboxesNonEmpty() const {
+  for (const Outbox& box : out_) {
+    for (const std::vector<Pending>& queue : box.to) {
+      if (!queue.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void ShardSet::AdaptBarrierTick(uint64_t drained) {
+  if (!config_.adaptive_barrier || shard_count() <= 1) return;
+  // Powers-of-two scaling keeps the adapted tick sequence exactly
+  // representable, so adaptivity cannot introduce cross-platform drift.
+  if (drained > shard_count()) {
+    barrier_tick_ =
+        std::max(config_.shard_barrier_tick / 64.0, barrier_tick_ * 0.5);
+  } else if (drained == 0) {
+    barrier_tick_ =
+        std::min(config_.shard_barrier_tick, barrier_tick_ * 2.0);
+  }
+}
+
+bool ShardSet::BarrierPhase(bool run_hooks) {
+  // Barrier sequence: drain mailboxes -> membership phase -> regular
+  // hooks (directory refresh, metrics). Single shard: no cross-shard
+  // senders exist, so the mailbox scan is skipped; the membership phase
+  // and hooks still run (they drive epoch application and sampling).
+  uint64_t drained = 0;
+  bool settle = false;
+  if (shard_count() > 1) settle = DrainMailboxes(&drained);
+  if (membership_hook_ != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    membership_hook_(barrier_now_);
+    membership_apply_ns_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    // Epoch application may post fresh cross-shard messages (a departing
+    // provider's borrowed-query outcomes routed home); they need one more
+    // drain before the horizon traffic is quiescent.
+    if (shard_count() > 1 && MailboxesNonEmpty()) settle = true;
+  }
+  if (run_hooks) {
+    for (const auto& hook : hooks_) hook(barrier_now_);
+    AdaptBarrierTick(drained);
+  }
+  return settle;
+}
+
 void ShardSet::RunUntil(Time t) {
-  // Single shard: no cross-shard senders exist, so barrier windows would
-  // only add hook bookkeeping. Run the window loop anyway (hooks drive
-  // metrics sampling), but skip the mailbox scan.
   bool settle = false;
   while (barrier_now_ < t) {
-    const Time window_end =
-        std::min(t, barrier_now_ + config_.shard_barrier_tick);
+    const Time window_end = std::min(t, barrier_now_ + barrier_tick_);
     RunWindow(window_end);
     barrier_now_ = window_end;
     ++barriers_;
-    if (shard_count() > 1) settle = DrainMailboxes();
-    for (const auto& hook : hooks_) hook(barrier_now_);
+    settle = BarrierPhase(/*run_hooks=*/true);
   }
   // Settlement: messages drained at the final barrier were clamped to
   // exactly t, where the loop above would leave them scheduled but
@@ -180,11 +232,14 @@ void ShardSet::RunUntil(Time t) {
   // quiesces, so RunUntil(t) — like Scheduler::RunUntil — leaves no
   // event with timestamp <= t unrun (e.g. a borrowed query's outcome
   // finalized in the last drain window still reaches its home shard's
-  // accounting). Terminates because cross-shard chains are finite
-  // (delegation is one hop; network hops have positive latency).
+  // accounting). The membership phase keeps running here (without the
+  // regular hooks) so ops queued by horizon events are applied and their
+  // follow-up messages drained. Terminates because cross-shard chains are
+  // finite (delegation is one hop; network hops have positive latency;
+  // membership application only posts finite outcome chains).
   while (settle) {
     RunWindow(barrier_now_);
-    settle = DrainMailboxes();
+    settle = BarrierPhase(/*run_hooks=*/false);
   }
 }
 

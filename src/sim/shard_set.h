@@ -70,10 +70,31 @@ class ShardSet {
   void PostTo(uint32_t src, uint32_t dst, Time deliver_at, EventFn fn);
 
   /// Registers a hook run by the driver thread at every barrier (all
-  /// workers parked, mailboxes already drained). Hooks run in registration
-  /// order and may safely read any shard's state — this is where the
-  /// cross-shard candidate directory refresh and metrics sampling live.
+  /// workers parked, mailboxes already drained and the membership phase
+  /// complete). Hooks run in registration order and may safely read any
+  /// shard's state — this is where the cross-shard candidate directory
+  /// refresh and metrics sampling live.
   void AddBarrierHook(std::function<void(Time)> hook);
+
+  /// Installs the MEMBERSHIP PHASE of the barrier sequence (at most one):
+  /// drain mailboxes -> apply membership log -> refresh directory (a
+  /// regular hook) -> resume. The hook runs on the driver thread with all
+  /// workers parked, at every barrier AND during final-horizon settlement
+  /// windows, so membership ops queued in the last window are still
+  /// applied and any cross-shard messages the application posts (e.g. a
+  /// departing provider's borrowed-query outcomes routed home) are drained
+  /// before RunUntil returns. Typically wraps Registry::AdvanceEpoch.
+  void SetMembershipHook(std::function<void(Time)> hook);
+
+  /// Driver wall-clock seconds spent inside the membership hook (the
+  /// epoch-apply cost; feeds the bench regression gate).
+  double membership_apply_seconds() const {
+    return static_cast<double>(membership_apply_ns_) * 1e-9;
+  }
+
+  /// Current barrier window width: shard_barrier_tick unless
+  /// adaptive_barrier shrank/regrew it (see SimulationConfig).
+  Time current_barrier_tick() const { return barrier_tick_; }
 
   /// Advances every shard to `t` through barrier windows. Runs hooks at
   /// every barrier, including the final one at `t`. Like
@@ -104,15 +125,30 @@ class ShardSet {
   void RunWindow(Time target);
   /// Returns true when a drained message was due at the current barrier
   /// (delivery clamped to now) — the signal for RunUntil's settlement.
-  bool DrainMailboxes();
+  /// *drained counts the messages moved onto destination schedulers.
+  bool DrainMailboxes(uint64_t* drained);
+  /// One barrier: drain, membership phase, then (when `run_hooks`) the
+  /// regular hooks and the adaptive-tick update. Returns whether another
+  /// settlement window is needed — a drained message was due now, or the
+  /// membership phase posted fresh cross-shard messages.
+  bool BarrierPhase(bool run_hooks);
+  /// Whether any (src, dst) outbox still holds messages.
+  bool MailboxesNonEmpty() const;
+  /// Adjusts barrier_tick_ from this barrier's drained-message count
+  /// (no-op unless config_.adaptive_barrier).
+  void AdaptBarrierTick(uint64_t drained);
   void WorkerLoop(uint32_t s);
 
   SimulationConfig config_;
   std::vector<std::unique_ptr<Simulation>> shards_;
   std::vector<Outbox> out_;
   std::vector<std::function<void(Time)>> hooks_;
+  std::function<void(Time)> membership_hook_;
   Time barrier_now_ = 0;
+  /// Live window width (== config_.shard_barrier_tick unless adapted).
+  Time barrier_tick_ = 0;
   uint64_t barriers_ = 0;
+  uint64_t membership_apply_ns_ = 0;
 
   // Worker-thread parking (threaded mode only). The mutex guards only the
   // window hand-off words below, never simulation state.

@@ -41,6 +41,15 @@ struct SimulationConfig {
   /// runs shards sequentially in shard order; both modes produce identical
   /// traces (shards only interact at barriers).
   bool shard_use_threads = true;
+  /// Auto-tune the barrier window from observed cross-shard mailbox
+  /// traffic (off by default): the driver halves the window when a barrier
+  /// drains more than one message per shard (high delegation rate — the
+  /// extra hop latency the window adds starts to matter) and doubles it
+  /// back toward shard_barrier_tick when the mailboxes stay idle (fewer
+  /// synchronizations for free). The adapted window never drops below
+  /// shard_barrier_tick / 64. Deterministic: the tick sequence depends
+  /// only on drained message counts, which are themselves deterministic.
+  bool adaptive_barrier = false;
 };
 
 /// Owns the event scheduler, the network and the root RNG.

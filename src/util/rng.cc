@@ -20,6 +20,10 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitMix64Avalanche(uint64_t x) {
+  return SplitMix64(&x);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(&sm);

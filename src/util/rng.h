@@ -132,6 +132,12 @@ class Rng {
   bool has_spare_ = false;
 };
 
+/// One SplitMix64 step over `x` (golden-ratio increment + avalanche) —
+/// the same mixer Rng seeding and StreamSeed build on, exported for the
+/// deterministic id hashes in the codebase (e.g. the elastic-membership
+/// owner-shard assignment) so the magic constants live in one place.
+uint64_t SplitMix64Avalanche(uint64_t x);
+
 }  // namespace sbqa::util
 
 #endif  // SBQA_UTIL_RNG_H_

@@ -6,6 +6,14 @@
 /// and offline periods (the BOINC reality — hosts are switched off, used
 /// interactively, lose connectivity). Churn is orthogonal to departure by
 /// dissatisfaction: a churned host comes back, a departed one does not.
+///
+/// Sharded mode: a churn process lives on its provider's owning shard and
+/// its toggles go through Mediator::SetProviderAvailability, which defers
+/// them to the registry's membership log — the availability change takes
+/// effect at the next epoch barrier instead of mid-window (see
+/// core/registry.h). Toggle *times* are still drawn mid-window from the
+/// process's own per-shard RNG stream, so the op sequence is
+/// bit-reproducible per (seed, shard_count).
 
 #include <memory>
 #include <vector>

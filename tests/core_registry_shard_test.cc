@@ -1,8 +1,12 @@
 // Tests for the partitioned registry (per-shard candidate-index views,
-// contiguous provider blocks, per-shard consumer counters) and for the
-// barrier-refreshed cross-shard candidate directory.
+// contiguous provider blocks, per-shard consumer counters), the
+// epoch-based membership mutation log (fixed apply order, deterministic
+// join owner-shard hash, in-place partition growth) and the
+// barrier-refreshed cross-shard candidate directory with its load-aware
+// donor selection.
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -147,7 +151,7 @@ TEST(ShardDirectoryTest, CountsFollowPartitions) {
   EXPECT_EQ(directory.CountFor(2, 7), 3u);  // unknown class: generalists
 }
 
-TEST(ShardDirectoryTest, FindShardWithScansFixedWrapOrder) {
+TEST(ShardDirectoryTest, FindShardWithPicksLeastLoadedDonor) {
   Registry registry;
   Populate(&registry, 8, 2);
   registry.SetShardCount(4);
@@ -155,16 +159,214 @@ TEST(ShardDirectoryTest, FindShardWithScansFixedWrapOrder) {
   for (model::ProviderId p = 2; p < 6; ++p) {
     registry.provider(p).RestrictClasses({model::QueryClassId{0}});
   }
+  // Consumers round-robin: c0 on shard 0, c1 on shard 1; shards 2 and 3
+  // carry no consumer load.
   ShardDirectory directory;
   directory.Refresh(registry);
 
-  // From shard 1, the first peer with class-5 candidates (wrap order
-  // 2 -> 3) is shard 3.
+  // Class-5 candidates live on shards 0 (load 1 consumer / 2 candidates)
+  // and 3 (load 0 / 2): the least-loaded donor is shard 3 from anywhere.
   EXPECT_EQ(directory.FindShardWith(5, 1), 3u);
-  // From shard 3 the next is shard 0.
+  // From shard 3 itself the only remaining donor is shard 0.
   EXPECT_EQ(directory.FindShardWith(5, 3), 0u);
-  // Class 0 is everywhere; from shard 0 the next shard is 1.
+  // Class 0 is everywhere with 2 candidates per shard; loads are
+  // {1, 1, 0, 0} consumers. From shard 0 the least-loaded donors are
+  // shards 2 and 3 (tied at 0): the tie-break is the first in wrap order,
+  // shard 2.
+  EXPECT_EQ(directory.FindShardWith(0, 0), 2u);
+  // Same tie from shard 2's perspective: wrap order 3 -> 0 -> 1 makes
+  // shard 3 the deterministic winner.
+  EXPECT_EQ(directory.FindShardWith(0, 2), 3u);
+
+  // Retire c1: shard 1 drops to load 0 and the three-way tie goes to the
+  // first shard in wrap order from the origin — shard 1.
+  registry.consumer(1).set_active(false);
+  directory.Refresh(registry);
   EXPECT_EQ(directory.FindShardWith(0, 0), 1u);
+}
+
+TEST(ShardDirectoryTest, LoadAwareSelectionPrefersFewerConsumersPerCandidate) {
+  Registry registry;
+  Populate(&registry, 9, 6);
+  registry.SetShardCount(3);
+  // Shard 2 loses two of its three providers: 6 consumers round-robin ->
+  // 2 per shard; loads are shard 0: 2/3, shard 1: 2/3, shard 2: 2/1.
+  registry.provider(7).set_alive(false);
+  registry.provider(8).set_alive(false);
+  ShardDirectory directory;
+  directory.Refresh(registry);
+
+  // From shard 2, both peers tie at 2 consumers / 3 candidates: wrap
+  // order picks shard 0.
+  EXPECT_EQ(directory.FindShardWith(0, 2), 0u);
+  // From shard 0, shard 1 (2/3) beats shard 2 (2/1).
+  EXPECT_EQ(directory.FindShardWith(0, 0), 1u);
+  // Cross-multiplied comparison, not integer division: shard 1 with 2/3
+  // load must also beat a later shard at 1/1 (1*3 > 2*1).
+  registry.consumer(2).set_active(false);  // shard 2 -> 1 consumer
+  directory.Refresh(registry);
+  EXPECT_EQ(directory.ConsumersOn(2), 1u);
+  EXPECT_EQ(directory.FindShardWith(0, 0), 1u);
+}
+
+/// Records the order AdvanceEpoch applies ops in.
+class RecordingApplier : public MembershipApplier {
+ public:
+  explicit RecordingApplier(Registry* registry) : registry_(registry) {}
+
+  void ApplyAvailability(model::ProviderId provider, bool available) override {
+    log_.push_back(std::string("avail:") + std::to_string(provider) +
+                   (available ? ":on" : ":off"));
+    registry_->provider(provider).set_alive(available);
+  }
+  void ApplyDeparture(model::ProviderId provider) override {
+    log_.push_back("depart:" + std::to_string(provider));
+    if (!registry_->provider(provider).departed()) {
+      registry_->provider(provider).MarkDeparted();
+    }
+  }
+  void OnProviderJoined(model::ProviderId provider) override {
+    log_.push_back("join:" + std::to_string(provider));
+  }
+
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  Registry* registry_;
+  std::vector<std::string> log_;
+};
+
+TEST(RegistryMembershipTest, AdvanceEpochAppliesInKindShardFifoOrder) {
+  Registry registry;
+  Populate(&registry, 8, 2);
+  registry.SetShardCount(2);
+  RecordingApplier applier(&registry);
+
+  // Interleave kinds and source shards; the application order must come
+  // out kind-major (availability, departures, joins), shard-minor, FIFO
+  // within a (kind, shard) slice — regardless of enqueue interleaving.
+  registry.QueueDeparture(1, 6);
+  registry.QueueAvailabilityChange(1, 5, false);
+  registry.QueueJoin(0, [](Registry* r) {
+    return r->AddProvider(ProviderParams{});
+  });
+  registry.QueueAvailabilityChange(0, 1, false);
+  registry.QueueAvailabilityChange(0, 2, false);
+  registry.QueueDeparture(0, 3);
+  EXPECT_TRUE(registry.HasPendingMembershipOps());
+  EXPECT_EQ(registry.membership_epoch(), 0u);
+
+  registry.AdvanceEpoch(&applier);
+  EXPECT_FALSE(registry.HasPendingMembershipOps());
+  EXPECT_EQ(registry.membership_epoch(), 1u);
+  EXPECT_EQ(registry.membership_ops_applied(), 6u);
+  const std::vector<std::string> expected = {
+      "avail:1:off", "avail:2:off", "avail:5:off",
+      "depart:3",    "depart:6",    "join:8",
+  };
+  EXPECT_EQ(applier.log(), expected);
+
+  // The joined provider grew the registry and its owner partition in
+  // place; the owner shard is the deterministic id hash.
+  EXPECT_EQ(registry.provider_count(), 9u);
+  EXPECT_EQ(registry.ProviderShard(8), registry.JoinOwnerShard(8));
+  size_t partition_alive = 0;
+  for (uint32_t s = 0; s < 2; ++s) {
+    partition_alive += registry.shard_index(s).alive_count();
+  }
+  // Three offline + two departed out of the original 8, one alive join in.
+  EXPECT_EQ(partition_alive, 4u);
+
+  // An empty log is a no-op epoch: the counter must not advance.
+  registry.AdvanceEpoch(&applier);
+  EXPECT_EQ(registry.membership_epoch(), 1u);
+}
+
+TEST(RegistryMembershipTest, JoinOwnerShardIsStableAndCoversAllShards) {
+  Registry registry;
+  Populate(&registry, 8, 1);
+  registry.SetShardCount(4);
+  // Deterministic: same id, same shard, every time.
+  for (model::ProviderId id = 8; id < 40; ++id) {
+    EXPECT_EQ(registry.JoinOwnerShard(id), registry.JoinOwnerShard(id));
+    EXPECT_LT(registry.JoinOwnerShard(id), 4u);
+  }
+  // And reasonably spread: over 64 future ids every shard owns some.
+  std::vector<size_t> owned(4, 0);
+  for (model::ProviderId id = 8; id < 72; ++id) {
+    ++owned[registry.JoinOwnerShard(id)];
+  }
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_GT(owned[s], 0u) << "shard " << s << " owns no joined provider";
+  }
+
+  // AddProvider after SetShardCount routes the newcomer to its hashed
+  // owner partition.
+  const model::ProviderId id = registry.AddProvider(ProviderParams{});
+  EXPECT_EQ(registry.ProviderShard(id), registry.JoinOwnerShard(id));
+  EXPECT_TRUE(
+      registry.shard_index(registry.ProviderShard(id)).ContainsFor(0, id));
+}
+
+TEST(RegistryMembershipTest, OpsQueuedDuringApplyLandInNextEpoch) {
+  Registry registry;
+  Populate(&registry, 4, 1);
+  registry.SetShardCount(2);
+
+  // An applier that reacts to a join by queueing a follow-up availability
+  // change (the "joined volunteer starts offline" pattern).
+  class ChainingApplier : public RecordingApplier {
+   public:
+    ChainingApplier(Registry* registry) : RecordingApplier(registry),
+                                          registry_(registry) {}
+    void OnProviderJoined(model::ProviderId provider) override {
+      RecordingApplier::OnProviderJoined(provider);
+      registry_->QueueAvailabilityChange(registry_->ProviderShard(provider),
+                                         provider, false);
+    }
+   private:
+    Registry* registry_;
+  };
+
+  ChainingApplier applier(&registry);
+  registry.QueueJoin(0, [](Registry* r) {
+    return r->AddProvider(ProviderParams{});
+  });
+  registry.AdvanceEpoch(&applier);
+  EXPECT_EQ(registry.membership_epoch(), 1u);
+  // The follow-up op was NOT applied in the same epoch...
+  EXPECT_TRUE(registry.HasPendingMembershipOps());
+  EXPECT_TRUE(registry.provider(4).alive());
+  // ...but lands in the next one.
+  registry.AdvanceEpoch(&applier);
+  EXPECT_EQ(registry.membership_epoch(), 2u);
+  EXPECT_FALSE(registry.provider(4).alive());
+}
+
+TEST(ShardDirectoryTest, RefreshIfChangedSnapshotsMembershipEpoch) {
+  Registry registry;
+  Populate(&registry, 6, 2);
+  registry.SetShardCount(2);
+  RecordingApplier applier(&registry);
+  ShardDirectory directory;
+
+  EXPECT_TRUE(directory.RefreshIfChanged(registry));  // first snapshot
+  EXPECT_EQ(directory.epoch(), 0u);
+  // Nothing changed: the refresh is skipped.
+  EXPECT_FALSE(directory.RefreshIfChanged(registry));
+
+  // An applied epoch invalidates the snapshot.
+  registry.QueueAvailabilityChange(0, 1, false);
+  registry.AdvanceEpoch(&applier);
+  EXPECT_TRUE(directory.RefreshIfChanged(registry));
+  EXPECT_EQ(directory.epoch(), 1u);
+  EXPECT_EQ(directory.CountFor(0, 0), 2u);
+
+  // So does a consumer-side load change (retirements are not epoch ops).
+  registry.consumer(0).set_active(false);
+  EXPECT_TRUE(directory.RefreshIfChanged(registry));
+  EXPECT_EQ(directory.ConsumersOn(0), 0u);
+  EXPECT_FALSE(directory.RefreshIfChanged(registry));
 }
 
 TEST(ShardDirectoryTest, RefreshTracksChurn) {

@@ -2,8 +2,10 @@
 // mailbox: window/barrier mechanics, fixed drain order, delivery-time
 // clamping, threaded-vs-serial equivalence and the 1-shard passthrough.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -121,6 +123,131 @@ TEST(ShardSetTest, BarrierHooksRunAtEveryBarrier) {
   shards.RunUntil(0.05);
   ASSERT_EQ(hook_times.size(), shards.barriers());
   EXPECT_DOUBLE_EQ(hook_times.back(), 0.05);
+}
+
+TEST(ShardSetTest, MembershipPhaseRunsAfterDrainBeforeHooks) {
+  ShardSet shards(ShardConfig(2, /*threads=*/false, /*tick=*/0.01));
+  std::vector<std::string> order;
+  shards.shard(0).scheduler().Schedule(0.001, [&] {
+    shards.PostTo(0, 1, 0.001, [&] { order.push_back("message"); });
+  });
+  shards.SetMembershipHook([&](double) { order.push_back("membership"); });
+  shards.AddBarrierHook([&](double) { order.push_back("hook"); });
+  shards.RunUntil(0.01);
+  // At the first (and only) barrier: membership before hook, both after
+  // the mailbox drain; the clamped message itself settles before
+  // RunUntil returns.
+  ASSERT_GE(order.size(), 3u);
+  EXPECT_NE(std::find(order.begin(), order.end(), std::string("message")),
+            order.end());
+  const auto membership_at =
+      std::find(order.begin(), order.end(), std::string("membership"));
+  const auto hook_at = std::find(order.begin(), order.end(),
+                                 std::string("hook"));
+  ASSERT_NE(membership_at, order.end());
+  ASSERT_NE(hook_at, order.end());
+  EXPECT_LT(membership_at - order.begin(), hook_at - order.begin());
+}
+
+TEST(ShardSetTest, MembershipPhaseMessagesSettleAtTheHorizon) {
+  // A membership application at the FINAL barrier may post cross-shard
+  // messages (a departing provider's borrowed-query outcome routed home);
+  // they must still be drained and executed before RunUntil returns.
+  ShardSet shards(ShardConfig(2, /*threads=*/false, /*tick=*/0.01));
+  bool posted = false;
+  bool delivered = false;
+  shards.SetMembershipHook([&](double now) {
+    if (!posted && now >= 0.02) {  // the final barrier of RunUntil(0.02)
+      posted = true;
+      shards.PostTo(0, 1, now, [&] { delivered = true; });
+    }
+  });
+  shards.RunUntil(0.02);
+  EXPECT_TRUE(posted);
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(shards.now(), 0.02);
+}
+
+TEST(ShardSetTest, AdaptiveBarrierTickShrinksUnderTrafficAndRecovers) {
+  SimulationConfig config = ShardConfig(2, /*threads=*/false, /*tick=*/0.01);
+  config.adaptive_barrier = true;
+  ShardSet shards(config);
+  EXPECT_DOUBLE_EQ(shards.current_barrier_tick(), 0.01);
+
+  // Phase 1 — heavy cross-shard traffic: every window posts more than one
+  // message per shard, so each barrier halves the window (down to the
+  // 1/64 floor).
+  struct Chatter {
+    ShardSet* shards;
+    void Tick(double until) {
+      for (int i = 0; i < 4; ++i) {
+        shards->PostTo(0, 1, shards->shard(0).now(), [] {});
+      }
+      if (shards->shard(0).now() < until) {
+        shards->shard(0).scheduler().Schedule(0.0001,
+                                              [this, until] { Tick(until); });
+      }
+    }
+  };
+  Chatter chatter{&shards};
+  shards.shard(0).scheduler().Schedule(0.0001,
+                                       [&chatter] { chatter.Tick(0.1); });
+  shards.RunUntil(0.1);
+  EXPECT_LT(shards.current_barrier_tick(), 0.01);
+  EXPECT_GE(shards.current_barrier_tick(), 0.01 / 64.0 - 1e-12);
+
+  // Phase 2 — idle mailboxes: the window doubles back to the configured
+  // maximum and stays there.
+  shards.RunUntil(0.5);
+  EXPECT_DOUBLE_EQ(shards.current_barrier_tick(), 0.01);
+}
+
+TEST(ShardSetTest, AdaptiveBarrierStaysDeterministic) {
+  // Same workload, adaptive on, threaded vs serial: identical traces and
+  // identical adapted tick (the tick depends only on deterministic
+  // drained-message counts).
+  auto run = [](bool threads) {
+    SimulationConfig config = ShardConfig(4, threads, /*tick=*/0.01);
+    config.adaptive_barrier = true;
+    ShardSet shards(config);
+    // Per-target hash slots (single writer each), like the ping workload.
+    std::vector<uint64_t> hashes(4, 0);
+    struct Pinger {
+      ShardSet* shards;
+      std::vector<uint64_t>* hashes;
+      uint32_t shard;
+      void Tick() {
+        Simulation& sim = shards->shard(shard);
+        const uint64_t draw = sim.rng()();
+        const uint32_t target = (shard + 1) % shards->shard_count();
+        auto* h = hashes;
+        shards->PostTo(shard, target, sim.now() + 0.002,
+                       [h, target, draw] {
+                         (*h)[target] = (*h)[target] * 1099511628211ull ^ draw;
+                       });
+        if (sim.now() < 0.2) {
+          sim.scheduler().Schedule(0.003, [this] { Tick(); });
+        }
+      }
+    };
+    std::vector<Pinger> pingers;
+    for (uint32_t s = 0; s < 4; ++s) {
+      pingers.push_back(Pinger{&shards, &hashes, s});
+    }
+    for (uint32_t s = 0; s < 4; ++s) {
+      shards.shard(s).scheduler().Schedule(
+          0.001, [&pingers, s] { pingers[s].Tick(); });
+    }
+    shards.RunUntil(0.4);
+    uint64_t combined = 0;
+    for (uint64_t h : hashes) combined = combined * 1099511628211ull ^ h;
+    return std::pair<uint64_t, double>(combined,
+                                       shards.current_barrier_tick());
+  };
+  const auto serial = run(false);
+  const auto threaded = run(true);
+  EXPECT_EQ(serial.first, threaded.first);
+  EXPECT_DOUBLE_EQ(serial.second, threaded.second);
 }
 
 TEST(ShardSetTest, SingleShardMatchesStandaloneSimulation) {
