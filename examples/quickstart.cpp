@@ -1,15 +1,15 @@
 /// \file
-/// Quickstart: wire the SbQA stack by hand — simulation, registry,
-/// mediator — submit queries, and inspect satisfaction. This walks exactly
-/// the architecture of paper Fig. 1 (consumer -> mediator -> KnBest ->
-/// SQLB scoring -> providers) without the experiment harness.
+/// Quickstart: the SbQA stack through its public facade — build a
+/// population on sbqa::Engine, submit queries, inspect satisfaction. This
+/// walks exactly the architecture of paper Fig. 1 (consumer -> mediator ->
+/// KnBest -> SQLB scoring -> providers) without touching the wiring
+/// (registry, reputation, mediator) or the simulation internals; flipping
+/// EngineOptions::mode to kWallClock serves the same pipeline live (see
+/// examples/sbqa_serve.cpp).
 
 #include <cstdio>
 
-#include "core/mediator.h"
-#include "core/sbqa.h"
-#include "model/reputation.h"
-#include "sim/simulation.h"
+#include "sbqa.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -19,83 +19,82 @@ int main() {
   std::printf("SbQA quickstart: one consumer, eight providers, 200 queries\n");
   std::printf("============================================================\n\n");
 
-  // 1. The simulation substrate (event scheduler + latency-modelled
-  //    network). Everything is deterministic under the seed.
-  sim::SimulationConfig sim_config;
-  sim_config.seed = 7;
-  sim::Simulation simulation(sim_config);
+  // 1. The engine in simulated mode: virtual time, latency-modelled
+  //    message hops, fully deterministic under the seed.
+  EngineOptions options;
+  options.mode = EngineMode::kSimulated;
+  options.seed = 7;
+  options.method = "sbqa";
+  Engine engine(std::move(options));
 
   // 2. Participants. One consumer that loves even-numbered providers and
   //    dislikes odd ones; eight providers with mixed feelings about it.
-  core::Registry registry;
+  ConsumerOptions consumer_options;
+  consumer_options.memory_k = 50;
+  consumer_options.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+  consumer_options.n_results = 2;  // two replicas per query
+  consumer_options.label = "demo-consumer";
+  const model::ConsumerId consumer = engine.AddConsumer(consumer_options);
 
-  core::ConsumerParams consumer_params;
-  consumer_params.memory_k = 50;
-  consumer_params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
-  consumer_params.n_results = 2;  // two replicas per query
-  consumer_params.label = "demo-consumer";
-  const model::ConsumerId consumer = registry.AddConsumer(consumer_params);
-
+  double consumer_preference[8];
+  double provider_preference[8];
   for (int i = 0; i < 8; ++i) {
-    core::ProviderParams provider_params;
-    provider_params.capacity = 1.0 + 0.25 * i;  // heterogeneous speeds
-    provider_params.memory_k = 50;
-    provider_params.policy_kind =
+    ProviderOptions provider_options;
+    provider_options.capacity = 1.0 + 0.25 * i;  // heterogeneous speeds
+    provider_options.memory_k = 50;
+    provider_options.policy_kind =
         model::ProviderPolicyKind::kUtilizationTrading;
-    provider_params.psi = 0.8;
-    provider_params.label = util::StrFormat("provider-%d", i);
-    const model::ProviderId p = registry.AddProvider(provider_params);
+    provider_options.psi = 0.8;
+    provider_options.label = util::StrFormat("provider-%d", i);
+    const model::ProviderId p = engine.AddProvider(provider_options);
     // The consumer's preferences: +0.8 for even providers, -0.5 for odd.
-    registry.consumer(consumer).preferences().Set(p, i % 2 == 0 ? 0.8 : -0.5);
+    consumer_preference[i] = i % 2 == 0 ? 0.8 : -0.5;
+    engine.SetConsumerPreference(consumer, p, consumer_preference[i]);
     // The provider's preference for this consumer: providers 0-3 like it,
     // 4-7 are lukewarm-to-negative.
-    registry.provider(p).preferences().Set(consumer, i < 4 ? 0.7 : -0.2);
+    provider_preference[i] = i < 4 ? 0.7 : -0.2;
+    engine.SetProviderPreference(p, consumer, provider_preference[i]);
   }
 
-  // 3. Reputation registry (fed by result validation; everyone starts at
-  //    the 0.5 prior) and the mediator running the SbQA method.
-  model::ReputationRegistry reputation(registry.provider_count());
-
-  core::SbqaParams sbqa_params;
-  sbqa_params.knbest = core::KnBestParams{6, 4};  // k=6 random, kn=4 best
-  sbqa_params.omega_mode = core::OmegaMode::kAdaptive;
-  core::Mediator mediator(&simulation, &registry, &reputation,
-                          std::make_unique<core::SbqaMethod>(sbqa_params));
-
-  // 4. Submit 200 queries, one every 0.5 simulated seconds.
+  // 3. Start (wires reputation + the SbQA mediator) and submit 200
+  //    queries, one every 0.5 simulated seconds. Outcomes arrive through
+  //    the per-query callback.
+  engine.Start();
+  int64_t fully_served = 0;
   for (int i = 0; i < 200; ++i) {
-    simulation.scheduler().ScheduleAt(0.5 * i, [&mediator, consumer, i] {
-      model::Query query;
-      query.id = i + 1;
-      query.consumer = consumer;
-      query.n_results = 2;
-      query.cost = 2.0;  // seconds of work on a capacity-1 provider
-      mediator.SubmitQuery(query);
+    QueryRequest request;
+    request.consumer = consumer;
+    request.n_results = 2;
+    request.cost = 2.0;  // seconds of work on a capacity-1 provider
+    engine.Submit(request, [&fully_served](const QueryResult& result) {
+      if (result.results_received >= result.results_required) ++fully_served;
     });
+    engine.RunFor(0.5);
   }
-  simulation.RunUntil(150.0);
+  engine.WaitIdle(60.0);
 
-  // 5. Inspect the outcome: long-run satisfactions (Definitions 1 and 2).
-  const core::MediatorStats& stats = mediator.stats();
-  std::printf("queries finalized : %lld\n",
-              static_cast<long long>(stats.queries_finalized));
-  std::printf("mean response time: %.3f s\n", stats.response_time.mean());
+  // 4. Inspect the outcome: long-run satisfactions (Definitions 1 and 2).
+  const EngineStats stats = engine.Stats();
+  const EngineSnapshot snapshot = engine.Snapshot();
+  std::printf("queries finalized : %lld (%lld fully served)\n",
+              static_cast<long long>(stats.queries_finalized),
+              static_cast<long long>(fully_served));
+  std::printf("mean response time: %.3f s\n", stats.mean_response_time);
   std::printf("consumer satisfaction (Def. 1): %.3f\n\n",
-              registry.consumer(consumer).satisfaction());
+              snapshot.consumers[0].satisfaction);
 
   util::TextTable table;
   table.SetHeader({"provider", "cons.pref", "prov.pref", "satisfaction",
                    "adequation", "performed", "busy(s)"});
-  for (const core::Provider& p : registry.providers()) {
-    table.AddRow({p.params().label,
-                  util::FormatDouble(
-                      registry.consumer(consumer).preferences().Get(p.id()), 2),
-                  util::FormatDouble(p.preferences().Get(consumer), 2),
-                  util::FormatDouble(p.satisfaction(), 3),
-                  util::FormatDouble(p.satisfaction_tracker().adequation(), 3),
+  for (size_t i = 0; i < snapshot.providers.size(); ++i) {
+    const ProviderSnapshot& p = snapshot.providers[i];
+    table.AddRow({p.label, util::FormatDouble(consumer_preference[i], 2),
+                  util::FormatDouble(provider_preference[i], 2),
+                  util::FormatDouble(p.satisfaction, 3),
+                  util::FormatDouble(p.adequation, 3),
                   util::StrFormat("%lld", static_cast<long long>(
-                                              p.instances_performed())),
-                  util::FormatDouble(p.busy_seconds(), 1)});
+                                              p.instances_performed)),
+                  util::FormatDouble(p.busy_seconds, 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
 

@@ -8,11 +8,14 @@
 ///            [--volunteers=N] [--duration=S] [--seed=N]
 ///            [--env=captive|autonomous] [--mediators=N] [--shards=N]
 ///            [--k=N] [--kn=N] [--omega=adaptive|0..1]
-///            [--churn] [--joins] [--charts]
+///            [--churn] [--joins] [--charts] [--json] [--list-methods]
 ///
 /// Defaults reproduce Scenario 3/4 at the paper scale. --shards=N runs
 /// the multi-core sharded engine (one scheduler/mediator per shard,
 /// epoch-applied membership); every other flag composes with it.
+/// --list-methods prints the allocation-technique registry and exits;
+/// --json replaces the tables with a machine-readable run summary on
+/// stdout (comparison pipelines diff/plot it directly).
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,7 @@ struct Flags {
   bool churn = false;
   bool joins = false;
   bool charts = false;
+  bool json = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -62,35 +66,41 @@ int Usage() {
       "                [--env=captive|autonomous] [--mediators=N]\n"
       "                [--shards=N]\n"
       "                [--k=N] [--kn=N] [--omega=adaptive|0..1]\n"
-      "                [--churn] [--joins] [--charts]\n");
+      "                [--churn] [--joins] [--charts] [--json]\n"
+      "                [--list-methods]\n");
   return 2;
 }
 
+int ListMethods() {
+  std::printf("allocation methods (--method=NAME):\n");
+  for (const experiments::MethodDescription& method :
+       experiments::KnownMethods()) {
+    std::printf("  %-10s %s\n", method.name, method.summary);
+  }
+  return 0;
+}
+
 experiments::MethodSpec MakeSpec(const Flags& flags) {
+  experiments::MethodSpec spec;
+  if (!experiments::MethodSpecFromName(flags.method, &spec)) {
+    std::fprintf(stderr, "unknown method: %s (try --list-methods)\n",
+                 flags.method.c_str());
+    std::exit(2);
+  }
+  // Apply the tuning flags where the technique takes them.
   core::SbqaParams sbqa_params = experiments::DefaultSbqaParams();
   sbqa_params.knbest = core::KnBestParams{flags.k, flags.kn};
   if (flags.omega != "adaptive") {
     sbqa_params.omega_mode = core::OmegaMode::kFixed;
     sbqa_params.fixed_omega = std::atof(flags.omega.c_str());
   }
-  if (flags.method == "sbqa") return experiments::MethodSpec::Sbqa(sbqa_params);
-  if (flags.method == "sqlb") return experiments::MethodSpec::Sqlb();
-  if (flags.method == "knbest") {
-    return experiments::MethodSpec::KnBest(core::KnBestParams{flags.k,
+  if (flags.method == "sbqa") {
+    spec = experiments::MethodSpec::Sbqa(sbqa_params);
+  } else if (flags.method == "knbest") {
+    spec = experiments::MethodSpec::KnBest(core::KnBestParams{flags.k,
                                                               flags.kn});
   }
-  if (flags.method == "capacity") return experiments::MethodSpec::Capacity();
-  if (flags.method == "qlb") return experiments::MethodSpec::Qlb();
-  if (flags.method == "economic") return experiments::MethodSpec::Economic();
-  if (flags.method == "interest") {
-    return experiments::MethodSpec::InterestOnly();
-  }
-  if (flags.method == "random") return experiments::MethodSpec::Random();
-  if (flags.method == "roundrobin") {
-    return experiments::MethodSpec::RoundRobin();
-  }
-  std::fprintf(stderr, "unknown method: %s\n", flags.method.c_str());
-  std::exit(2);
+  return spec;
 }
 
 }  // namespace
@@ -125,6 +135,10 @@ int main(int argc, char** argv) {
       flags.joins = true;
     } else if (std::strcmp(argv[i], "--charts") == 0) {
       flags.charts = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
+    } else if (std::strcmp(argv[i], "--list-methods") == 0) {
+      return ListMethods();
     } else {
       return Usage();
     }
@@ -159,14 +173,20 @@ int main(int argc, char** argv) {
     config.joins.max_joins = flags.volunteers;
   }
 
-  std::printf("sbqa_cli: %s, %zu volunteers, %.0fs, %s, %zu mediator(s), "
-              "%zu shard(s), seed %llu\n\n",
-              experiments::MethodName(config.method).c_str(),
-              flags.volunteers, flags.duration, flags.env.c_str(),
-              flags.mediators, flags.shards,
-              static_cast<unsigned long long>(flags.seed));
+  if (!flags.json) {
+    std::printf("sbqa_cli: %s, %zu volunteers, %.0fs, %s, %zu mediator(s), "
+                "%zu shard(s), seed %llu\n\n",
+                experiments::MethodName(config.method).c_str(),
+                flags.volunteers, flags.duration, flags.env.c_str(),
+                flags.mediators, flags.shards,
+                static_cast<unsigned long long>(flags.seed));
+  }
 
   const experiments::RunResult result = experiments::RunScenario(config);
+  if (flags.json) {
+    std::printf("%s", experiments::RunSummaryJson(result).c_str());
+    return 0;
+  }
   const std::vector<experiments::RunResult> results{result};
   std::printf("%s\n", experiments::OverviewTable(results).ToString().c_str());
   std::printf("%s\n",

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Header-hygiene gate of the public facade: compiles a translation unit
+# that includes ONLY the umbrella header (src/sbqa.h) and fails if any
+# header under src/sim/ sneaks into its include closure — the public API
+# must stay embeddable without dragging the discrete-event simulation
+# along. Run from the repository root:
+#
+#   sh scripts/check_header_hygiene.sh [CXX]
+
+set -e
+
+CXX="${1:-${CXX:-g++}}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+cat > "$workdir/facade_tu.cc" <<'EOF'
+#include "sbqa.h"
+
+// The facade alone must declare everything an embedder needs.
+int main() {
+  sbqa::EngineOptions options;
+  options.mode = sbqa::EngineMode::kWallClock;
+  options.wallclock.manual_clock = true;
+  sbqa::Engine engine(std::move(options));
+  (void)engine;
+  return 0;
+}
+EOF
+
+# 1. The TU must compile standalone.
+"$CXX" -std=c++20 -Wall -Wextra -Werror -Isrc -c "$workdir/facade_tu.cc" \
+  -o "$workdir/facade_tu.o"
+
+# 2. Its preprocessor dependency closure must not touch src/sim/.
+"$CXX" -std=c++20 -Isrc -M "$workdir/facade_tu.cc" > "$workdir/deps.txt"
+if tr ' \\' '\n\n' < "$workdir/deps.txt" | grep -q 'src/sim/'; then
+  echo "FAIL: src/sbqa.h leaks simulation headers into the public API:" >&2
+  tr ' \\' '\n\n' < "$workdir/deps.txt" | grep 'src/sim/' | sort -u >&2
+  exit 1
+fi
+
+echo "OK: public facade compiles standalone and leaks no sim/ headers"

@@ -5,19 +5,19 @@
 namespace sbqa::boinc {
 
 VolunteerJoinProcess::VolunteerJoinProcess(
-    sim::Simulation* sim, core::Mediator* mediator,
+    rt::Runtime* runtime, core::Mediator* mediator,
     model::ReputationRegistry* reputation, const BoincSpec& spec,
     std::vector<model::ConsumerId> projects,
     const VolunteerJoinParams& params, const workload::ChurnParams& churn)
-    : sim_(sim),
+    : rt_(runtime),
       mediator_(mediator),
       reputation_(reputation),
       spec_(spec),
       projects_(std::move(projects)),
       params_(params),
       churn_(churn),
-      rng_(sim->NewRng()) {
-  SBQA_CHECK(sim_ != nullptr);
+      rng_(runtime->SplitRng()) {
+  SBQA_CHECK(rt_ != nullptr);
   SBQA_CHECK(mediator_ != nullptr);
   SBQA_CHECK(reputation_ != nullptr);
   SBQA_CHECK_GT(params.rate, 0);
@@ -25,9 +25,8 @@ VolunteerJoinProcess::VolunteerJoinProcess(
 
 void VolunteerJoinProcess::Start() {
   if (!params_.enabled) return;
-  if (params_.start_time > sim_->now()) {
-    sim_->scheduler().ScheduleAt(params_.start_time,
-                                 [this] { ScheduleNext(); });
+  if (params_.start_time > rt_->now()) {
+    rt_->ScheduleAt(params_.start_time, [this] { ScheduleNext(); });
   } else {
     ScheduleNext();
   }
@@ -35,8 +34,7 @@ void VolunteerJoinProcess::Start() {
 
 void VolunteerJoinProcess::ScheduleNext() {
   if (static_cast<size_t>(joined_) >= params_.max_joins) return;
-  sim_->scheduler().Schedule(rng_.Exponential(params_.rate),
-                             [this] { Join(); });
+  rt_->Schedule(rng_.Exponential(params_.rate), [this] { Join(); });
 }
 
 void VolunteerJoinProcess::Join() {
@@ -62,7 +60,7 @@ void VolunteerJoinProcess::Join() {
     joined_ids_.push_back(id);
     if (churn_.enabled) {
       churn_processes_.push_back(std::make_unique<workload::ChurnProcess>(
-          sim_, mediator_, id, churn_));
+          rt_, mediator_, id, churn_));
       churn_processes_.back()->Start();
     }
   }

@@ -26,8 +26,12 @@
 #include "boinc/population.h"
 #include "core/mediator.h"
 #include "model/reputation.h"
-#include "sim/simulation.h"
+#include "runtime/runtime.h"
 #include "workload/churn.h"
+
+namespace sbqa::sim {
+class Simulation;
+}  // namespace sbqa::sim
 
 namespace sbqa::boinc {
 
@@ -46,7 +50,16 @@ class VolunteerJoinProcess {
  public:
   /// `spec` describes the volunteers to draw; `projects` are the consumer
   /// ids the newcomers form preferences about. All pointers must outlive
-  /// the process.
+  /// the process. Runs on `runtime`'s executor.
+  VolunteerJoinProcess(rt::Runtime* runtime, core::Mediator* mediator,
+                       model::ReputationRegistry* reputation,
+                       const BoincSpec& spec,
+                       std::vector<model::ConsumerId> projects,
+                       const VolunteerJoinParams& params,
+                       const workload::ChurnParams& churn = {});
+
+  /// Convenience: runs on `sim`'s owned SimRuntime adapter (defined in
+  /// sim/sim_runtime.cc so this layer stays free of sim/ includes).
   VolunteerJoinProcess(sim::Simulation* sim, core::Mediator* mediator,
                        model::ReputationRegistry* reputation,
                        const BoincSpec& spec,
@@ -68,7 +81,7 @@ class VolunteerJoinProcess {
   void ScheduleNext();
   void Join();
 
-  sim::Simulation* sim_;
+  rt::Runtime* rt_;
   core::Mediator* mediator_;
   model::ReputationRegistry* reputation_;
   BoincSpec spec_;

@@ -9,22 +9,22 @@
 
 namespace sbqa::core {
 
-Mediator::Mediator(sim::Simulation* sim, Registry* registry,
+Mediator::Mediator(rt::Runtime* runtime, Registry* registry,
                    model::ReputationRegistry* reputation,
                    std::unique_ptr<AllocationMethod> method,
                    const MediatorConfig& config)
-    : sim_(sim),
+    : rt_(runtime),
       registry_(registry),
       reputation_(reputation),
       method_(std::move(method)),
       config_(config),
-      rng_(sim->NewRng()) {
-  SBQA_CHECK(sim_ != nullptr);
+      rng_(runtime->SplitRng()) {
+  SBQA_CHECK(rt_ != nullptr);
   SBQA_CHECK(registry_ != nullptr);
   SBQA_CHECK(reputation_ != nullptr);
   SBQA_CHECK(method_ != nullptr);
   SBQA_CHECK_GT(config_.query_timeout, 0);
-  inbox_ = sim_->network().RegisterDestination();
+  inbox_ = rt_->RegisterDestination();
   // Size the dense per-provider tables for the population known at
   // construction, so the steady-state path never grows them (providers
   // joining at runtime extend them on first contact).
@@ -77,7 +77,7 @@ void Mediator::ConfigureSharding(sim::ShardSet* shards, uint32_t shard,
 }
 
 void Mediator::ScheduleDepartureSweep() {
-  sim_->scheduler().Schedule(departure_->config().sweep_interval, [this] {
+  rt_->Schedule(departure_->config().sweep_interval, [this] {
     // Sweep everyone this mediator owns: dissatisfaction can build up
     // without mediation events reaching a participant (e.g. a volunteer
     // nobody proposes queries to has Definition-2 satisfaction 0). In
@@ -97,20 +97,20 @@ void Mediator::ScheduleDepartureSweep() {
   });
 }
 
-void Mediator::After(double delay, sim::EventFn fn) {
-  sim_->scheduler().Schedule(delay, std::move(fn));
+void Mediator::After(double delay, rt::TaskFn fn) {
+  rt_->Schedule(delay, std::move(fn));
 }
 
 double Mediator::OneWayLatency() {
   if (!config_.simulate_network) return 0;
-  return sim_->network().SampleLatency();
+  return rt_->SampleLatency();
 }
 
 double Mediator::RoundTripLatency(size_t fanout) {
   if (!config_.simulate_network) return 0;
   double max_latency = 0;
   for (size_t i = 0; i < fanout + 1; ++i) {
-    max_latency = std::max(max_latency, sim_->network().SampleLatency());
+    max_latency = std::max(max_latency, rt_->SampleLatency());
   }
   return 2 * max_latency;
 }
@@ -171,7 +171,7 @@ void Mediator::EnsureProviderTables(model::ProviderId provider) {
     }
   }
   while (provider_dest_.size() < needed) {
-    provider_dest_.push_back(sim_->network().RegisterDestination());
+    provider_dest_.push_back(rt_->RegisterDestination());
   }
 }
 
@@ -197,13 +197,13 @@ void Mediator::UnlinkProviderInflight(model::ProviderId provider,
 // --- Mediation pipeline ------------------------------------------------------
 
 void Mediator::SubmitQuery(model::Query query) {
-  query.issued_at = sim_->now();
+  query.issued_at = rt_->now();
   ++stats_.queries_submitted;
   registry_->consumer(query.consumer).OnQueryIssued();
   // Consumer -> mediator hop (batched into the mediator's inbox when the
   // network runs in batching mode).
   if (config_.simulate_network) {
-    sim_->network().SendTo(inbox_, [this, query] { OnQueryArrival(query); });
+    rt_->SendTo(inbox_, [this, query] { OnQueryArrival(query); });
   } else {
     After(0, [this, query] { OnQueryArrival(query); });
   }
@@ -226,7 +226,7 @@ bool Mediator::TryDelegate(const model::Query& query) {
   ++stats_.queries_delegated;
   Mediator* peer = shard_mediators_[target];
   const uint32_t origin = shard_id_;
-  shard_set_->PostTo(shard_id_, target, sim_->now() + OneWayLatency(),
+  shard_set_->PostTo(shard_id_, target, rt_->now() + OneWayLatency(),
                      sim::EventFn([peer, query, origin] {
                        peer->OnDelegatedQuery(query, origin);
                      }));
@@ -239,18 +239,16 @@ void Mediator::RouteOutcomeHome(uint32_t origin_shard,
   // The outcome is copied into the closure (heap EventFn: it exceeds the
   // inline buffer). Acceptable: the borrow path is the rare fallback, not
   // the steady-state allocation-free path.
-  shard_set_->PostTo(shard_id_, origin_shard, sim_->now() + OneWayLatency(),
+  shard_set_->PostTo(shard_id_, origin_shard, rt_->now() + OneWayLatency(),
                      sim::EventFn([home, copy = outcome]() mutable {
                        home->OnDelegatedOutcome(std::move(copy));
                      }));
 }
 
 void Mediator::OnDelegatedOutcome(QueryOutcome outcome) {
-  // Stamp arrival-side timing: the response time the consumer experienced
-  // includes the two mailbox hops of the borrow round trip.
-  outcome.completed_at = sim_->now();
-  outcome.response_time = sim_->now() - outcome.query.issued_at;
-  RecordConsumerOutcome(&outcome);
+  // Re-stamp arrival-side timing: the response time the consumer
+  // experienced includes the two mailbox hops of the borrow round trip.
+  FinalizeOutcome(shard_id_, &outcome);
 }
 
 void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
@@ -277,7 +275,7 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
   ctx.query = &f.query;
   ctx.candidates = &candidates;
   ctx.mediator = this;
-  ctx.now = sim_->now();
+  ctx.now = rt_->now();
   method_->Allocate(ctx, &f.decision);
   AllocationDecision& decision = f.decision;
 
@@ -302,7 +300,7 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
   }
 
   for (MediationObserver* obs : observers_) {
-    obs->OnMediation(f.query, decision, sim_->now());
+    obs->OnMediation(f.query, decision, rt_->now());
   }
 
   const double extra =
@@ -357,7 +355,7 @@ void Mediator::Dispatch(InflightHandle h) {
     f->instances.push_back(inst);
   }
   f->pending = static_cast<int>(f->instances.size());
-  PushTimeout(sim_->now() + config_.query_timeout, h);
+  PushTimeout(rt_->now() + config_.query_timeout, h);
 
   // Mediator -> provider hops (batched per provider inbox when enabled).
   const double cost = f->query.cost;
@@ -366,7 +364,7 @@ void Mediator::Dispatch(InflightHandle h) {
     EnsureProviderTables(p);
     LinkProviderInflight(p, h);
     if (config_.simulate_network) {
-      sim_->network().SendTo(
+      rt_->SendTo(
           provider_dest_[static_cast<size_t>(p)],
           [this, h, p, cost] { OnInstanceArrival(h, p, cost); });
     } else {
@@ -416,9 +414,9 @@ void Mediator::OnInstanceArrival(InflightHandle h, model::ProviderId provider,
     if (--f->pending == 0) Finalize(h, /*timed_out=*/false);
     return;
   }
-  const double finish_at = p.Enqueue(sim_->now(), cost);
+  const double finish_at = p.Enqueue(rt_->now(), cost);
   const uint64_t epoch = p.queue_epoch();
-  sim_->scheduler().ScheduleAt(finish_at, [this, h, provider, cost, epoch] {
+  rt_->ScheduleAt(finish_at, [this, h, provider, cost, epoch] {
     if (registry_->provider(provider).queue_epoch() != epoch) return;
     OnInstanceProcessed(h, provider, cost);
   });
@@ -435,7 +433,7 @@ void Mediator::OnInstanceProcessed(InflightHandle h,
   reputation_->Record(provider, valid ? 1.0 : 0.0);
   // Provider -> consumer result hop (fans into the mediator inbox).
   if (config_.simulate_network) {
-    sim_->network().SendTo(inbox_, [this, h, provider, valid] {
+    rt_->SendTo(inbox_, [this, h, provider, valid] {
       OnResultReceived(h, provider, valid);
     });
   } else {
@@ -470,12 +468,12 @@ void Mediator::PushTimeout(double deadline, InflightHandle h) {
 
 void Mediator::ScheduleTimeoutSweep(double when) {
   timeout_sweep_armed_ = true;
-  sim_->scheduler().ScheduleAt(when, [this] { OnTimeoutSweep(); });
+  rt_->ScheduleAt(when, [this] { OnTimeoutSweep(); });
 }
 
 void Mediator::OnTimeoutSweep() {
   timeout_sweep_armed_ = false;
-  const double now = sim_->now();
+  const double now = rt_->now();
   while (timeout_head_ < timeout_ring_.size()) {
     const TimeoutEntry entry = timeout_ring_[timeout_head_];
     if (Resolve(entry.handle) == nullptr) {
@@ -527,18 +525,31 @@ void ResetOutcome(QueryOutcome* outcome) {
 
 }  // namespace
 
+QueryOutcome& Mediator::BeginOutcome(const model::Query& query) {
+  QueryOutcome& outcome = outcome_scratch_;
+  ResetOutcome(&outcome);
+  outcome.query = query;
+  outcome.results_required = query.n_results;
+  return outcome;
+}
+
+void Mediator::FinalizeOutcome(uint32_t origin_shard, QueryOutcome* outcome) {
+  outcome->completed_at = rt_->now();
+  outcome->response_time = rt_->now() - outcome->query.issued_at;
+  if (origin_shard == shard_id_) {
+    RecordConsumerOutcome(outcome);
+  } else {
+    RouteOutcomeHome(origin_shard, *outcome);
+  }
+}
+
 void Mediator::Finalize(InflightHandle h, bool timed_out) {
   InFlight* f = Resolve(h);
   SBQA_CHECK(f != nullptr);
   // No timeout cancellation: releasing the slot below turns the query's
   // timeout-ring entry stale, and the sweep skips it for free.
 
-  QueryOutcome& outcome = outcome_scratch_;
-  ResetOutcome(&outcome);
-  outcome.query = f->query;
-  outcome.completed_at = sim_->now();
-  outcome.response_time = sim_->now() - f->query.issued_at;
-  outcome.results_required = f->query.n_results;
+  QueryOutcome& outcome = BeginOutcome(f->query);
   outcome.timed_out = timed_out;
 
   performer_intentions_scratch_.clear();
@@ -566,31 +577,16 @@ void Mediator::Finalize(InflightHandle h, bool timed_out) {
 
   const uint32_t origin_shard = f->origin_shard;
   ReleaseInflight(h);
-  if (origin_shard == shard_id_) {
-    RecordConsumerOutcome(&outcome);
-  } else {
-    RouteOutcomeHome(origin_shard, outcome);
-  }
+  FinalizeOutcome(origin_shard, &outcome);
 }
 
 void Mediator::FinalizeUnallocated(const model::Query& query,
                                    uint32_t origin_shard) {
   ++stats_.queries_unallocated;
-  QueryOutcome& outcome = outcome_scratch_;
-  ResetOutcome(&outcome);
-  outcome.query = query;
-  outcome.completed_at = sim_->now();
-  outcome.response_time = sim_->now() - query.issued_at;
-  outcome.results_required = query.n_results;
+  QueryOutcome& outcome = BeginOutcome(query);
   outcome.unallocated = true;
-  outcome.satisfaction = 0;
-  outcome.adequation = 0;
   outcome.allocation_satisfaction = 1;  // nothing was achievable
-  if (origin_shard == shard_id_) {
-    RecordConsumerOutcome(&outcome);
-  } else {
-    RouteOutcomeHome(origin_shard, outcome);
-  }
+  FinalizeOutcome(origin_shard, &outcome);
 }
 
 void Mediator::RecordConsumerOutcome(QueryOutcome* outcome) {
@@ -662,20 +658,20 @@ void Mediator::ApplyProviderAvailability(model::ProviderId provider,
     // Going offline loses the queued work, exactly like a departure, but
     // the provider may come back later.
     p.set_alive(false);
-    p.DropQueue(sim_->now());
+    p.DropQueue(rt_->now());
     ++stats_.provider_offline_events;
     FailProviderInstances(provider);
     NotifyPeersProviderGone(provider);
   }
   for (MediationObserver* obs : observers_) {
-    obs->OnProviderAvailabilityChanged(provider, available, sim_->now());
+    obs->OnProviderAvailabilityChanged(provider, available, rt_->now());
   }
 }
 
 void Mediator::MaybeDepartProvider(model::ProviderId provider) {
   if (departure_ == nullptr) return;
   Provider& p = registry_->provider(provider);
-  if (!departure_->ShouldProviderLeave(p, sim_->now())) return;
+  if (!departure_->ShouldProviderLeave(p, rt_->now())) return;
   if (deferred_membership()) {
     // The provider keeps serving until the barrier; later mediations this
     // window may queue the same departure again (deduped at apply).
@@ -690,24 +686,24 @@ void Mediator::ApplyProviderDeparture(model::ProviderId provider) {
   if (p.departed()) return;  // duplicate op in this window's log
 
   p.MarkDeparted();
-  p.DropQueue(sim_->now());
+  p.DropQueue(rt_->now());
   ++stats_.provider_departures;
   FailProviderInstances(provider);
   NotifyPeersProviderGone(provider);
 
   for (MediationObserver* obs : observers_) {
-    obs->OnProviderDeparted(provider, sim_->now());
+    obs->OnProviderDeparted(provider, rt_->now());
   }
 }
 
 void Mediator::MaybeRetireConsumer(model::ConsumerId consumer) {
   if (departure_ == nullptr) return;
   Consumer& c = registry_->consumer(consumer);
-  if (!departure_->ShouldConsumerRetire(c, sim_->now())) return;
+  if (!departure_->ShouldConsumerRetire(c, rt_->now())) return;
   c.set_active(false);
   ++stats_.consumer_retirements;
   for (MediationObserver* obs : observers_) {
-    obs->OnConsumerRetired(consumer, sim_->now());
+    obs->OnConsumerRetired(consumer, rt_->now());
   }
 }
 
@@ -720,7 +716,7 @@ void Mediator::NotifyCompleted(const QueryOutcome& outcome) {
 // --- Load view & intentions --------------------------------------------------
 
 double Mediator::ViewedBacklog(model::ProviderId provider) {
-  const double now = sim_->now();
+  const double now = rt_->now();
   const ProviderHotState& hot = registry_->hot();
   const uint32_t slot = static_cast<uint32_t>(provider);
   if (config_.load_view_staleness <= 0) {
@@ -794,7 +790,7 @@ void Mediator::ComputeProviderIntentions(
   SBQA_CHECK(out != nullptr);
   out->clear();
   out->reserve(providers.size());
-  const double now = sim_->now();
+  const double now = rt_->now();
   for (model::ProviderId p : providers) {
     out->push_back(registry_->provider(p).ComputeIntention(query, now));
   }

@@ -4,8 +4,15 @@
 /// \file
 /// The mediator entity (paper Fig. 1): receives queries from consumers,
 /// runs the pluggable allocation method, dispatches work to providers over
-/// the simulated network, collects results, and maintains the satisfaction
-/// bookkeeping that the whole framework revolves around.
+/// the runtime's message fabric, collects results, and maintains the
+/// satisfaction bookkeeping that the whole framework revolves around.
+///
+/// The mediator is allocation logic, not simulation logic: it runs against
+/// the abstract rt::Runtime seam (clock, timers, destination sends,
+/// latency sampling, RNG splitting — see runtime/runtime.h), so the
+/// identical pipeline serves the discrete-event harness (sim::SimRuntime,
+/// bit-identical to the pre-seam engine) and live wall-clock traffic
+/// (rt::WallClockRuntime behind the sbqa::Engine facade).
 ///
 /// The satisfaction model is evaluated identically for every allocation
 /// method (that is Scenario 1's point): the mediator computes the
@@ -31,13 +38,13 @@
 #include "core/satisfaction.h"
 #include "model/query.h"
 #include "model/reputation.h"
-#include "sim/network.h"
-#include "sim/simulation.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace sbqa::sim {
 class ShardSet;
+class Simulation;
 }  // namespace sbqa::sim
 
 namespace sbqa::core {
@@ -85,7 +92,18 @@ struct MediatorStats {
 /// The mediation pipeline. One mediator per simulated system.
 class Mediator {
  public:
-  /// All raw pointers must outlive the mediator. `method` is owned.
+  /// All raw pointers must outlive the mediator. `method` is owned. The
+  /// mediator runs entirely inside `runtime`'s executor context: it splits
+  /// its RNG stream and registers its inbox at construction, and every
+  /// event it schedules runs there.
+  Mediator(rt::Runtime* runtime, Registry* registry,
+           model::ReputationRegistry* reputation,
+           std::unique_ptr<AllocationMethod> method,
+           const MediatorConfig& config = {});
+
+  /// Convenience: runs on `sim`'s owned SimRuntime adapter — bit-identical
+  /// to the historical Simulation-coupled mediator. Defined in
+  /// sim/sim_runtime.cc so core translation units stay sim-free.
   Mediator(sim::Simulation* sim, Registry* registry,
            model::ReputationRegistry* reputation,
            std::unique_ptr<AllocationMethod> method,
@@ -175,7 +193,8 @@ class Mediator {
   const Registry& registry() const { return *registry_; }
   model::ReputationRegistry& reputation() { return *reputation_; }
   util::Rng& rng() { return rng_; }
-  double now() const { return sim_->now(); }
+  double now() const { return rt_->now(); }
+  rt::Runtime& runtime() { return *rt_; }
 
   /// The mediator's (possibly stale) view of one provider's backlog.
   double ViewedBacklog(model::ProviderId provider);
@@ -291,7 +310,7 @@ class Mediator {
 
   /// Schedules `fn` after `delay` (or a zero-delay event when network
   /// simulation is off). Not a network message (no latency accounting).
-  void After(double delay, sim::EventFn fn);
+  void After(double delay, rt::TaskFn fn);
   double OneWayLatency();
   /// 2 * max over `fanout`+1 sampled one-way latencies (an intention or bid
   /// round-trip to the consumer and the consulted providers in parallel).
@@ -339,6 +358,15 @@ class Mediator {
   /// `origin_shard`'s mediator when the query was borrowed.
   void FinalizeUnallocated(const model::Query& query, uint32_t origin_shard);
 
+  /// Resets the reusable outcome scratch and stamps the query-derived
+  /// fields every finalization path shares (query, results_required).
+  QueryOutcome& BeginOutcome(const model::Query& query);
+  /// Shared finalization tail: stamps completion timing (completed_at /
+  /// response_time as of now) and delivers the outcome — consumer-side
+  /// stats at home, or routed to `origin_shard`'s mediator over the
+  /// mailbox when the query was borrowed.
+  void FinalizeOutcome(uint32_t origin_shard, QueryOutcome* outcome);
+
   /// Records the consumer-side satisfaction values for a finalized query
   /// and runs the consumer departure check.
   void RecordConsumerOutcome(QueryOutcome* outcome);
@@ -360,7 +388,7 @@ class Mediator {
   /// Fails the pending instances of `provider` on every federation peer.
   void NotifyPeersProviderGone(model::ProviderId provider);
 
-  sim::Simulation* sim_;
+  rt::Runtime* rt_;
   Registry* registry_;
   model::ReputationRegistry* reputation_;
   std::unique_ptr<AllocationMethod> method_;
@@ -402,8 +430,8 @@ class Mediator {
 
   /// Batching destinations: the mediator's own inbox (query arrivals and
   /// results fan into it) and one inbox per provider.
-  sim::Network::Destination inbox_;
-  std::vector<sim::Network::Destination> provider_dest_;
+  rt::Destination inbox_ = rt::kNoDestination;
+  std::vector<rt::Destination> provider_dest_;
 
   /// Reused per-query / per-sweep scratch — no heap allocation on the
   /// mediation hot path.

@@ -1,0 +1,375 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/mediation.h"
+#include "core/mediator.h"
+#include "core/registry.h"
+#include "experiments/methods.h"
+#include "model/query.h"
+#include "model/reputation.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace sbqa {
+
+namespace {
+
+/// Keep tickets (which become model::QueryId, an int64) positive: the
+/// generation contributes only 31 bits.
+constexpr uint32_t kGenerationMask = 0x7FFFFFFF;
+constexpr uint32_t kNoTicketSlot = UINT32_MAX;
+
+uint64_t MakeTicket(uint32_t generation, uint32_t slot) {
+  return (static_cast<uint64_t>(generation & kGenerationMask) << 32) | slot;
+}
+
+}  // namespace
+
+/// Everything behind the facade. Also the mediation observer that turns
+/// QueryOutcomes into user callbacks.
+struct Engine::Impl final : core::MediationObserver {
+  EngineOptions options;
+
+  /// Exactly one of these backs `runtime`.
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<rt::WallClockRuntime> wall;
+  rt::Runtime* runtime = nullptr;
+
+  core::Registry registry;
+  std::unique_ptr<model::ReputationRegistry> reputation;
+  std::unique_ptr<core::Mediator> mediator;
+  /// Serializes Start/Stop against Stats/Snapshot: a probe posted to the
+  /// executor is only awaited while this lock keeps Stop from joining the
+  /// service thread underneath it, and started/stopped reads are
+  /// race-free under it.
+  mutable std::mutex lifecycle_mu;
+  bool started = false;
+  bool stopped = false;
+
+  /// Slot-versioned ticket pool mapping in-flight query ids to their
+  /// outcome callbacks. Acquired on driver threads (Submit), released on
+  /// the executor (Deliver) — hence the mutex; steady state recycles slots
+  /// without allocating.
+  struct Ticket {
+    OutcomeCallback callback;
+    uint32_t generation = 1;
+    uint32_t next_free = kNoTicketSlot;
+    bool live = false;
+  };
+  std::mutex ticket_mu;
+  std::vector<Ticket> tickets;
+  uint32_t ticket_free = kNoTicketSlot;
+  std::atomic<int64_t> tickets_live{0};
+
+  /// Whether a service thread owns the executor (then cross-thread reads
+  /// of mediator state must hop through RunOnExecutor).
+  bool threaded() const {
+    return options.mode == EngineMode::kWallClock &&
+           !options.wallclock.manual_clock && started && !stopped;
+  }
+
+  uint64_t AcquireTicket(OutcomeCallback callback) {
+    std::lock_guard<std::mutex> lock(ticket_mu);
+    uint32_t slot;
+    if (ticket_free != kNoTicketSlot) {
+      slot = ticket_free;
+      ticket_free = tickets[slot].next_free;
+      tickets[slot].next_free = kNoTicketSlot;
+    } else {
+      tickets.emplace_back();
+      slot = static_cast<uint32_t>(tickets.size() - 1);
+    }
+    Ticket& ticket = tickets[slot];
+    ticket.live = true;
+    ticket.callback = std::move(callback);
+    tickets_live.fetch_add(1, std::memory_order_relaxed);
+    return MakeTicket(ticket.generation, slot);
+  }
+
+  // --- MediationObserver -----------------------------------------------------
+
+  void OnQueryCompleted(const core::QueryOutcome& outcome) override {
+    const uint64_t id = static_cast<uint64_t>(outcome.query.id);
+    const uint32_t slot = static_cast<uint32_t>(id);
+    const uint32_t generation = static_cast<uint32_t>(id >> 32);
+    OutcomeCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(ticket_mu);
+      if (slot >= tickets.size()) return;
+      Ticket& ticket = tickets[slot];
+      if (!ticket.live || (ticket.generation & kGenerationMask) != generation) {
+        return;
+      }
+      callback = std::move(ticket.callback);
+      ticket.live = false;
+      if ((++ticket.generation & kGenerationMask) == 0) ticket.generation = 1;
+      ticket.next_free = ticket_free;
+      ticket_free = slot;
+      // tickets_live is decremented only AFTER the callback ran (below):
+      // WaitIdle's contract is "every outcome delivered", not "every
+      // ticket slot recycled".
+    }
+    if (!callback) {
+      tickets_live.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    QueryResult result;
+    result.ticket = id;
+    result.submitted_at = outcome.query.issued_at;
+    result.completed_at = outcome.completed_at;
+    result.response_time = outcome.response_time;
+    result.results_required = outcome.results_required;
+    result.results_received = outcome.results_received;
+    result.valid_results = outcome.valid_results;
+    result.validated = outcome.validated;
+    result.timed_out = outcome.timed_out;
+    result.unallocated = outcome.unallocated;
+    result.satisfaction = outcome.satisfaction;
+    result.adequation = outcome.adequation;
+    result.allocation_satisfaction = outcome.allocation_satisfaction;
+    callback(result);  // outside the lock: the callback may Submit
+    tickets_live.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Runs `fn` on the executor and blocks until it finished (threaded
+  /// mode's safe window into mediator/registry state).
+  template <typename Fn>
+  void RunOnExecutor(Fn&& fn) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    runtime->Post([&] {
+      fn();
+      // Notify while holding the lock: the waiter owns cv's storage and
+      // may destroy it the moment it can re-acquire the mutex.
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+
+  EngineStats GatherStats() const {
+    const core::MediatorStats& s = mediator->stats();
+    EngineStats out;
+    out.queries_submitted = s.queries_submitted;
+    out.queries_finalized = s.queries_finalized;
+    out.queries_fully_served = s.queries_fully_served;
+    out.queries_unallocated = s.queries_unallocated;
+    out.queries_timed_out = s.queries_timed_out;
+    out.instances_dispatched = s.instances_dispatched;
+    out.instances_completed = s.instances_completed;
+    out.instances_failed = s.instances_failed;
+    out.queries_in_flight = tickets_live.load(std::memory_order_relaxed);
+    out.mean_response_time = s.response_time.mean();
+    out.mean_satisfaction = s.query_satisfaction.mean();
+    return out;
+  }
+
+  EngineSnapshot GatherSnapshot() const {
+    EngineSnapshot snapshot;
+    snapshot.now = runtime->now();
+    snapshot.providers.reserve(registry.provider_count());
+    for (const core::Provider& p : registry.providers()) {
+      ProviderSnapshot row;
+      row.id = p.id();
+      row.label = p.params().label;
+      row.alive = p.alive();
+      row.satisfaction = p.satisfaction();
+      row.adequation = p.satisfaction_tracker().adequation();
+      row.instances_performed = p.instances_performed();
+      row.busy_seconds = p.busy_seconds();
+      snapshot.providers.push_back(std::move(row));
+    }
+    snapshot.consumers.reserve(registry.consumer_count());
+    for (const core::Consumer& c : registry.consumers()) {
+      ConsumerSnapshot row;
+      row.id = c.id();
+      row.label = c.params().label;
+      row.active = c.active();
+      row.satisfaction = c.satisfaction();
+      row.adequation = c.satisfaction_tracker().adequation();
+      row.queries_issued = c.queries_issued();
+      snapshot.consumers.push_back(std::move(row));
+    }
+    return snapshot;
+  }
+};
+
+Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  EngineOptions& opts = impl_->options;
+  if (opts.mode == EngineMode::kSimulated) {
+    sim::SimulationConfig config;
+    config.seed = opts.seed;
+    config.latency_median = opts.latency_median;
+    config.latency_sigma = opts.latency_sigma;
+    config.latency_floor = opts.latency_floor;
+    impl_->sim = std::make_unique<sim::Simulation>(config);
+    impl_->runtime = &impl_->sim->runtime();
+  } else {
+    rt::WallClockOptions config = opts.wallclock;
+    config.seed = opts.seed;
+    impl_->wall = std::make_unique<rt::WallClockRuntime>(config);
+    impl_->runtime = impl_->wall.get();
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+model::ProviderId Engine::AddProvider(const ProviderOptions& options) {
+  SBQA_CHECK(!impl_->started);  // population building precedes Start()
+  return impl_->registry.AddProvider(options);
+}
+
+model::ConsumerId Engine::AddConsumer(const ConsumerOptions& options) {
+  SBQA_CHECK(!impl_->started);
+  return impl_->registry.AddConsumer(options);
+}
+
+void Engine::SetConsumerPreference(model::ConsumerId consumer,
+                                   model::ProviderId provider,
+                                   double preference) {
+  SBQA_CHECK(!impl_->started);
+  impl_->registry.consumer(consumer).preferences().Set(provider, preference);
+}
+
+void Engine::SetProviderPreference(model::ProviderId provider,
+                                   model::ConsumerId consumer,
+                                   double preference) {
+  SBQA_CHECK(!impl_->started);
+  impl_->registry.provider(provider).preferences().Set(consumer, preference);
+}
+
+void Engine::Start() {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu);
+  SBQA_CHECK(!impl.started);
+  SBQA_CHECK_GT(impl.registry.provider_count(), 0u);
+  SBQA_CHECK_GT(impl.registry.consumer_count(), 0u);
+
+  std::unique_ptr<core::AllocationMethod> method =
+      std::move(impl.options.custom_method);
+  if (method == nullptr) {
+    experiments::MethodSpec spec;
+    SBQA_CHECK(experiments::MethodSpecFromName(impl.options.method, &spec));
+    method = experiments::MakeMethod(spec);
+  }
+
+  impl.reputation = std::make_unique<model::ReputationRegistry>(
+      impl.registry.provider_count());
+
+  core::MediatorConfig config;
+  config.simulate_network = impl.options.mode == EngineMode::kSimulated &&
+                            impl.options.simulate_network;
+  config.query_timeout = impl.options.query_timeout;
+  config.load_view_staleness = impl.options.load_view_staleness;
+  impl.mediator = std::make_unique<core::Mediator>(
+      impl.runtime, &impl.registry, impl.reputation.get(), std::move(method),
+      config);
+  impl.mediator->AddObserver(&impl);
+
+  impl.started = true;
+  if (impl.wall != nullptr) impl.wall->Start();
+}
+
+void Engine::Stop() {
+  std::lock_guard<std::mutex> lifecycle(impl_->lifecycle_mu);
+  if (impl_->wall != nullptr) impl_->wall->Stop();
+  impl_->stopped = true;
+}
+
+uint64_t Engine::Submit(const QueryRequest& request,
+                        OutcomeCallback callback) {
+  Impl& impl = *impl_;
+  SBQA_CHECK(impl.started);
+  const uint64_t ticket = impl.AcquireTicket(std::move(callback));
+  model::Query query;
+  query.id = static_cast<model::QueryId>(ticket);
+  query.consumer = request.consumer;
+  query.query_class = request.query_class;
+  query.n_results = request.n_results;
+  query.cost = request.cost;
+  core::Mediator* mediator = impl.mediator.get();
+  impl.runtime->Post([mediator, query] { mediator->SubmitQuery(query); });
+  return ticket;
+}
+
+double Engine::now() const { return impl_->runtime->now(); }
+
+void Engine::RunFor(double seconds) {
+  Impl& impl = *impl_;
+  SBQA_CHECK_GE(seconds, 0);
+  if (impl.sim != nullptr) {
+    impl.sim->RunFor(seconds);
+  } else if (impl.options.wallclock.manual_clock) {
+    impl.wall->AdvanceTo(impl.wall->now() + seconds);
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+bool Engine::WaitIdle(double budget_seconds) {
+  Impl& impl = *impl_;
+  SBQA_CHECK_GE(budget_seconds, 0);
+  if (impl.sim != nullptr) {
+    impl.sim->RunUntil(impl.sim->now() + budget_seconds);
+  } else if (impl.options.wallclock.manual_clock) {
+    // Step at wheel-tick granularity: a single clock jump would stamp
+    // queued submissions at the end of the window, leaving their
+    // completion timers beyond it.
+    const double deadline = impl.wall->now() + budget_seconds;
+    const double step = impl.options.wallclock.wheel_tick;
+    while (impl.tickets_live.load(std::memory_order_acquire) > 0 &&
+           impl.wall->now() < deadline) {
+      impl.wall->AdvanceTo(std::min(deadline, impl.wall->now() + step));
+    }
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(budget_seconds));
+    while (impl.tickets_live.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return impl.tickets_live.load(std::memory_order_acquire) == 0;
+}
+
+EngineStats Engine::Stats() const {
+  Impl& impl = *impl_;
+  // Holding lifecycle_mu pins the service thread alive for the whole
+  // probe round trip — a concurrent Stop() cannot join it under us and
+  // leave the probe stranded in the submit queue.
+  std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu);
+  SBQA_CHECK(impl.started);
+  EngineStats stats;
+  if (impl.threaded()) {
+    impl.RunOnExecutor([&] { stats = impl.GatherStats(); });
+  } else {
+    stats = impl.GatherStats();
+  }
+  return stats;
+}
+
+EngineSnapshot Engine::Snapshot() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu);
+  SBQA_CHECK(impl.started);
+  EngineSnapshot snapshot;
+  if (impl.threaded()) {
+    impl.RunOnExecutor([&] { snapshot = impl.GatherSnapshot(); });
+  } else {
+    snapshot = impl.GatherSnapshot();
+  }
+  return snapshot;
+}
+
+}  // namespace sbqa

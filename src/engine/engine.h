@@ -1,0 +1,243 @@
+#ifndef SBQA_ENGINE_ENGINE_H_
+#define SBQA_ENGINE_ENGINE_H_
+
+/// \file
+/// sbqa::Engine — the library's public embedding API. A builder-style
+/// facade over the whole mediation stack (registry, reputation, allocation
+/// method, mediator) that runs the identical pipeline in either of the two
+/// runtime-seam implementations:
+///
+///   - kSimulated: the discrete-event harness (virtual time; determinstic
+///     per seed, bit-identical to wiring the stack by hand);
+///   - kWallClock: live traffic on rt::WallClockRuntime (steady-clock
+///     time, one service thread, thread-safe Submit from any driver
+///     thread, zero heap allocations per query at steady state).
+///
+/// Usage:
+///   sbqa::EngineOptions options;
+///   options.mode = sbqa::EngineMode::kWallClock;
+///   sbqa::Engine engine(std::move(options));
+///   auto provider = engine.AddProvider({.capacity = 2.0});
+///   auto consumer = engine.AddConsumer({.n_results = 2});
+///   engine.SetConsumerPreference(consumer, provider, 0.8);
+///   engine.Start();
+///   engine.Submit({.consumer = consumer, .n_results = 2, .cost = 1.0},
+///                 [](const sbqa::QueryResult& r) { /* outcome */ });
+///   engine.WaitIdle(5.0);
+///   auto stats = engine.Stats();
+///
+/// This header (and the src/sbqa.h umbrella) deliberately leaks nothing
+/// from sim/ — the CI header-hygiene job compiles a TU including only the
+/// umbrella and fails on any sim/ dependency. Simulation internals stay
+/// reachable for power users through the lower layers directly.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation_method.h"
+#include "core/consumer.h"
+#include "core/provider.h"
+#include "model/types.h"
+#include "runtime/wallclock_runtime.h"
+#include "util/event_fn.h"
+
+namespace sbqa {
+
+/// Which runtime-seam implementation the engine runs on.
+enum class EngineMode {
+  kSimulated,  ///< discrete-event virtual time (deterministic per seed)
+  kWallClock,  ///< steady-clock time, one service thread, live Submit
+};
+
+/// Participant configuration, re-exported from the core layer.
+using ProviderOptions = core::ProviderParams;
+using ConsumerOptions = core::ConsumerParams;
+
+/// Engine-wide configuration. Move-only when custom_method is set.
+struct EngineOptions {
+  EngineMode mode = EngineMode::kSimulated;
+
+  /// Root seed of every derived random stream (population draws, result
+  /// validation, method tie-breaks). Simulated runs are bit-reproducible
+  /// per seed.
+  uint64_t seed = 42;
+
+  /// Allocation method by registry name ("sbqa", "sqlb", "knbest",
+  /// "capacity", "qlb", "economic", "interest", "random", "roundrobin");
+  /// ignored when custom_method is set.
+  std::string method = "sbqa";
+  /// Fully configured method instance (overrides `method`).
+  std::unique_ptr<core::AllocationMethod> custom_method;
+
+  /// Safety-net finalization deadline per query, in runtime seconds.
+  double query_timeout = 600.0;
+  /// Age bound (seconds) of the mediator's provider-load view; 0 = fresh.
+  double load_view_staleness = 0.0;
+
+  // --- kSimulated only -------------------------------------------------------
+
+  /// Model message latencies (log-normal) instead of zero-latency hops.
+  bool simulate_network = true;
+  double latency_median = 0.020;  ///< one-way latency median (s)
+  double latency_sigma = 0.35;    ///< log-space spread; 0 = constant
+  double latency_floor = 0.001;   ///< hard minimum (s)
+
+  // --- kWallClock only -------------------------------------------------------
+
+  /// Timer-wheel / service-thread tuning. `wallclock.seed` is overridden
+  /// by `seed`; `wallclock.manual_clock` turns the engine into a
+  /// caller-driven replay executor (AdvanceTo instead of a service
+  /// thread) — the deterministic-test seam.
+  rt::WallClockOptions wallclock;
+};
+
+/// One query submission.
+struct QueryRequest {
+  model::ConsumerId consumer = 0;
+  model::QueryClassId query_class = 0;
+  /// Results required (the paper's q.n, replication factor).
+  int n_results = 1;
+  /// Work demand in abstract units (seconds on a capacity-1 provider).
+  double cost = 1.0;
+};
+
+/// Everything the engine reports back about one finalized query.
+struct QueryResult {
+  /// The ticket Submit returned for this query.
+  uint64_t ticket = 0;
+  double submitted_at = 0;   ///< runtime seconds
+  double completed_at = 0;   ///< runtime seconds
+  double response_time = 0;  ///< completed_at - submitted_at
+  int results_required = 0;
+  int results_received = 0;
+  int valid_results = 0;
+  bool validated = false;    ///< valid_results reached the consumer quorum
+  bool timed_out = false;
+  bool unallocated = false;  ///< no provider could be allocated
+  /// Per-query satisfaction / adequation (paper Equation 1 family).
+  double satisfaction = 0;
+  double adequation = 0;
+  double allocation_satisfaction = 0;
+};
+
+/// Per-query outcome callback. Move-only with inline storage: a small
+/// capture keeps the wall-clock Submit path allocation-free. Runs on the
+/// engine's executor (the service thread in kWallClock mode) — return
+/// quickly and do not call back into the engine from it, except Submit.
+using OutcomeCallback = util::InlineFn<void(const QueryResult&)>;
+
+/// Aggregate engine counters (a stable public mirror of the mediator's).
+struct EngineStats {
+  int64_t queries_submitted = 0;
+  int64_t queries_finalized = 0;
+  int64_t queries_fully_served = 0;
+  int64_t queries_unallocated = 0;
+  int64_t queries_timed_out = 0;
+  int64_t instances_dispatched = 0;
+  int64_t instances_completed = 0;
+  int64_t instances_failed = 0;
+  /// Submitted queries whose outcome has not been delivered yet.
+  int64_t queries_in_flight = 0;
+  double mean_response_time = 0;    ///< queries with >= 1 result
+  double mean_satisfaction = 0;     ///< mean per-query Equation 1
+};
+
+/// Point-in-time view of one participant.
+struct ProviderSnapshot {
+  model::ProviderId id = model::kInvalidId;
+  std::string label;
+  bool alive = true;
+  double satisfaction = 0;   ///< paper Definition 2 (long-run)
+  double adequation = 0;
+  int64_t instances_performed = 0;
+  double busy_seconds = 0;
+};
+struct ConsumerSnapshot {
+  model::ConsumerId id = model::kInvalidId;
+  std::string label;
+  bool active = true;
+  double satisfaction = 0;   ///< paper Definition 1 (long-run)
+  double adequation = 0;
+  int64_t queries_issued = 0;
+};
+
+/// Participant-level state of a running engine, read at a quiescent point
+/// (the executor context).
+struct EngineSnapshot {
+  double now = 0;  ///< runtime seconds at snapshot time
+  std::vector<ProviderSnapshot> providers;
+  std::vector<ConsumerSnapshot> consumers;
+};
+
+/// The embeddable mediation engine. Build the population, Start(), then
+/// Submit queries; outcomes arrive through per-query callbacks.
+///
+/// Threading: in kWallClock mode Submit / Stats / Snapshot / WaitIdle are
+/// safe from any driver thread once Start() ran (population building is
+/// not — finish it before Start). In kSimulated and manual-clock modes the
+/// engine is single-threaded and the caller drives time with RunFor /
+/// AdvanceTo / WaitIdle.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Population building (before Start) ------------------------------------
+
+  model::ProviderId AddProvider(const ProviderOptions& options);
+  model::ConsumerId AddConsumer(const ConsumerOptions& options);
+  /// Mutual interest in [-1, 1] (the paper's preference profiles).
+  void SetConsumerPreference(model::ConsumerId consumer,
+                             model::ProviderId provider, double preference);
+  void SetProviderPreference(model::ProviderId provider,
+                             model::ConsumerId consumer, double preference);
+
+  /// Wires reputation + mediator over the built population and (in
+  /// kWallClock mode) launches the service thread.
+  void Start();
+
+  /// Stops the wall-clock service thread (no-op otherwise). Queries still
+  /// in flight are dropped without a callback. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  // --- Traffic ---------------------------------------------------------------
+
+  /// Submits one query; `callback` fires exactly once with the outcome
+  /// (unless the engine is stopped first), on the executor. Thread-safe in
+  /// kWallClock mode. Returns the query's ticket (also in the result).
+  /// Allocation-free at steady state for inline-sized callbacks.
+  uint64_t Submit(const QueryRequest& request, OutcomeCallback callback);
+
+  // --- Time ------------------------------------------------------------------
+
+  /// Current runtime time in seconds.
+  double now() const;
+
+  /// Advances virtual time by `seconds`, running everything due
+  /// (kSimulated / manual clock); blocks the calling thread that long in
+  /// threaded kWallClock mode.
+  void RunFor(double seconds);
+
+  /// Waits up to `budget_seconds` of runtime time for every submitted
+  /// query to deliver its outcome. Returns whether everything drained.
+  bool WaitIdle(double budget_seconds);
+
+  // --- Introspection ---------------------------------------------------------
+
+  EngineStats Stats() const;
+  EngineSnapshot Snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sbqa
+
+#endif  // SBQA_ENGINE_ENGINE_H_

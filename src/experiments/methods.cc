@@ -40,4 +40,44 @@ std::string MethodName(const MethodSpec& spec) {
   return MakeMethod(spec)->name();
 }
 
+const std::vector<MethodDescription>& KnownMethods() {
+  static const std::vector<MethodDescription> kMethods = {
+      {"sbqa", "the full framework: KnBest filter + SQLB scoring"},
+      {"sqlb", "satisfaction-based scoring without the KnBest filter"},
+      {"knbest", "k random candidates, kn best by load"},
+      {"capacity", "capacity-proportional dispatch (~BOINC)"},
+      {"qlb", "shortest expected completion time"},
+      {"economic", "Mariposa-style bidding"},
+      {"interest", "pure interest matching (ablation)"},
+      {"random", "uniform random allocation"},
+      {"roundrobin", "cyclic allocation"},
+  };
+  return kMethods;
+}
+
+bool MethodSpecFromName(const std::string& name, MethodSpec* spec) {
+  if (name == "sbqa") {
+    *spec = MethodSpec::Sbqa();
+  } else if (name == "sqlb") {
+    *spec = MethodSpec::Sqlb();
+  } else if (name == "knbest") {
+    *spec = MethodSpec::KnBest();
+  } else if (name == "capacity") {
+    *spec = MethodSpec::Capacity();
+  } else if (name == "qlb") {
+    *spec = MethodSpec::Qlb();
+  } else if (name == "economic") {
+    *spec = MethodSpec::Economic();
+  } else if (name == "interest") {
+    *spec = MethodSpec::InterestOnly();
+  } else if (name == "random") {
+    *spec = MethodSpec::Random();
+  } else if (name == "roundrobin") {
+    *spec = MethodSpec::RoundRobin();
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace sbqa::experiments

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/economic.h"
 #include "core/allocation_method.h"
@@ -70,6 +71,21 @@ std::unique_ptr<core::AllocationMethod> MakeMethod(const MethodSpec& spec);
 
 /// Stable display name ("SbQA", "Capacity", ...).
 std::string MethodName(const MethodSpec& spec);
+
+/// One row of the method registry (--list-methods, the engine facade's
+/// name-based method selection).
+struct MethodDescription {
+  const char* name;     ///< stable flag/config spelling ("sbqa", "qlb", ...)
+  const char* summary;  ///< one-line description
+};
+
+/// Every allocation technique, in presentation order, keyed by the stable
+/// spelling MethodSpecFromName accepts.
+const std::vector<MethodDescription>& KnownMethods();
+
+/// Builds the default-parameter spec for a registry spelling. Returns
+/// false (leaving *spec untouched) for unknown names.
+bool MethodSpecFromName(const std::string& name, MethodSpec* spec);
 
 }  // namespace sbqa::experiments
 

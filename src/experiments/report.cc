@@ -119,4 +119,115 @@ const metrics::TimeSeries& ResponseTimeSeries(const RunResult& r) {
   return r.series.recent_response_time;
 }
 
+namespace {
+
+/// Minimal JSON emitter for the flat summary object: enough for stable
+/// machine-readable CLI output without a JSON dependency.
+class JsonObject {
+ public:
+  JsonObject(std::string* out, int indent) : out_(out), indent_(indent) {
+    out_->push_back('{');
+  }
+
+  void Field(const char* key, double value) {
+    Key(key);
+    // %.17g round-trips doubles exactly; trim the plain-integer case.
+    out_->append(util::StrFormat("%.17g", value));
+  }
+  void Field(const char* key, int64_t value) {
+    Key(key);
+    out_->append(util::StrFormat("%lld", static_cast<long long>(value)));
+  }
+  void Field(const char* key, uint64_t value) {
+    Key(key);
+    out_->append(util::StrFormat("%llu",
+                                 static_cast<unsigned long long>(value)));
+  }
+  void Field(const char* key, const std::string& value) {
+    Key(key);
+    out_->push_back('"');
+    for (char c : value) {
+      if (c == '"' || c == '\\') out_->push_back('\\');
+      out_->push_back(c);
+    }
+    out_->push_back('"');
+  }
+
+  void Close() {
+    out_->append("\n}");
+  }
+
+ private:
+  void Key(const char* key) {
+    if (!first_) out_->push_back(',');
+    first_ = false;
+    out_->push_back('\n');
+    out_->append(static_cast<size_t>(indent_), ' ');
+    out_->append(util::StrFormat("\"%s\": ", key));
+  }
+
+  std::string* out_;
+  int indent_;
+  bool first_ = true;
+};
+
+void AppendRunSummaryJson(const RunResult& result, int indent,
+                          std::string* out) {
+  const metrics::RunSummary& s = result.summary;
+  JsonObject obj(out, indent);
+  obj.Field("method", s.method);
+  obj.Field("duration", s.duration);
+  obj.Field("consumer_satisfaction", s.consumer_satisfaction);
+  obj.Field("provider_satisfaction", s.provider_satisfaction);
+  obj.Field("provider_satisfaction_all", s.provider_satisfaction_all);
+  obj.Field("consumer_adequation", s.consumer_adequation);
+  obj.Field("provider_adequation", s.provider_adequation);
+  obj.Field("consumer_allocation_satisfaction",
+            s.consumer_allocation_satisfaction);
+  obj.Field("provider_allocation_satisfaction",
+            s.provider_allocation_satisfaction);
+  obj.Field("min_consumer_satisfaction", s.min_consumer_satisfaction);
+  obj.Field("min_provider_satisfaction", s.min_provider_satisfaction);
+  obj.Field("mean_response_time", s.mean_response_time);
+  obj.Field("p50_response_time", s.p50_response_time);
+  obj.Field("p95_response_time", s.p95_response_time);
+  obj.Field("p99_response_time", s.p99_response_time);
+  obj.Field("throughput", s.throughput);
+  obj.Field("queries_submitted", s.queries_submitted);
+  obj.Field("queries_finalized", s.queries_finalized);
+  obj.Field("queries_fully_served", s.queries_fully_served);
+  obj.Field("queries_unallocated", s.queries_unallocated);
+  obj.Field("queries_timed_out", s.queries_timed_out);
+  obj.Field("queries_delegated", s.queries_delegated);
+  obj.Field("queries_borrowed", s.queries_borrowed);
+  obj.Field("fully_served_fraction", s.fully_served_fraction);
+  obj.Field("provider_departures", s.provider_departures);
+  obj.Field("provider_offline_events", s.provider_offline_events);
+  obj.Field("provider_joins", s.provider_joins);
+  obj.Field("consumer_retirements", s.consumer_retirements);
+  obj.Field("provider_retention", s.provider_retention);
+  obj.Field("provider_survival", s.provider_survival);
+  obj.Field("consumer_retention", s.consumer_retention);
+  obj.Field("capacity_retention", s.capacity_retention);
+  obj.Field("busy_gini", s.busy_gini);
+  obj.Field("busy_jain", s.busy_jain);
+  obj.Field("instances_cv", s.instances_cv);
+  obj.Field("mean_provider_busy_fraction", s.mean_provider_busy_fraction);
+  obj.Field("validated_fraction", s.validated_fraction);
+  obj.Field("messages_sent", s.messages_sent);
+  obj.Field("membership_epochs", result.membership_epochs);
+  obj.Field("membership_ops", result.membership_ops);
+  obj.Field("membership_apply_seconds", result.membership_apply_seconds);
+  obj.Close();
+}
+
+}  // namespace
+
+std::string RunSummaryJson(const RunResult& result, int indent) {
+  std::string out;
+  AppendRunSummaryJson(result, indent, &out);
+  out.push_back('\n');
+  return out;
+}
+
 }  // namespace sbqa::experiments

@@ -43,6 +43,11 @@ const metrics::TimeSeries& ProviderSatisfactionSeries(const RunResult& r);
 const metrics::TimeSeries& AliveProvidersSeries(const RunResult& r);
 const metrics::TimeSeries& ResponseTimeSeries(const RunResult& r);
 
+/// One run's full summary as a JSON object (machine-readable counterpart
+/// of the tables; sbqa_cli --json). `indent` spaces per level, keys in
+/// stable order.
+std::string RunSummaryJson(const RunResult& result, int indent = 2);
+
 }  // namespace sbqa::experiments
 
 #endif  // SBQA_EXPERIMENTS_REPORT_H_

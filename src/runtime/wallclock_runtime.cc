@@ -1,0 +1,330 @@
+#include "runtime/wallclock_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sbqa::rt {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint32_t SlotOf(TaskId id) { return static_cast<uint32_t>(id); }
+
+TaskId MakeId(uint32_t generation, uint32_t slot) {
+  return (static_cast<TaskId>(generation) << 32) | slot;
+}
+
+}  // namespace
+
+WallClockRuntime::WallClockRuntime(const WallClockOptions& options)
+    : options_(options), rng_(options.seed) {
+  SBQA_CHECK_GT(options_.wheel_tick, 0);
+  SBQA_CHECK_GT(options_.wheel_slots, 0u);
+  options_.wheel_slots = RoundUpPow2(options_.wheel_slots);
+  wheel_mask_ = options_.wheel_slots - 1;
+  wheel_.resize(options_.wheel_slots);
+  // Seed every bucket with a little capacity: timers scatter across the
+  // whole wheel (deadline mod rotation), so without this the first visit
+  // to each bucket would allocate long after the rest of the engine
+  // reached its allocation-free steady state.
+  for (std::vector<TaskId>& bucket : wheel_) {
+    bucket.reserve(4);
+  }
+  // Executor scratch: sized for a healthy burst up front so the
+  // steady-state service pass never grows them.
+  immediate_.reserve(256);
+  immediate_scratch_.reserve(256);
+  due_scratch_.reserve(256);
+  drain_scratch_.reserve(256);
+  submit_queue_.reserve(256);
+}
+
+WallClockRuntime::~WallClockRuntime() { Stop(); }
+
+void WallClockRuntime::Start() {
+  if (options_.manual_clock || started_) return;
+  started_ = true;
+  {
+    // A Start() after Stop() resumes service; without the reset the fresh
+    // thread would observe the old stop request and exit after one pass.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    stop_requested_ = false;
+  }
+  // Rebase the epoch so the runtime clock RESUMES at now() instead of
+  // jumping back to zero — a restarted runtime must not stall its timers
+  // until wall time re-catches the old clock (AdvanceTo clamps backward
+  // jumps). On the first Start now() is 0 and this is the plain epoch.
+  epoch_ = std::chrono::steady_clock::now() -
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(now()));
+  service_ = std::thread([this] { ServiceLoop(); });
+}
+
+void WallClockRuntime::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    stop_requested_ = true;
+  }
+  submit_cv_.notify_one();
+  if (service_.joinable()) service_.join();
+  started_ = false;
+}
+
+double WallClockRuntime::SecondsSinceStart() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+// --- Timer pool --------------------------------------------------------------
+
+uint32_t WallClockRuntime::AcquireSlot() {
+  uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+  } else {
+    slots_.emplace_back();
+    slot = static_cast<uint32_t>(slots_.size() - 1);
+    slot_capacity_.store(slots_.size(), std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+void WallClockRuntime::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  SBQA_CHECK(s.live);
+  s.live = false;
+  // Invalidate every handle ever issued for this slot; skip 0 so a handle
+  // can never alias the null TaskId.
+  if (++s.generation == 0) s.generation = 1;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  live_timers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+WallClockRuntime::Slot* WallClockRuntime::ResolveTimer(TaskId id) {
+  const uint32_t slot = SlotOf(id);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return nullptr;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation) return nullptr;
+  return &s;
+}
+
+// --- Runtime interface -------------------------------------------------------
+
+TaskId WallClockRuntime::Schedule(Time delay, TaskFn fn) {
+  SBQA_CHECK_GE(delay, 0);
+  return ScheduleAt(now() + delay, std::move(fn));
+}
+
+TaskId WallClockRuntime::ScheduleAt(Time when, TaskFn fn) {
+  if (when < now()) when = now();
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.when = when;
+  s.seq = next_seq_++;
+  s.live = true;
+  if (when <= now()) {
+    // Zero-delay fast path: already due, runs this pass right after the
+    // wheel's due timers (its seq is necessarily the newest).
+    immediate_.push_back(MakeId(s.generation, slot));
+  } else {
+    // The tick can never trail current_tick_ (when > now); the max() is a
+    // belt against floating-point edge cases only.
+    const int64_t tick = std::max(TickOf(when), current_tick_);
+    wheel_[static_cast<size_t>(tick) & wheel_mask_].push_back(
+        MakeId(s.generation, slot));
+    if (when < next_due_) next_due_ = when;
+  }
+  live_timers_.fetch_add(1, std::memory_order_relaxed);
+  return MakeId(s.generation, slot);
+}
+
+bool WallClockRuntime::Cancel(TaskId id) {
+  Slot* s = ResolveTimer(id);
+  if (s == nullptr) return false;
+  s->fn = TaskFn();  // destroy the callable now; the bucket entry goes stale
+  ReleaseSlot(SlotOf(id));
+  return true;
+}
+
+void WallClockRuntime::Post(TaskFn fn) {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    submit_queue_.push_back(std::move(fn));
+  }
+  submit_cv_.notify_one();
+}
+
+Destination WallClockRuntime::RegisterDestination() {
+  return next_destination_++;
+}
+
+void WallClockRuntime::SendTo(Destination destination, TaskFn fn) {
+  // Zero simulated latency, but still deferred to the next service pass so
+  // delivery is never re-entrant (run-to-completion, like the simulator).
+  (void)destination;
+  Schedule(0, std::move(fn));
+}
+
+util::Rng WallClockRuntime::SplitRng() { return rng_.Split(); }
+
+// --- Executor ---------------------------------------------------------------
+
+bool WallClockRuntime::idle() const {
+  // All three checks run under the mutex: acquiring it synchronizes with
+  // DrainSubmitQueue's release after the swap, so a pass still executing
+  // drained tasks is reliably visible through mid_pass_.
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  if (!submit_queue_.empty()) return false;
+  if (mid_pass_.load(std::memory_order_relaxed)) return false;
+  return live_timers_.load(std::memory_order_relaxed) == 0;
+}
+
+size_t WallClockRuntime::DrainSubmitQueue() {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (submit_queue_.empty()) return 0;
+    drain_scratch_.swap(submit_queue_);  // capacities circulate
+  }
+  for (TaskFn& fn : drain_scratch_) {
+    fn();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const size_t ran = drain_scratch_.size();
+  drain_scratch_.clear();
+  return ran;
+}
+
+size_t WallClockRuntime::FireDueTimers(Time t) {
+  const int64_t target_tick = TickOf(t);
+  // Every wheel bucket repeats each rotation, so a pass never needs to
+  // visit more than the whole wheel once, however far the clock jumped.
+  const int64_t buckets =
+      std::min<int64_t>(target_tick - current_tick_,
+                        static_cast<int64_t>(wheel_mask_)) +
+      1;
+  due_scratch_.clear();
+  for (int64_t i = 0; i < buckets; ++i) {
+    std::vector<TaskId>& bucket =
+        wheel_[static_cast<size_t>(current_tick_ + i) & wheel_mask_];
+    size_t kept = 0;
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      const TaskId id = bucket[j];
+      Slot* s = ResolveTimer(id);
+      if (s == nullptr) continue;  // cancelled: lazy removal
+      if (s->when <= t) {
+        due_scratch_.push_back(Due{s->when, s->seq, id});
+      } else {
+        bucket[kept++] = id;  // a future rotation's timer stays parked
+      }
+    }
+    bucket.resize(kept);
+  }
+  current_tick_ = target_tick;
+
+  // Deterministic firing order within the pass: (due time, submission
+  // seq) — the wall-clock analogue of the simulator's (time, seq) order.
+  std::sort(due_scratch_.begin(), due_scratch_.end(),
+            [](const Due& a, const Due& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.seq < b.seq;
+            });
+  size_t fired = 0;
+  for (const Due& due : due_scratch_) {
+    Slot* s = ResolveTimer(due.id);
+    if (s == nullptr) continue;  // cancelled by an earlier task this pass
+    TaskFn fn = std::move(s->fn);
+    ReleaseSlot(SlotOf(due.id));  // released first: the task may reschedule
+    fn();
+    ++fired;
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fired;
+}
+
+size_t WallClockRuntime::RunImmediate() {
+  if (immediate_.empty()) return 0;
+  immediate_scratch_.swap(immediate_);  // capacities circulate
+  size_t ran = 0;
+  for (TaskId id : immediate_scratch_) {
+    Slot* s = ResolveTimer(id);
+    if (s == nullptr) continue;  // cancelled before it ran
+    TaskFn fn = std::move(s->fn);
+    ReleaseSlot(SlotOf(id));
+    fn();
+    ++ran;
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  immediate_scratch_.clear();
+  return ran;
+}
+
+void WallClockRuntime::RecomputeNextDue() {
+  next_due_ = kNever;
+  for (const Slot& s : slots_) {
+    if (s.live && s.when < next_due_) next_due_ = s.when;
+  }
+}
+
+void WallClockRuntime::AdvanceTo(Time t) {
+  if (t < now()) t = now();
+  mid_pass_.store(true, std::memory_order_relaxed);
+  now_.store(t, std::memory_order_relaxed);
+  // Loop until quiescent at t: fired timers and drained submissions may
+  // schedule zero-delay work due within this same pass (the mediation
+  // pipeline's After(0) chains), exactly like the simulator's RunUntil.
+  while (DrainSubmitQueue() + FireDueTimers(t) + RunImmediate() > 0) {
+  }
+  // Re-anchor the parking horizon: the pass consumed everything due, so a
+  // next_due_ at or below t belonged to a fired (or cancelled) timer.
+  if (live_timers_.load(std::memory_order_relaxed) == 0) {
+    next_due_ = kNever;
+  } else if (next_due_ <= t) {
+    RecomputeNextDue();
+  }
+  mid_pass_.store(false, std::memory_order_relaxed);
+}
+
+void WallClockRuntime::ServiceLoop() {
+  while (true) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lock(submit_mu_);
+      if (!stop_requested_ && submit_queue_.empty()) {
+        if (live_timers_.load(std::memory_order_relaxed) == 0) {
+          // Fully idle: park until work or shutdown arrives.
+          submit_cv_.wait(lock, [this] {
+            return stop_requested_ || !submit_queue_.empty();
+          });
+        } else {
+          // Timers pending: park until the earliest deadline (next_due_
+          // is executor-owned, read here by the same thread; a
+          // notification still wakes the thread immediately, and a
+          // stale-low horizon just costs one empty pass).
+          const double wait_seconds = next_due_ - SecondsSinceStart();
+          if (wait_seconds > 0) {
+            submit_cv_.wait_for(lock,
+                                std::chrono::duration<double>(wait_seconds));
+          }
+        }
+      }
+      stopping = stop_requested_;
+    }
+    AdvanceTo(SecondsSinceStart());
+    if (stopping) break;
+  }
+}
+
+}  // namespace sbqa::rt

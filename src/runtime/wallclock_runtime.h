@@ -1,0 +1,209 @@
+#ifndef SBQA_RUNTIME_WALLCLOCK_RUNTIME_H_
+#define SBQA_RUNTIME_WALLCLOCK_RUNTIME_H_
+
+/// \file
+/// WallClockRuntime: the live-traffic implementation of the runtime seam.
+/// Time is steady-clock seconds since Start(); timers live in a hashed
+/// timer wheel drained by ONE service thread (the executor); external
+/// driver threads inject work through a mutex-guarded MPSC submit queue
+/// (Post), which is the only thread-safe entry point. Message latency is
+/// zero — real traffic brings its own.
+///
+/// Like the discrete-event scheduler it mirrors, the steady state is
+/// allocation-free: tasks are TaskFn (small-buffer-optimized) in a
+/// slot-versioned pool, wheel buckets and the submit queue retain their
+/// capacity, and Cancel is O(1) with lazy bucket removal. The
+/// engine-facade Submit path is held to 0 heap allocations per query under
+/// this runtime by the same counting-allocator gates as the simulation.
+///
+/// Test seam: `manual_clock` builds the runtime without a service thread
+/// or steady clock; the test (or a replay driver) IS the executor and
+/// advances time explicitly with AdvanceTo(t), which processes exactly
+/// what the service thread would have — deterministically, because task
+/// order is (due time, submission seq) per service pass.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "util/rng.h"
+
+namespace sbqa::rt {
+
+/// Tuning knobs of the wall-clock runtime.
+struct WallClockOptions {
+  /// Seed of the runtime's root RNG stream (SplitRng derivations).
+  uint64_t seed = 42;
+  /// Timer-wheel granularity in seconds: due timers fire on the service
+  /// pass that crosses their tick. The service thread parks until the
+  /// earliest pending deadline (or a Post), so granularity costs nothing
+  /// while idle.
+  double wheel_tick = 0.001;
+  /// Wheel size in slots (rounded up to a power of two). One rotation
+  /// spans wheel_slots * wheel_tick seconds; farther deadlines stay parked
+  /// in their bucket and are re-examined once per rotation.
+  uint32_t wheel_slots = 4096;
+  /// Test/replay seam: no service thread, no steady clock — the caller is
+  /// the executor and drives time with AdvanceTo().
+  bool manual_clock = false;
+};
+
+/// rt::Runtime serving wall-clock traffic. Single executor thread; Post is
+/// the MPSC entry for everything else.
+class WallClockRuntime final : public Runtime {
+ public:
+  explicit WallClockRuntime(const WallClockOptions& options = {});
+  ~WallClockRuntime() override;
+
+  WallClockRuntime(const WallClockRuntime&) = delete;
+  WallClockRuntime& operator=(const WallClockRuntime&) = delete;
+
+  /// Launches the service thread and anchors t = 0 (no-op under
+  /// manual_clock). Wire entities (mediator construction, SplitRng) BEFORE
+  /// calling this — setup shares the executor context.
+  void Start();
+
+  /// Stops and joins the service thread after one final drain (pending
+  /// submit-queue tasks run; unfired timers are dropped). Idempotent;
+  /// the destructor calls it.
+  void Stop();
+
+  // --- Runtime interface (executor context only, except Post) ---------------
+
+  Time now() const override { return now_.load(std::memory_order_relaxed); }
+  TaskId Schedule(Time delay, TaskFn fn) override;
+  TaskId ScheduleAt(Time when, TaskFn fn) override;
+  bool Cancel(TaskId id) override;
+  void Post(TaskFn fn) override;
+  Destination RegisterDestination() override;
+  /// Zero-latency deferred delivery: runs on the next service pass (never
+  /// re-entrantly), preserving send order per pass.
+  void SendTo(Destination destination, TaskFn fn) override;
+  double SampleLatency() override { return 0.0; }
+  util::Rng SplitRng() override;
+
+  // --- Manual-mode driver ----------------------------------------------------
+
+  /// Advances the executor to time `t` (monotonic; earlier values clamp to
+  /// now): drains the submit queue and fires every timer due at <= t, in
+  /// (due time, submission seq) order, looping until quiescent — zero-delay
+  /// chains settle within one call, like the simulator's RunUntil. The
+  /// service thread calls this with the steady clock; manual-clock callers
+  /// drive it directly.
+  void AdvanceTo(Time t);
+
+  // --- Telemetry (safe from any thread) --------------------------------------
+
+  /// Tasks executed since construction (timers + posted).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Pending timers (scheduled, not yet fired or cancelled).
+  size_t pending_timers() const {
+    return live_timers_.load(std::memory_order_relaxed);
+  }
+  /// Whether nothing is pending: no queued submissions, no live timers.
+  bool idle() const;
+  /// Timer slots ever created (high-water mark of concurrently pending
+  /// timers; steady-state scheduling recycles them without allocating).
+  size_t slot_capacity() const {
+    return slot_capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// One pooled timer. A wheel-bucket entry is the timer's TaskId; the
+  /// generation check rejects entries whose slot was cancelled/recycled.
+  struct Slot {
+    TaskFn fn;
+    double when = 0;
+    uint64_t seq = 0;
+    uint32_t generation = 1;
+    uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  /// A due timer extracted from its bucket, ordered (when, seq).
+  struct Due {
+    double when;
+    uint64_t seq;
+    TaskId id;
+  };
+
+  int64_t TickOf(double when) const {
+    return static_cast<int64_t>(when / options_.wheel_tick);
+  }
+
+  Slot* ResolveTimer(TaskId id);
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+
+  /// Runs queued submissions (FIFO). Returns tasks run.
+  size_t DrainSubmitQueue();
+  /// Fires timers due at <= t across the wheel span since the last pass,
+  /// in (when, seq) order. Returns timers fired.
+  size_t FireDueTimers(Time t);
+  /// Runs the zero-delay queue (FIFO == seq order: an immediate task is
+  /// always newer than any due timer of the same pass). Returns tasks run.
+  size_t RunImmediate();
+  /// Rescans the live timer pool for the earliest deadline (called only
+  /// when next_due_ went stale after a pass; O(slot high-water)).
+  void RecomputeNextDue();
+
+  void ServiceLoop();
+  double SecondsSinceStart() const;
+
+  WallClockOptions options_;
+  uint32_t wheel_mask_ = 0;
+  util::Rng rng_;
+
+  // Executor-owned state (service thread, or the caller in manual mode).
+  // now_ is atomic only so foreign threads can read the clock (Engine::now);
+  // all writes come from the executor.
+  std::atomic<double> now_{0};
+  int64_t current_tick_ = 0;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
+  uint64_t next_seq_ = 1;
+  std::vector<std::vector<TaskId>> wheel_;
+  /// Zero-delay fast path: tasks due immediately (Schedule(0) chains,
+  /// SendTo deliveries) bypass the wheel — they are the hot traffic, and
+  /// this keeps the buckets for real timers.
+  std::vector<TaskId> immediate_;
+  std::vector<TaskId> immediate_scratch_;
+  std::vector<Due> due_scratch_;
+  std::vector<TaskFn> drain_scratch_;
+  Destination next_destination_ = 0;
+  /// Lower bound on the earliest pending wheel deadline (the service
+  /// thread's parking horizon). Only ever stale LOW — a too-early wakeup
+  /// runs an empty pass and recomputes; never stale high, so no timer
+  /// oversleeps.
+  double next_due_ = kNever;
+  static constexpr double kNever = 1e300;
+
+  // MPSC submit queue + service-thread parking.
+  mutable std::mutex submit_mu_;
+  std::condition_variable submit_cv_;
+  std::vector<TaskFn> submit_queue_;
+  bool stop_requested_ = false;
+
+  // Cross-thread telemetry.
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<size_t> live_timers_{0};
+  std::atomic<size_t> slot_capacity_{0};
+  std::atomic<bool> mid_pass_{false};
+
+  std::thread service_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace sbqa::rt
+
+#endif  // SBQA_RUNTIME_WALLCLOCK_RUNTIME_H_

@@ -1,0 +1,27 @@
+#ifndef SBQA_SBQA_H_
+#define SBQA_SBQA_H_
+
+/// \file
+/// Umbrella header of the SbQA public API: everything an embedding
+/// application needs to run the satisfaction-based query allocation engine
+/// against simulated or live wall-clock traffic.
+///
+///   #include "sbqa.h"
+///
+///   sbqa::Engine engine({.mode = sbqa::EngineMode::kWallClock});
+///   ...
+///
+/// Contract: this header leaks nothing from the discrete-event simulation
+/// layer (src/sim/). The CI header-hygiene job compiles a translation unit
+/// including only this file and fails on any sim/ dependency — the facade
+/// stays embeddable without dragging the experiment harness along. The
+/// lower layers (core mediation, runtime seam, experiment runner,
+/// simulation) remain directly includable for power users.
+
+#include "engine/engine.h"       // sbqa::Engine and its option/result types
+#include "model/query.h"         // model::Query (ids, classes, costs)
+#include "model/types.h"         // ConsumerId / ProviderId / QueryClassId
+#include "runtime/runtime.h"     // the rt::Runtime seam contract
+#include "runtime/wallclock_runtime.h"  // rt::WallClockRuntime + options
+
+#endif  // SBQA_SBQA_H_

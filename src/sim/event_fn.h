@@ -2,138 +2,18 @@
 #define SBQA_SIM_EVENT_FN_H_
 
 /// \file
-/// EventFn: the scheduler's callback type — a move-only, type-erased
-/// `void()` callable with small-buffer optimization. Every closure the
-/// simulator schedules on its hot path (a `this` pointer plus a handful of
-/// scalar ids) fits the inline buffer, so scheduling an event performs no
-/// heap allocation; `std::function`, by contrast, heap-allocates most
-/// capturing lambdas. Oversized or over-aligned callables still work, they
-/// just fall back to the heap (and report it via heap_allocated(), which
-/// the allocation regression tests assert against).
+/// Compatibility alias: EventFn moved to util/event_fn.h (generalized to
+/// the signature-templated util::InlineFn) when the runtime seam was
+/// introduced — the callback type is shared by the discrete-event
+/// scheduler, the wall-clock runtime and the engine facade, none of which
+/// should depend on sim/ for it. Simulation code keeps spelling it
+/// sim::EventFn.
 
-#include <cstddef>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include "util/event_fn.h"
 
 namespace sbqa::sim {
 
-/// Move-only `void()` callable with ≥48 bytes of inline storage.
-class EventFn {
- public:
-  /// Inline capacity in bytes. Sized for the largest closure the simulator
-  /// schedules steadily (a mediator pointer plus a Query by value).
-  static constexpr size_t kInlineSize = 64;
-  static constexpr size_t kInlineAlign = alignof(std::max_align_t);
-  static_assert(kInlineSize >= 48, "contract: inline storage >= 48 bytes");
-
-  EventFn() noexcept = default;
-
-  /// Wraps any callable `f` invocable as `f()`. Stored inline when it fits
-  /// (size, alignment, nothrow-movable); heap-allocated otherwise.
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
-    using Fn = std::decay_t<F>;
-    if constexpr (kFitsInline<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-      ops_ = &kInlineOps<Fn>;
-    } else {
-      *PtrSlot() = new Fn(std::forward<F>(f));
-      ops_ = &kHeapOps<Fn>;
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
-
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      Reset();
-      MoveFrom(other);
-    }
-    return *this;
-  }
-
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-
-  ~EventFn() { Reset(); }
-
-  /// Invokes the wrapped callable; must not be empty.
-  void operator()() { ops_->invoke(storage_); }
-
-  explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-  /// Whether the wrapped callable lives on the heap (SBO miss). Exposed for
-  /// the zero-allocation regression tests.
-  bool heap_allocated() const noexcept {
-    return ops_ != nullptr && ops_->heap;
-  }
-
-  /// Compile-time query: would `Fn` be stored inline?
-  template <typename Fn>
-  static constexpr bool kFitsInline =
-      sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
-      std::is_nothrow_move_constructible_v<Fn>;
-
- private:
-  struct Ops {
-    void (*invoke)(void* storage);
-    /// Move-constructs into `dst` from `src` storage and destroys the
-    /// source object. noexcept by construction (inline storage requires a
-    /// nothrow move; the heap case just moves a pointer).
-    void (*relocate)(void* dst, void* src) noexcept;
-    void (*destroy)(void* storage) noexcept;
-    bool heap;
-  };
-
-  void** PtrSlot() noexcept {
-    return reinterpret_cast<void**>(static_cast<void*>(storage_));
-  }
-
-  void Reset() noexcept {
-    if (ops_ != nullptr) {
-      ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
-  void MoveFrom(EventFn& other) noexcept {
-    ops_ = other.ops_;
-    if (ops_ != nullptr) {
-      ops_->relocate(storage_, other.storage_);
-      other.ops_ = nullptr;
-    }
-  }
-
-  template <typename Fn>
-  static constexpr Ops kInlineOps = {
-      /*invoke=*/[](void* s) { (*static_cast<Fn*>(s))(); },
-      /*relocate=*/
-      [](void* dst, void* src) noexcept {
-        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
-        static_cast<Fn*>(src)->~Fn();
-      },
-      /*destroy=*/[](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
-      /*heap=*/false,
-  };
-
-  template <typename Fn>
-  static constexpr Ops kHeapOps = {
-      /*invoke=*/[](void* s) { (**static_cast<Fn**>(s))(); },
-      /*relocate=*/
-      [](void* dst, void* src) noexcept {
-        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
-      },
-      /*destroy=*/[](void* s) noexcept { delete *static_cast<Fn**>(s); },
-      /*heap=*/true,
-  };
-
-  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
-  const Ops* ops_ = nullptr;
-};
+using EventFn = util::EventFn;
 
 }  // namespace sbqa::sim
 

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "sim/scheduler.h"
+#include "sim/sim_runtime.h"
 #include "util/rng.h"
 
 namespace sbqa::sim {
@@ -61,6 +62,11 @@ class Simulation {
   Scheduler& scheduler() { return scheduler_; }
   Network& network();  // defined out of line (Network is forward-declared)
 
+  /// This simulation's runtime-seam adapter (see sim/sim_runtime.h): the
+  /// rt::Runtime face the mediation pipeline runs against. Driving a
+  /// mediator through it is bit-identical to the pre-seam engine.
+  SimRuntime& runtime() { return runtime_; }
+
   /// Root random stream (use NewRng() for per-entity streams).
   util::Rng& rng() { return rng_; }
 
@@ -78,6 +84,7 @@ class Simulation {
   util::Rng rng_;
   Scheduler scheduler_;
   std::unique_ptr<Network> network_;
+  SimRuntime runtime_{this};
 };
 
 }  // namespace sbqa::sim

@@ -1,0 +1,162 @@
+#ifndef SBQA_UTIL_EVENT_FN_H_
+#define SBQA_UTIL_EVENT_FN_H_
+
+/// \file
+/// InlineFn: a move-only, type-erased callable with small-buffer
+/// optimization, templated over its call signature. Every closure the
+/// runtime schedules on its hot path (a `this` pointer plus a handful of
+/// scalar ids) fits the inline buffer, so scheduling a task performs no
+/// heap allocation; `std::function`, by contrast, heap-allocates most
+/// capturing lambdas. Oversized or over-aligned callables still work, they
+/// just fall back to the heap (and report it via heap_allocated(), which
+/// the allocation regression tests assert against).
+///
+/// `EventFn` — the `void()` instantiation — is the callback type of the
+/// discrete-event scheduler, the cross-shard mailboxes and the runtime
+/// seam (rt::Runtime). The engine facade instantiates
+/// `InlineFn<void(const QueryResult&)>` for outcome callbacks so the
+/// wall-clock submit path stays allocation-free too.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sbqa::util {
+
+template <typename Signature>
+class InlineFn;
+
+/// Move-only `R(Args...)` callable with ≥48 bytes of inline storage.
+template <typename R, typename... Args>
+class InlineFn<R(Args...)> {
+ public:
+  /// Inline capacity in bytes. Sized for the largest closure the runtime
+  /// schedules steadily (a mediator pointer plus a Query by value).
+  static constexpr size_t kInlineSize = 64;
+  static constexpr size_t kInlineAlign = alignof(std::max_align_t);
+  static_assert(kInlineSize >= 48, "contract: inline storage >= 48 bytes");
+
+  InlineFn() noexcept = default;
+
+  /// Wraps any callable `f` invocable as `f(args...)`. Stored inline when
+  /// it fits (size, alignment, nothrow-movable); heap-allocated otherwise.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *PtrSlot() = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  /// Invokes the wrapped callable; must not be empty.
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Whether the wrapped callable lives on the heap (SBO miss). Exposed for
+  /// the zero-allocation regression tests.
+  bool heap_allocated() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+  /// Compile-time query: would `Fn` be stored inline?
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs into `dst` from `src` storage and destroys the
+    /// source object. noexcept by construction (inline storage requires a
+    /// nothrow move; the heap case just moves a pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  void** PtrSlot() noexcept {
+    return reinterpret_cast<void**>(static_cast<void*>(storage_));
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void MoveFrom(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      /*destroy=*/[](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+      /*heap=*/false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      /*destroy=*/[](void* s) noexcept { delete *static_cast<Fn**>(s); },
+      /*heap=*/true,
+  };
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// The runtime's task callback type (scheduler events, network deliveries,
+/// cross-shard mailbox messages, wall-clock timers).
+using EventFn = InlineFn<void()>;
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_EVENT_FN_H_

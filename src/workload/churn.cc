@@ -4,15 +4,15 @@
 
 namespace sbqa::workload {
 
-ChurnProcess::ChurnProcess(sim::Simulation* sim, core::Mediator* mediator,
+ChurnProcess::ChurnProcess(rt::Runtime* runtime, core::Mediator* mediator,
                            model::ProviderId provider,
                            const ChurnParams& params)
-    : sim_(sim),
+    : rt_(runtime),
       mediator_(mediator),
       provider_(provider),
       params_(params),
-      rng_(sim->NewRng()) {
-  SBQA_CHECK(sim_ != nullptr);
+      rng_(runtime->SplitRng()) {
+  SBQA_CHECK(rt_ != nullptr);
   SBQA_CHECK(mediator_ != nullptr);
   SBQA_CHECK_GT(params.mean_online, 0);
   SBQA_CHECK_GT(params.mean_offline, 0);
@@ -33,8 +33,7 @@ void ChurnProcess::Start() {
 void ChurnProcess::ScheduleToggle() {
   const double mean =
       online_ ? params_.mean_online : params_.mean_offline;
-  sim_->scheduler().Schedule(rng_.Exponential(1.0 / mean),
-                             [this] { Toggle(); });
+  rt_->Schedule(rng_.Exponential(1.0 / mean), [this] { Toggle(); });
 }
 
 void ChurnProcess::Toggle() {
@@ -47,7 +46,7 @@ void ChurnProcess::Toggle() {
 }
 
 std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
-    sim::Simulation* sim, core::Mediator* mediator,
+    rt::Runtime* runtime, core::Mediator* mediator,
     const std::vector<model::ProviderId>& providers,
     const ChurnParams& params) {
   std::vector<std::unique_ptr<ChurnProcess>> processes;
@@ -55,7 +54,7 @@ std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
   processes.reserve(providers.size());
   for (model::ProviderId p : providers) {
     processes.push_back(
-        std::make_unique<ChurnProcess>(sim, mediator, p, params));
+        std::make_unique<ChurnProcess>(runtime, mediator, p, params));
     processes.back()->Start();
   }
   return processes;

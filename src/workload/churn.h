@@ -20,8 +20,12 @@
 
 #include "core/mediator.h"
 #include "model/types.h"
-#include "sim/simulation.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
+
+namespace sbqa::sim {
+class Simulation;
+}  // namespace sbqa::sim
 
 namespace sbqa::workload {
 
@@ -39,7 +43,12 @@ struct ChurnParams {
 /// Drives one provider's availability through the mediator.
 class ChurnProcess {
  public:
-  /// All pointers must outlive the process.
+  /// All pointers must outlive the process. Runs on `runtime`'s executor.
+  ChurnProcess(rt::Runtime* runtime, core::Mediator* mediator,
+               model::ProviderId provider, const ChurnParams& params);
+
+  /// Convenience: runs on `sim`'s owned SimRuntime adapter (defined in
+  /// sim/sim_runtime.cc so this layer stays free of sim/ includes).
   ChurnProcess(sim::Simulation* sim, core::Mediator* mediator,
                model::ProviderId provider, const ChurnParams& params);
 
@@ -52,7 +61,7 @@ class ChurnProcess {
   void ScheduleToggle();
   void Toggle();
 
-  sim::Simulation* sim_;
+  rt::Runtime* rt_;
   core::Mediator* mediator_;
   model::ProviderId provider_;
   ChurnParams params_;
@@ -62,6 +71,12 @@ class ChurnProcess {
 };
 
 /// Creates and starts one ChurnProcess per provider id.
+std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
+    rt::Runtime* runtime, core::Mediator* mediator,
+    const std::vector<model::ProviderId>& providers,
+    const ChurnParams& params);
+
+/// Convenience overload over `sim`'s owned SimRuntime adapter.
 std::vector<std::unique_ptr<ChurnProcess>> StartChurn(
     sim::Simulation* sim, core::Mediator* mediator,
     const std::vector<model::ProviderId>& providers,
