@@ -8,14 +8,21 @@
 ///            [--volunteers=N] [--duration=S] [--seed=N]
 ///            [--env=captive|autonomous] [--mediators=N] [--shards=N]
 ///            [--k=N] [--kn=N] [--omega=adaptive|0..1]
+///            [--fault-profile=none|drops|delays|crashes|chaos]
+///            [--fault-seed=N] [--deadline-ms=N] [--max-retries=N]
 ///            [--churn] [--joins] [--charts] [--json] [--list-methods]
 ///
 /// Defaults reproduce Scenario 3/4 at the paper scale. --shards=N runs
 /// the multi-core sharded engine (one scheduler/mediator per shard,
 /// epoch-applied membership); every other flag composes with it.
-/// --list-methods prints the allocation-technique registry and exits;
-/// --json replaces the tables with a machine-readable run summary on
-/// stdout (comparison pipelines diff/plot it directly).
+/// --fault-profile interposes the deterministic fault plane between each
+/// mediator and its scheduler (seeded by --fault-seed, independent of the
+/// run seed); --deadline-ms stamps a per-query deadline and --max-retries
+/// enables re-mediation with backoff (plus the consecutive-failure health
+/// detector). --list-methods prints the allocation-technique registry and
+/// exits; --json replaces the tables with a machine-readable run summary
+/// on stdout (comparison pipelines diff/plot it directly), including the
+/// terminal-outcome taxonomy and fault counters.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +32,7 @@
 #include "experiments/demo_scenarios.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
+#include "runtime/fault.h"
 #include "util/string_util.h"
 
 using namespace sbqa;
@@ -42,6 +50,10 @@ struct Flags {
   size_t k = 20;
   size_t kn = 8;
   std::string omega = "adaptive";
+  std::string fault_profile = "none";
+  uint64_t fault_seed = 1;
+  double deadline_ms = 0;
+  int max_retries = 0;
   bool churn = false;
   bool joins = false;
   bool charts = false;
@@ -66,8 +78,11 @@ int Usage() {
       "                [--env=captive|autonomous] [--mediators=N]\n"
       "                [--shards=N]\n"
       "                [--k=N] [--kn=N] [--omega=adaptive|0..1]\n"
+      "                [--fault-profile=%s]\n"
+      "                [--fault-seed=N] [--deadline-ms=N] [--max-retries=N]\n"
       "                [--churn] [--joins] [--charts] [--json]\n"
-      "                [--list-methods]\n");
+      "                [--list-methods]\n",
+      rt::FaultProfileNames().c_str());
   return 2;
 }
 
@@ -129,6 +144,14 @@ int main(int argc, char** argv) {
       flags.kn = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--omega", &value)) {
       flags.omega = value;
+    } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
+      flags.fault_profile = value;
+    } else if (ParseFlag(argv[i], "--fault-seed", &value)) {
+      flags.fault_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      flags.deadline_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-retries", &value)) {
+      flags.max_retries = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--churn") == 0) {
       flags.churn = true;
     } else if (std::strcmp(argv[i], "--joins") == 0) {
@@ -144,7 +167,7 @@ int main(int argc, char** argv) {
     }
   }
   if (flags.volunteers == 0 || flags.duration <= 0 || flags.mediators == 0 ||
-      flags.shards == 0) {
+      flags.shards == 0 || flags.deadline_ms < 0 || flags.max_retries < 0) {
     return Usage();
   }
   if (flags.shards > 1 && flags.mediators > 1) {
@@ -172,6 +195,20 @@ int main(int argc, char** argv) {
         0.05 * static_cast<double>(flags.volunteers) / 200.0;
     config.joins.max_joins = flags.volunteers;
   }
+  config.fault_plan.seed = flags.fault_seed;
+  if (!rt::FaultProfileByName(flags.fault_profile, &config.fault_plan)) {
+    std::fprintf(stderr, "unknown fault profile: %s (known: %s)\n",
+                 flags.fault_profile.c_str(),
+                 rt::FaultProfileNames().c_str());
+    return 2;
+  }
+  config.query_deadline = flags.deadline_ms / 1000.0;
+  config.mediator.max_retries = flags.max_retries;
+  if (flags.max_retries > 0) {
+    // Retrying makes sense only with a health signal: suspect a provider
+    // after 3 consecutive failures and probe it back after 30s.
+    config.mediator.failure_threshold = 3;
+  }
 
   if (!flags.json) {
     std::printf("sbqa_cli: %s, %zu volunteers, %.0fs, %s, %zu mediator(s), "
@@ -188,6 +225,24 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::vector<experiments::RunResult> results{result};
+  if (config.fault_plan.enabled() || flags.max_retries > 0 ||
+      flags.deadline_ms > 0) {
+    const metrics::RunSummary& s = result.summary;
+    std::printf(
+        "robustness: %lld satisfied, %lld recovered, %lld timed out, "
+        "%lld failed (%lld retries; faults: %lld dropped, %lld delayed, "
+        "%lld crashed; %lld suspected, %lld probed)\n\n",
+        static_cast<long long>(s.queries_satisfied),
+        static_cast<long long>(s.queries_recovered),
+        static_cast<long long>(s.queries_timed_out),
+        static_cast<long long>(s.queries_failed),
+        static_cast<long long>(s.retry_attempts),
+        static_cast<long long>(s.fault_sends_dropped),
+        static_cast<long long>(s.fault_sends_delayed),
+        static_cast<long long>(s.fault_sends_crashed),
+        static_cast<long long>(s.providers_suspected),
+        static_cast<long long>(s.providers_probed));
+  }
   std::printf("%s\n", experiments::OverviewTable(results).ToString().c_str());
   std::printf("%s\n",
               experiments::PerformanceTable(results).ToString().c_str());

@@ -8,6 +8,15 @@
 ///
 ///   sbqa_serve [--queries=N] [--rate=Q_PER_S] [--providers=N]
 ///              [--method=NAME] [--seed=N]
+///              [--fault-profile=none|drops|delays|crashes|chaos]
+///              [--deadline-ms=N] [--max-retries=N] [--max-pending=N]
+///
+/// The robustness flags exercise the hardened lifecycle under live
+/// traffic: --fault-profile interposes the deterministic fault plane,
+/// --deadline-ms/--max-retries bound and recover each query, and
+/// --max-pending sheds (newest first, synchronously on the driver thread)
+/// once that many queries are in flight. The tail of the report breaks
+/// every outcome down by the terminal taxonomy.
 
 #include <atomic>
 #include <chrono>
@@ -30,6 +39,10 @@ struct Flags {
   int providers = 16;
   std::string method = "sbqa";
   uint64_t seed = 42;
+  std::string fault_profile = "none";
+  double deadline_ms = 0;
+  int max_retries = 0;
+  long max_pending = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -57,14 +70,30 @@ int main(int argc, char** argv) {
       flags.method = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
+      flags.fault_profile = value;
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      flags.deadline_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-retries", &value)) {
+      flags.max_retries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-pending", &value)) {
+      flags.max_pending = std::atol(value.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: sbqa_serve [--queries=N] [--rate=Q_PER_S] "
-                   "[--providers=N] [--method=NAME] [--seed=N]\n");
+                   "[--providers=N] [--method=NAME] [--seed=N]\n"
+                   "                  [--fault-profile=%s]\n"
+                   "                  [--deadline-ms=N] [--max-retries=N] "
+                   "[--max-pending=N]\n",
+                   rt::FaultProfileNames().c_str());
       return 2;
     }
   }
-  if (flags.queries <= 0 || flags.rate <= 0 || flags.providers <= 0) return 2;
+  if (flags.queries <= 0 || flags.rate <= 0 || flags.providers <= 0 ||
+      flags.deadline_ms < 0 || flags.max_retries < 0 ||
+      flags.max_pending < 0) {
+    return 2;
+  }
 
   std::printf("sbqa_serve: %ld queries at ~%.0f/s over %d providers, "
               "method %s (wall-clock runtime)\n\n",
@@ -80,6 +109,26 @@ int main(int argc, char** argv) {
   options.query_timeout = 2.0;
   // A small wheel (128 ms rotation) converges each bucket's capacity fast.
   options.wallclock.wheel_slots = 128;
+  if (!rt::FaultProfileByName(flags.fault_profile, &options.fault_plan)) {
+    std::fprintf(stderr, "unknown fault profile: %s (known: %s)\n",
+                 flags.fault_profile.c_str(),
+                 rt::FaultProfileNames().c_str());
+    return 2;
+  }
+  options.default_deadline = flags.deadline_ms / 1000.0;
+  options.max_retries = flags.max_retries;
+  if (flags.max_retries > 0) {
+    options.failure_threshold = 3;
+    options.probe_delay = 1.0;  // live traffic: probe suspects back fast
+    if (flags.deadline_ms > 0) {
+      // Split the deadline across the attempt budget: a retry can only
+      // fire if the attempt times out BEFORE the absolute deadline.
+      options.query_timeout =
+          std::min(options.query_timeout,
+                   flags.deadline_ms / 1000.0 / (flags.max_retries + 1));
+    }
+  }
+  options.max_pending = flags.max_pending;
   Engine engine(std::move(options));
 
   ConsumerOptions consumer_options;
@@ -98,10 +147,34 @@ int main(int argc, char** argv) {
 
   std::atomic<long> delivered{0};
   std::atomic<long> served{0};
-  const auto callback = [&delivered, &served](const QueryResult& result) {
+  // Terminal taxonomy, counted from the per-query callbacks (shed ones run
+  // synchronously on the driver thread, the rest on the service thread).
+  std::atomic<long> satisfied{0};
+  std::atomic<long> retried{0};
+  std::atomic<long> timed_out{0};
+  std::atomic<long> failed{0};
+  std::atomic<long> shed{0};
+  const auto callback = [&](const QueryResult& result) {
     delivered.fetch_add(1, std::memory_order_relaxed);
     if (result.results_received >= result.results_required) {
       served.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (result.outcome) {
+      case core::OutcomeKind::kSatisfied:
+        satisfied.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::OutcomeKind::kRetried:
+        retried.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::OutcomeKind::kTimedOut:
+        timed_out.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::OutcomeKind::kFailed:
+        failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::OutcomeKind::kShed:
+        shed.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
   };
 
@@ -146,8 +219,26 @@ int main(int argc, char** argv) {
               static_cast<double>(flags.queries) / wall_seconds);
   std::printf("mean response time : %.4f s\n", stats.mean_response_time);
   std::printf("mean satisfaction  : %.3f\n", stats.mean_satisfaction);
-  std::printf("timed out          : %lld\n",
-              static_cast<long long>(stats.queries_timed_out));
+  std::printf("outcome taxonomy   : %ld satisfied, %ld retried, "
+              "%ld timed out, %ld failed, %ld shed\n",
+              satisfied.load(), retried.load(), timed_out.load(),
+              failed.load(), shed.load());
+  if (stats.retry_attempts > 0 || stats.providers_suspected > 0) {
+    std::printf("recovery           : %lld retries, %lld suspected, "
+                "%lld probed\n",
+                static_cast<long long>(stats.retry_attempts),
+                static_cast<long long>(stats.providers_suspected),
+                static_cast<long long>(stats.providers_probed));
+  }
+  if (stats.fault_sends_dropped + stats.fault_sends_delayed +
+          stats.fault_sends_crashed >
+      0) {
+    std::printf("faults injected    : %lld dropped, %lld delayed, "
+                "%lld crashed\n",
+                static_cast<long long>(stats.fault_sends_dropped),
+                static_cast<long long>(stats.fault_sends_delayed),
+                static_cast<long long>(stats.fault_sends_crashed));
+  }
   std::printf("steady-state allocations/query: %.4f (%llu over %ld queries)\n",
               static_cast<double>(steady_allocs) /
                   static_cast<double>(steady_queries),

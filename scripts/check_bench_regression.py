@@ -32,9 +32,24 @@ and a fast one cannot mask a real one.
     wall-clock parallel speedup cannot exist without hardware
     parallelism, so single-core hosts only run the allocation gate.
 
+--mode chaos: gates a freshly measured BENCH_chaos.json and fails
+(exit 1) when
+
+  * any fault-rate sweep row is not terminally complete (submitted !=
+    finalized, or the outcome taxonomy does not sum to finalized) — the
+    fault plane must never leak a query, or
+  * the steady-state allocations-per-query of the retry ladder (full
+    timeout -> abandon -> backoff -> re-mediate cycle under a 100%-drop
+    plane) or of the synchronous shed path became nonzero, or
+  * the wall-clock cost per good query (satisfied + recovered) at 5%
+    dropped dispatches exceeds --max-fault-degradation (default 2.0)
+    times the fault-free baseline row of the same run — a same-host
+    ratio, so no machine normalization is needed.
+
 Usage: check_bench_regression.py <fresh.json> [<committed-baseline.json>]
-       [--max-regression 2.0] [--mode event_engine|sharding]
+       [--max-regression 2.0] [--mode event_engine|sharding|chaos]
        [--min-speedup 2.0] [--max-epoch-share 0.05]
+       [--max-fault-degradation 2.0]
 """
 
 import argparse
@@ -152,6 +167,51 @@ def check_sharding(fresh, min_speedup, max_epoch_share):
     return failed
 
 
+def check_chaos(fresh, max_fault_degradation):
+    failed = False
+
+    rows = {float(r["drop_prob"]): r for r in fresh["sweep"]}
+    for prob in sorted(rows):
+        row = rows[prob]
+        terminal = str(row["all_terminal"]) == "true"
+        print(f"drop {100 * prob:4.0f}%: {row['good_queries']}/"
+              f"{row['queries_finalized']} good, "
+              f"{row['retry_attempts']} retries, "
+              f"terminal={'yes' if terminal else 'NO'}")
+        if not terminal:
+            print("FAIL: a faulted run leaked queries (submitted != "
+                  "finalized or taxonomy does not sum)")
+            failed = True
+
+    for key, label in (("retry_per_query_steady_state", "retry ladder"),
+                       ("shed_per_query_steady_state", "shed path")):
+        allocs = float(fresh["allocations"][key])
+        print(f"steady-state allocations/query on the {label}: {allocs:.3f}")
+        if allocs != 0.0:
+            print(f"FAIL: the {label} is no longer allocation-free")
+            failed = True
+
+    baseline_row = rows.get(0.0)
+    faulted_row = rows.get(0.05)
+    if baseline_row is None or faulted_row is None:
+        print("FAIL: the sweep is missing the 0% or 5% drop row")
+        return True
+    baseline_ns = float(baseline_row["ns_per_good_query"])
+    faulted_ns = float(faulted_row["ns_per_good_query"])
+    if baseline_ns <= 0 or int(faulted_row["good_queries"]) <= 0:
+        print("FAIL: the sweep produced no good queries to compare")
+        return True
+    ratio = faulted_ns / baseline_ns
+    print(f"ns/good-query: 0% fault={baseline_ns:.0f} "
+          f"5% fault={faulted_ns:.0f} ratio={ratio:.2f}x "
+          f"(limit {max_fault_degradation:.2f}x)")
+    if ratio > max_fault_degradation:
+        print("FAIL: a 5% dispatch-drop rate degrades goodput cost beyond "
+              "the limit")
+        failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh")
@@ -161,7 +221,8 @@ def main():
                         help="event_engine: fail when machine-normalized "
                              "fresh ns/query exceeds baseline by more than "
                              "this factor")
-    parser.add_argument("--mode", choices=["event_engine", "sharding"],
+    parser.add_argument("--mode",
+                        choices=["event_engine", "sharding", "chaos"],
                         default="event_engine")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="sharding: minimum 4-shard end-to-end speedup "
@@ -170,6 +231,10 @@ def main():
                         help="sharding: maximum fraction of the turnover "
                              "run's wall time spent applying membership "
                              "epochs")
+    parser.add_argument("--max-fault-degradation", type=float, default=2.0,
+                        help="chaos: maximum ratio of ns/good-query at 5%% "
+                             "dropped dispatches over the fault-free "
+                             "baseline row")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -181,6 +246,8 @@ def main():
         with open(args.baseline) as f:
             baseline = json.load(f)
         failed = check_event_engine(fresh, baseline, args.max_regression)
+    elif args.mode == "chaos":
+        failed = check_chaos(fresh, args.max_fault_degradation)
     else:
         failed = check_sharding(fresh, args.min_speedup,
                                 args.max_epoch_share)

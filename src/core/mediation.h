@@ -5,6 +5,7 @@
 /// Mediation event types and the observer interface through which the
 /// metrics layer and experiment harness watch a running mediator.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/allocation_method.h"
@@ -34,6 +35,13 @@ struct QueryOutcome {
   bool timed_out = false;
   /// Whether no provider could be allocated at all.
   bool unallocated = false;
+  /// Whether the query was rejected at admission (overload shedding at the
+  /// facade). The mediator never sets this; the engine synthesizes shed
+  /// outcomes before the query reaches mediation.
+  bool shed = false;
+  /// Mediation attempts consumed (1 = no retry; > 1 means the query was
+  /// re-mediated after failed attempts).
+  int attempts = 1;
   /// δs(c, q) per Equation 1.
   double satisfaction = 0;
   /// Reconstructed per-query adequation over the consulted set.
@@ -43,6 +51,39 @@ struct QueryOutcome {
   /// Providers that returned a result.
   std::vector<model::ProviderId> performers;
 };
+
+/// First-class terminal outcome taxonomy: every query ends in exactly one
+/// of these (surfaced through mediator stats, RunSummary, Engine::Stats
+/// and the CLI).
+enum class OutcomeKind : uint8_t {
+  kSatisfied,  ///< >= 1 result, first attempt, before any deadline
+  kTimedOut,   ///< finalized by a deadline (with whatever results arrived)
+  kRetried,    ///< >= 1 result, but only after re-mediation (attempts > 1)
+  kFailed,     ///< no results at all (unallocated, or every attempt failed)
+  kShed,       ///< rejected at admission (overloaded facade)
+};
+
+/// Classifies a finalized outcome. Precedence: shed > unallocated/failed >
+/// timed out > retried > satisfied.
+inline OutcomeKind ClassifyOutcome(const QueryOutcome& outcome) {
+  if (outcome.shed) return OutcomeKind::kShed;
+  if (outcome.unallocated) return OutcomeKind::kFailed;
+  if (outcome.timed_out) return OutcomeKind::kTimedOut;
+  if (outcome.results_received <= 0) return OutcomeKind::kFailed;
+  return outcome.attempts > 1 ? OutcomeKind::kRetried
+                              : OutcomeKind::kSatisfied;
+}
+
+inline const char* OutcomeKindName(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kSatisfied: return "satisfied";
+    case OutcomeKind::kTimedOut: return "timed_out";
+    case OutcomeKind::kRetried: return "retried";
+    case OutcomeKind::kFailed: return "failed";
+    case OutcomeKind::kShed: return "shed";
+  }
+  return "unknown";
+}
 
 /// Callback interface for mediation events. All methods have empty default
 /// implementations; implementations must not re-enter the mediator.

@@ -24,6 +24,12 @@ Mediator::Mediator(rt::Runtime* runtime, Registry* registry,
   SBQA_CHECK(reputation_ != nullptr);
   SBQA_CHECK(method_ != nullptr);
   SBQA_CHECK_GT(config_.query_timeout, 0);
+  SBQA_CHECK_GE(config_.max_retries, 0);
+  SBQA_CHECK_GE(config_.retry_backoff_base, 0);
+  SBQA_CHECK_GE(config_.retry_backoff_cap, config_.retry_backoff_base);
+  SBQA_CHECK_GE(config_.retry_backoff_jitter, 0);
+  SBQA_CHECK_GE(config_.failure_threshold, 0);
+  if (config_.failure_threshold > 0) SBQA_CHECK_GT(config_.probe_delay, 0);
   inbox_ = rt_->RegisterDestination();
   // Size the dense per-provider tables for the population known at
   // construction, so the steady-state path never grows them (providers
@@ -132,6 +138,9 @@ Mediator::InflightHandle Mediator::AcquireInflight() {
   f.pending = 0;
   f.decision.Clear();
   f.instances.clear();
+  f.attempt = 1;
+  f.abs_deadline = kNoDeadline;
+  f.tried.clear();
   ++inflight_live_;
   return (static_cast<InflightHandle>(f.generation) << 32) | slot;
 }
@@ -161,6 +170,7 @@ void Mediator::ReleaseInflight(InflightHandle handle) {
 void Mediator::EnsureProviderTables(model::ProviderId provider) {
   const size_t needed = static_cast<size_t>(provider) + 1;
   if (load_view_.size() < needed) load_view_.resize(needed);
+  if (health_.size() < needed) health_.resize(needed);
   if (provider_inflight_.size() < needed) {
     const size_t old_size = provider_inflight_.size();
     provider_inflight_.resize(needed);
@@ -270,7 +280,12 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
   InFlight& f = inflight_pool_[SlotOf(h)];
   f.query = query;
   f.origin_shard = origin_shard;
+  if (query.deadline > 0) f.abs_deadline = query.issued_at + query.deadline;
+  Allocate(h, candidates);
+}
 
+void Mediator::Allocate(InflightHandle h, const CandidateSet& candidates) {
+  InFlight& f = inflight_pool_[SlotOf(h)];
   AllocationContext ctx;
   ctx.query = &f.query;
   ctx.candidates = &candidates;
@@ -293,6 +308,17 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
   if (decision.consumer_intentions.size() != decision.consulted.size()) {
     ComputeConsumerIntentions(f.query, decision.consulted,
                               &decision.consumer_intentions);
+  }
+  // Retries never go back to a provider that already failed this query.
+  if (!f.tried.empty()) {
+    size_t w = 0;
+    for (size_t i = 0; i < decision.selected.size(); ++i) {
+      if (std::find(f.tried.begin(), f.tried.end(), decision.selected[i]) ==
+          f.tried.end()) {
+        decision.selected[w++] = decision.selected[i];
+      }
+    }
+    decision.selected.resize(w);
   }
   // The mediator allocates to at most q.n providers (min(n, kn)).
   if (decision.selected.size() > static_cast<size_t>(f.query.n_results)) {
@@ -332,6 +358,13 @@ void Mediator::Dispatch(InflightHandle h) {
   }
 
   if (decision.selected.empty()) {
+    if (f->attempt > 1) {
+      // A retry found nobody new (every candidate already failed this
+      // query). Finalize decides: another attempt if budget remains —
+      // suspected providers may be probed back in — or terminal failure.
+      Finalize(h, /*timed_out=*/false);
+      return;
+    }
     // The method could not (or chose not to) allocate anybody, e.g. an
     // economic mediation with no affordable bid.
     const model::Query query = f->query;
@@ -355,13 +388,22 @@ void Mediator::Dispatch(InflightHandle h) {
     f->instances.push_back(inst);
   }
   f->pending = static_cast<int>(f->instances.size());
-  PushTimeout(rt_->now() + config_.query_timeout, h);
+  // Attempt deadline: the mediator constant, clamped to the query's own
+  // absolute deadline when it carries one.
+  PushTimeout(std::min(rt_->now() + config_.query_timeout, f->abs_deadline),
+              h, f->attempt);
 
   // Mediator -> provider hops (batched per provider inbox when enabled).
   const double cost = f->query.cost;
   for (model::ProviderId p : decision.selected) {
     ++stats_.instances_dispatched;
     EnsureProviderTables(p);
+    // A provider can die between selection and this dispatch event (a
+    // departure triggered by an earlier query in the same batch). The send
+    // still goes out (the arrival path accounts the failure), but count it
+    // explicitly: under the fault plane the arrival may never happen, and
+    // then only the attempt deadline reclaims the slot.
+    if (!registry_->provider(p).alive()) ++stats_.instances_dispatched_dead;
     LinkProviderInflight(p, h);
     if (config_.simulate_network) {
       rt_->SendTo(
@@ -452,18 +494,35 @@ void Mediator::OnResultReceived(InflightHandle h, model::ProviderId provider,
         inst.status == InstanceStatus::kPending) {
       inst.status = InstanceStatus::kCompleted;
       inst.valid = valid;
+      RecordProviderSuccess(provider);
       UnlinkProviderInflight(provider, h);
       if (--f->pending == 0) Finalize(h, /*timed_out=*/false);
       return;
     }
   }
+  // No matching pending instance: the attempt that dispatched this
+  // instance was abandoned (retry) or the instance was failed by a
+  // departure — the late result is dropped, never double-finalized.
 }
 
-void Mediator::PushTimeout(double deadline, InflightHandle h) {
-  SBQA_DCHECK(timeout_ring_.empty() ||
-              deadline >= timeout_ring_.back().deadline);
-  timeout_ring_.push_back(TimeoutEntry{deadline, h});
+void Mediator::PushTimeout(double deadline, InflightHandle h, int attempt) {
+  if (!timeout_ring_.empty() && deadline < timeout_ring_.back().deadline) {
+    // Out-of-order deadline (a per-query deadline shorter than the default
+    // timeout, or a retry clamped to its query's deadline): a dedicated
+    // one-shot timer instead of breaking the ring's FIFO invariant. Rare —
+    // deadline-free traffic keeps the single-sweep ring.
+    rt_->ScheduleAt(deadline,
+                    [this, h, attempt] { OnQueryDeadline(h, attempt); });
+    return;
+  }
+  timeout_ring_.push_back(TimeoutEntry{deadline, h, attempt});
   if (!timeout_sweep_armed_) ScheduleTimeoutSweep(deadline);
+}
+
+void Mediator::OnQueryDeadline(InflightHandle h, int attempt) {
+  InFlight* f = Resolve(h);
+  if (f == nullptr || f->attempt != attempt) return;  // stale
+  Finalize(h, /*timed_out=*/true);
 }
 
 void Mediator::ScheduleTimeoutSweep(double when) {
@@ -476,15 +535,16 @@ void Mediator::OnTimeoutSweep() {
   const double now = rt_->now();
   while (timeout_head_ < timeout_ring_.size()) {
     const TimeoutEntry entry = timeout_ring_[timeout_head_];
-    if (Resolve(entry.handle) == nullptr) {
-      // The query finalized before its deadline — the usual case; whole
-      // runs of stale entries are skipped by this one sweep.
+    const InFlight* f = Resolve(entry.handle);
+    if (f == nullptr || f->attempt != entry.attempt) {
+      // The query finalized — or moved on to a later attempt — before its
+      // deadline; whole runs of stale entries are skipped by this one
+      // sweep.
       ++timeout_head_;
       continue;
     }
     if (entry.deadline <= now) {
       ++timeout_head_;
-      ++stats_.queries_timed_out;
       Finalize(entry.handle, /*timed_out=*/true);
       continue;
     }
@@ -517,6 +577,8 @@ void ResetOutcome(QueryOutcome* outcome) {
   outcome->validated = false;
   outcome->timed_out = false;
   outcome->unallocated = false;
+  outcome->shed = false;
+  outcome->attempts = 1;
   outcome->satisfaction = 0;
   outcome->adequation = 0;
   outcome->allocation_satisfaction = 0;
@@ -546,11 +608,20 @@ void Mediator::FinalizeOutcome(uint32_t origin_shard, QueryOutcome* outcome) {
 void Mediator::Finalize(InflightHandle h, bool timed_out) {
   InFlight* f = Resolve(h);
   SBQA_CHECK(f != nullptr);
+  // Retry gate: a zero-result attempt with budget and deadline headroom is
+  // abandoned and re-mediated instead of finalized — the slot stays live.
+  if (MaybeScheduleRetry(h)) return;
+  // Accounting invariant: short of a deadline, an attempt only finalizes
+  // once every instance resolved (completed or failed) — a silently lost
+  // instance would show up here.
+  SBQA_DCHECK(timed_out || f->pending == 0);
+  if (timed_out) ++stats_.queries_timed_out;
   // No timeout cancellation: releasing the slot below turns the query's
   // timeout-ring entry stale, and the sweep skips it for free.
 
   QueryOutcome& outcome = BeginOutcome(f->query);
   outcome.timed_out = timed_out;
+  outcome.attempts = f->attempt;
 
   performer_intentions_scratch_.clear();
   for (Instance& inst : f->instances) {
@@ -559,6 +630,10 @@ void Mediator::Finalize(InflightHandle h, bool timed_out) {
       outcome.performers.push_back(inst.provider);
       performer_intentions_scratch_.push_back(inst.consumer_intention);
       if (inst.valid) ++outcome.valid_results;
+    } else if (timed_out && inst.status == InstanceStatus::kPending) {
+      // Terminal deadline with the instance still outstanding: the
+      // provider never responded — that is a health-detector failure.
+      RecordProviderFailure(inst.provider);
     }
   }
   outcome.results_received = static_cast<int>(outcome.performers.size());
@@ -589,8 +664,140 @@ void Mediator::FinalizeUnallocated(const model::Query& query,
   FinalizeOutcome(origin_shard, &outcome);
 }
 
+// --- Retry & health ----------------------------------------------------------
+
+double Mediator::RetryBackoff(int attempt) {
+  double backoff = config_.retry_backoff_base;
+  for (int i = 1; i < attempt && backoff < config_.retry_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > config_.retry_backoff_cap) {
+    backoff = config_.retry_backoff_cap;
+  }
+  if (config_.retry_backoff_jitter > 0) {
+    backoff *= 1.0 + config_.retry_backoff_jitter * rng_.NextDouble();
+  }
+  return backoff;
+}
+
+bool Mediator::MaybeScheduleRetry(InflightHandle h) {
+  if (config_.max_retries <= 0) return false;
+  InFlight* f = Resolve(h);
+  if (f->attempt > config_.max_retries) return false;  // budget exhausted
+  for (const Instance& inst : f->instances) {
+    // Any completed result: finalize with what we have, never re-mediate.
+    if (inst.status == InstanceStatus::kCompleted) return false;
+  }
+  const double backoff = RetryBackoff(f->attempt);
+  if (rt_->now() + backoff >= f->abs_deadline) return false;
+  AbandonAttempt(h);
+  ++f->attempt;
+  ++stats_.retry_attempts;
+  After(backoff, [this, h] { BeginRetry(h); });
+  return true;
+}
+
+void Mediator::AbandonAttempt(InflightHandle h) {
+  InFlight* f = Resolve(h);
+  for (Instance& inst : f->instances) {
+    if (inst.status == InstanceStatus::kPending) {
+      inst.status = InstanceStatus::kFailed;
+      ++stats_.instances_abandoned;
+      --f->pending;
+      UnlinkProviderInflight(inst.provider, h);
+    }
+    // Every provider of the abandoned attempt failed the query (that is
+    // the retry precondition): exclude it from later attempts and feed the
+    // health detector.
+    f->tried.push_back(inst.provider);
+    RecordProviderFailure(inst.provider);
+  }
+  SBQA_DCHECK(f->pending == 0);
+}
+
+void Mediator::BeginRetry(InflightHandle h) {
+  InFlight* f = Resolve(h);
+  if (f == nullptr) return;  // defensive: nothing can finalize mid-backoff
+  f->decision.Clear();
+  f->instances.clear();
+  f->pending = 0;
+  // Exclude already-tried providers BEFORE the method runs: a method that
+  // ranks the failed provider first would otherwise re-select it, only for
+  // Allocate's tried-filter to empty the (n_results-capped) selection —
+  // the retry must actually reach an alternate provider. Materializing is
+  // O(|Pq|), paid only on the faulted retry path, into pooled scratch.
+  const CandidateSet pool =
+      registry_->CandidatesForShard(shard_id_, f->query, &candidate_scratch_);
+  retry_scratch_.clear();
+  for (model::ProviderId p : pool.All()) {
+    if (std::find(f->tried.begin(), f->tried.end(), p) == f->tried.end()) {
+      retry_scratch_.push_back(p);
+    }
+  }
+  if (retry_scratch_.empty()) {
+    // Every candidate already failed this query (or the pool went dry
+    // between attempts). Finalize decides: yet another backoff if budget
+    // remains (a suspected provider may be probed back in meanwhile), else
+    // terminal failure. No cross-shard delegation for retries — the
+    // tried-set and outcome routing stay local.
+    Finalize(h, /*timed_out=*/false);
+    return;
+  }
+  const CandidateSet candidates(&retry_scratch_);
+  Allocate(h, candidates);
+}
+
+void Mediator::RecordProviderFailure(model::ProviderId provider) {
+  if (config_.failure_threshold <= 0) return;
+  EnsureProviderTables(provider);
+  ProviderHealth& health = health_[static_cast<size_t>(provider)];
+  if (health.suspected) return;
+  if (registry_->provider(provider).departed()) return;
+  if (++health.consecutive_failures < config_.failure_threshold) return;
+  health.consecutive_failures = 0;
+  health.suspected = true;
+  ++stats_.providers_suspected;
+  // Apply the suspension asynchronously: failures are observed mid-
+  // finalization, and taking the provider offline fails its OTHER pending
+  // instances — re-entering FailProviderInstances here would clobber the
+  // scratch of an in-progress sweep. In sharded mode the availability
+  // change defers to the epoch log anyway.
+  After(0, [this, provider] { SetProviderAvailability(provider, false); });
+  After(config_.probe_delay, [this, provider] { ProbeProvider(provider); });
+}
+
+void Mediator::RecordProviderSuccess(model::ProviderId provider) {
+  if (config_.failure_threshold <= 0) return;
+  health_[static_cast<size_t>(provider)].consecutive_failures = 0;
+}
+
+void Mediator::ProbeProvider(model::ProviderId provider) {
+  ProviderHealth& health = health_[static_cast<size_t>(provider)];
+  if (!health.suspected) return;
+  health.suspected = false;
+  health.consecutive_failures = 0;
+  ++stats_.providers_probed;
+  if (registry_->provider(provider).departed()) return;  // gone for good
+  SetProviderAvailability(provider, true);
+}
+
 void Mediator::RecordConsumerOutcome(QueryOutcome* outcome) {
   ++stats_.queries_finalized;
+  switch (ClassifyOutcome(*outcome)) {
+    case OutcomeKind::kSatisfied:
+      ++stats_.queries_satisfied;
+      break;
+    case OutcomeKind::kRetried:
+      ++stats_.queries_recovered;
+      break;
+    case OutcomeKind::kFailed:
+      // queries_unallocated already counts the unallocated flavour.
+      if (!outcome->unallocated) ++stats_.queries_failed;
+      break;
+    case OutcomeKind::kTimedOut:  // queries_timed_out (executing side)
+    case OutcomeKind::kShed:      // facade-level; never reaches a mediator
+      break;
+  }
   if (outcome->results_received >= outcome->results_required) {
     ++stats_.queries_fully_served;
   }

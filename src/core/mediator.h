@@ -65,6 +65,23 @@ struct MediatorConfig {
   /// omniscient queue knowledge. 0 = always fresh. Providers' *own*
   /// utilization (used in their intentions) is always fresh.
   double load_view_staleness = 0.0;
+  /// Retry budget: extra mediation attempts after one that ended with ZERO
+  /// completed results (every instance failed, or the attempt deadline
+  /// fired with nothing received). Each retry re-runs allocation against
+  /// providers not yet tried for this query, after a capped exponential
+  /// backoff. 0 disables re-mediation entirely (bit-identical to the
+  /// pre-retry pipeline).
+  int max_retries = 0;
+  double retry_backoff_base = 0.05;   ///< first backoff (seconds)
+  double retry_backoff_cap = 1.0;     ///< backoff ceiling, pre-jitter (s)
+  double retry_backoff_jitter = 0.1;  ///< extra uniform fraction [0, jitter)
+  /// Health detector: a provider accumulating this many CONSECUTIVE failed
+  /// instances (unresponsive or failing attempts; any completed result
+  /// resets the count) is suspected — taken offline through the normal
+  /// availability machinery (epoch-deferred in sharded mode) — and probed
+  /// back in after probe_delay seconds. 0 disables.
+  int failure_threshold = 0;
+  double probe_delay = 30.0;
 };
 
 /// Aggregate counters maintained by the mediator.
@@ -85,6 +102,26 @@ struct MediatorStats {
   /// the class was dry, and queries it mediated on behalf of a peer.
   int64_t queries_delegated = 0;
   int64_t queries_borrowed = 0;
+  /// Terminal outcome taxonomy (consumer-side: counted where the outcome
+  /// lands, like queries_finalized). kShed is facade-level and stays 0
+  /// here; kTimedOut is queries_timed_out above; kFailed splits into
+  /// queries_unallocated + queries_failed.
+  int64_t queries_satisfied = 0;  ///< kSatisfied terminals
+  int64_t queries_recovered = 0;  ///< kRetried terminals (saved by a retry)
+  int64_t queries_failed = 0;     ///< kFailed terminals minus unallocated
+  /// Re-mediations scheduled (attempts beyond each query's first).
+  int64_t retry_attempts = 0;
+  /// Pending instances written off when their attempt was abandoned for a
+  /// retry (their late results, if any, are dropped by the attempt guard).
+  int64_t instances_abandoned = 0;
+  /// Instances dispatched to a provider that was already dead at dispatch
+  /// (departed/offline between selection and the dispatch event); they are
+  /// accounted as failed on arrival — or by the attempt deadline when the
+  /// fault plane eats the dispatch.
+  int64_t instances_dispatched_dead = 0;
+  /// Health detector activity.
+  int64_t providers_suspected = 0;
+  int64_t providers_probed = 0;
   util::RunningStats response_time;
   util::RunningStats query_satisfaction;
 };
@@ -261,6 +298,12 @@ class Mediator {
   /// In-flight pool slots ever created (high-water mark of concurrency;
   /// steady-state mediation recycles them without allocating).
   size_t inflight_slot_capacity() const { return inflight_pool_.size(); }
+  /// Whether the health detector currently suspects `provider` (false
+  /// when the detector is disabled or the provider is unknown).
+  bool provider_suspected(model::ProviderId provider) const {
+    return static_cast<size_t>(provider) < health_.size() &&
+           health_[static_cast<size_t>(provider)].suspected;
+  }
 
  private:
   enum class InstanceStatus { kPending, kCompleted, kFailed };
@@ -280,6 +323,9 @@ class Mediator {
     bool valid = false;             ///< result passed validation
   };
 
+  /// "No per-query deadline" sentinel (far future).
+  static constexpr double kNoDeadline = 1e300;
+
   struct InFlight {
     model::Query query;
     /// The allocation decision, pooled with the slot. consulted /
@@ -295,6 +341,16 @@ class Mediator {
     /// mailbox).
     uint32_t origin_shard = 0;
     bool live = false;
+    /// Mediation attempt currently in flight (1 = first). Deadline events
+    /// and late instance traffic from an abandoned attempt are recognized
+    /// as stale by comparing against this.
+    int attempt = 1;
+    /// Absolute terminal deadline (issued_at + query.deadline), or
+    /// kNoDeadline when the query carries none.
+    double abs_deadline = kNoDeadline;
+    /// Providers whose instances failed in earlier attempts; retries never
+    /// select them again. Pooled — capacity survives slot reuse.
+    std::vector<model::ProviderId> tried;
   };
 
   /// One pending query timeout. The timeout duration is a mediator
@@ -306,6 +362,9 @@ class Mediator {
   struct TimeoutEntry {
     double deadline;
     InflightHandle handle;
+    /// Attempt the deadline belongs to: a retried query's old entry goes
+    /// stale (attempt mismatch) exactly like a finalized query's does.
+    int attempt;
   };
 
   /// Schedules `fn` after `delay` (or a zero-delay event when network
@@ -334,6 +393,9 @@ class Mediator {
   /// The shared mediation body: allocates `query` against this shard's
   /// candidate pool on behalf of `origin_shard`.
   void Mediate(model::Query query, uint32_t origin_shard);
+  /// Runs the allocation method for the query's current attempt and
+  /// schedules its dispatch (shared by first attempts and retries).
+  void Allocate(InflightHandle h, const CandidateSet& candidates);
   /// Borrow path: forwards a locally unallocatable query to a peer shard
   /// with candidates (per the directory). False when unsharded or nobody
   /// has candidates.
@@ -347,12 +409,33 @@ class Mediator {
                            double cost);
   void OnResultReceived(InflightHandle handle, model::ProviderId provider,
                         bool valid);
-  /// Registers the (FIFO) timeout deadline of a freshly dispatched query.
-  void PushTimeout(double deadline, InflightHandle handle);
+  /// Registers the deadline of a freshly dispatched attempt. Monotonic
+  /// deadlines ride the FIFO ring; out-of-order ones (per-query deadlines,
+  /// clamped retries) get a dedicated one-shot timer.
+  void PushTimeout(double deadline, InflightHandle handle, int attempt);
   void ScheduleTimeoutSweep(double when);
   /// Fires due timeouts and skips stale ring entries, then re-arms the
   /// sweep for the next live deadline.
   void OnTimeoutSweep();
+  /// One-shot deadline for an out-of-order PushTimeout entry.
+  void OnQueryDeadline(InflightHandle handle, int attempt);
+  /// Retry gate, consulted by Finalize: when the attempt produced zero
+  /// results and budget + deadline allow, abandons the attempt and
+  /// schedules a re-mediation (the query stays live). Returns whether a
+  /// retry was scheduled.
+  bool MaybeScheduleRetry(InflightHandle handle);
+  /// Fails the attempt's still-pending instances, unlinks them, and
+  /// records every attempted provider as tried (and as a health failure).
+  void AbandonAttempt(InflightHandle handle);
+  /// Re-runs mediation for a retried query after its backoff.
+  void BeginRetry(InflightHandle handle);
+  /// Capped exponential backoff (+ jitter) before attempt+1.
+  double RetryBackoff(int attempt);
+  /// Health detector bookkeeping: consecutive instance failures suspend a
+  /// provider through the availability machinery; a later probe revives it.
+  void RecordProviderFailure(model::ProviderId provider);
+  void RecordProviderSuccess(model::ProviderId provider);
+  void ProbeProvider(model::ProviderId provider);
   void Finalize(InflightHandle handle, bool timed_out);
   /// Finalizes a query that never got any provider, routing the outcome to
   /// `origin_shard`'s mediator when the query was borrowed.
@@ -428,6 +511,14 @@ class Mediator {
   /// (dense by provider id; consulted on provider departure).
   std::vector<std::vector<InflightHandle>> provider_inflight_;
 
+  /// Health detector state, dense by provider id (all zeros when
+  /// config_.failure_threshold == 0).
+  struct ProviderHealth {
+    int consecutive_failures = 0;
+    bool suspected = false;
+  };
+  std::vector<ProviderHealth> health_;
+
   /// Batching destinations: the mediator's own inbox (query arrivals and
   /// results fan into it) and one inbox per provider.
   rt::Destination inbox_ = rt::kNoDestination;
@@ -436,6 +527,9 @@ class Mediator {
   /// Reused per-query / per-sweep scratch — no heap allocation on the
   /// mediation hot path.
   std::vector<model::ProviderId> candidate_scratch_;
+  /// Retry candidate pool minus the query's tried set (explicit-list
+  /// CandidateSet backing; only the retry path touches it).
+  std::vector<model::ProviderId> retry_scratch_;
   std::vector<model::ProviderId> sweep_scratch_;
   std::vector<model::ProviderId> consulted_scratch_;
   std::vector<double> ect_scratch_;

@@ -39,6 +39,10 @@ struct Engine::Impl final : core::MediationObserver {
   /// Exactly one of these backs `runtime`.
   std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<rt::WallClockRuntime> wall;
+  /// When options.fault_plan is enabled, wraps the backing runtime and
+  /// becomes `runtime` — the mediation stack sees faults; the facade's own
+  /// control paths (Submit posts, probes) go through exempt delegation.
+  std::unique_ptr<rt::FaultInjector> fault;
   rt::Runtime* runtime = nullptr;
 
   core::Registry registry;
@@ -66,6 +70,8 @@ struct Engine::Impl final : core::MediationObserver {
   std::vector<Ticket> tickets;
   uint32_t ticket_free = kNoTicketSlot;
   std::atomic<int64_t> tickets_live{0};
+  /// Queries rejected at admission (max_pending / bounded submit queue).
+  std::atomic<int64_t> queries_shed{0};
 
   /// Whether a service thread owns the executor (then cross-thread reads
   /// of mediator state must hop through RunOnExecutor).
@@ -90,6 +96,34 @@ struct Engine::Impl final : core::MediationObserver {
     ticket.callback = std::move(callback);
     tickets_live.fetch_add(1, std::memory_order_relaxed);
     return MakeTicket(ticket.generation, slot);
+  }
+
+  /// Takes back a ticket whose query never reached the mediator (bounded
+  /// submit queue rejected it). Returns the callback for shed delivery.
+  OutcomeCallback ReclaimTicket(uint64_t id) {
+    const uint32_t slot = static_cast<uint32_t>(id);
+    std::lock_guard<std::mutex> lock(ticket_mu);
+    Ticket& ticket = tickets[slot];
+    OutcomeCallback callback = std::move(ticket.callback);
+    ticket.live = false;
+    if ((++ticket.generation & kGenerationMask) == 0) ticket.generation = 1;
+    ticket.next_free = ticket_free;
+    ticket_free = slot;
+    tickets_live.fetch_sub(1, std::memory_order_release);
+    return callback;
+  }
+
+  /// Synchronous shed delivery, on the CALLER's thread: the query was
+  /// rejected at admission and never reaches the executor.
+  void ShedQuery(OutcomeCallback callback) {
+    queries_shed.fetch_add(1, std::memory_order_relaxed);
+    if (!callback) return;
+    QueryResult result;
+    result.shed = true;
+    result.outcome = core::OutcomeKind::kShed;
+    result.submitted_at = runtime->now();
+    result.completed_at = result.submitted_at;
+    callback(result);
   }
 
   // --- MediationObserver -----------------------------------------------------
@@ -130,6 +164,9 @@ struct Engine::Impl final : core::MediationObserver {
     result.validated = outcome.validated;
     result.timed_out = outcome.timed_out;
     result.unallocated = outcome.unallocated;
+    result.shed = outcome.shed;
+    result.attempts = outcome.attempts;
+    result.outcome = core::ClassifyOutcome(outcome);
     result.satisfaction = outcome.satisfaction;
     result.adequation = outcome.adequation;
     result.allocation_satisfaction = outcome.allocation_satisfaction;
@@ -168,6 +205,19 @@ struct Engine::Impl final : core::MediationObserver {
     out.instances_completed = s.instances_completed;
     out.instances_failed = s.instances_failed;
     out.queries_in_flight = tickets_live.load(std::memory_order_relaxed);
+    out.queries_satisfied = s.queries_satisfied;
+    out.queries_recovered = s.queries_recovered;
+    out.queries_failed = s.queries_failed;
+    out.queries_shed = queries_shed.load(std::memory_order_relaxed);
+    out.retry_attempts = s.retry_attempts;
+    out.providers_suspected = s.providers_suspected;
+    out.providers_probed = s.providers_probed;
+    if (fault != nullptr) {
+      const rt::FaultStats& f = fault->stats();
+      out.fault_sends_dropped = f.sends_dropped;
+      out.fault_sends_delayed = f.sends_delayed;
+      out.fault_sends_crashed = f.sends_crashed;
+    }
     out.mean_response_time = s.response_time.mean();
     out.mean_satisfaction = s.query_satisfaction.mean();
     return out;
@@ -266,11 +316,27 @@ void Engine::Start() {
   impl.reputation = std::make_unique<model::ReputationRegistry>(
       impl.registry.provider_count());
 
+  // Interpose the fault plane before any destination is registered so the
+  // mediator's whole runtime view (sends, latency samples) goes through it.
+  if (impl.options.fault_plan.enabled()) {
+    impl.fault = std::make_unique<rt::FaultInjector>(impl.runtime,
+                                                     impl.options.fault_plan);
+    impl.runtime = impl.fault.get();
+  }
+
   core::MediatorConfig config;
   config.simulate_network = impl.options.mode == EngineMode::kSimulated &&
                             impl.options.simulate_network;
+  // The fault plane interposes on destination sends, so dispatches must
+  // route through them to be faultable. Under the wall-clock runtime this
+  // is behavior-neutral when no fault fires: SendTo is zero-latency
+  // deferred delivery and SampleLatency() is 0.
+  if (impl.fault != nullptr) config.simulate_network = true;
   config.query_timeout = impl.options.query_timeout;
   config.load_view_staleness = impl.options.load_view_staleness;
+  config.max_retries = impl.options.max_retries;
+  config.failure_threshold = impl.options.failure_threshold;
+  config.probe_delay = impl.options.probe_delay;
   impl.mediator = std::make_unique<core::Mediator>(
       impl.runtime, &impl.registry, impl.reputation.get(), std::move(method),
       config);
@@ -290,6 +356,14 @@ uint64_t Engine::Submit(const QueryRequest& request,
                         OutcomeCallback callback) {
   Impl& impl = *impl_;
   SBQA_CHECK(impl.started);
+  // Admission control: reject-newest once max_pending queries are in
+  // flight. The shed callback runs synchronously on the caller's thread.
+  if (impl.options.max_pending > 0 &&
+      impl.tickets_live.load(std::memory_order_acquire) >=
+          impl.options.max_pending) {
+    impl.ShedQuery(std::move(callback));
+    return 0;
+  }
   const uint64_t ticket = impl.AcquireTicket(std::move(callback));
   model::Query query;
   query.id = static_cast<model::QueryId>(ticket);
@@ -297,8 +371,20 @@ uint64_t Engine::Submit(const QueryRequest& request,
   query.query_class = request.query_class;
   query.n_results = request.n_results;
   query.cost = request.cost;
+  query.deadline = request.deadline > 0 ? request.deadline
+                                        : impl.options.default_deadline;
   core::Mediator* mediator = impl.mediator.get();
-  impl.runtime->Post([mediator, query] { mediator->SubmitQuery(query); });
+  util::EventFn task([mediator, query] { mediator->SubmitQuery(query); });
+  if (impl.wall != nullptr) {
+    if (!impl.wall->TryPost(std::move(task))) {
+      // The bounded submit queue is full: the executor never saw the
+      // query, so reclaim its ticket and shed at the door.
+      impl.ShedQuery(impl.ReclaimTicket(ticket));
+      return 0;
+    }
+  } else {
+    impl.runtime->Post(std::move(task));
+  }
   return ticket;
 }
 

@@ -38,8 +38,10 @@
 
 #include "core/allocation_method.h"
 #include "core/consumer.h"
+#include "core/mediation.h"
 #include "core/provider.h"
 #include "model/types.h"
+#include "runtime/fault.h"
 #include "runtime/wallclock_runtime.h"
 #include "util/event_fn.h"
 
@@ -76,6 +78,27 @@ struct EngineOptions {
   /// Age bound (seconds) of the mediator's provider-load view; 0 = fresh.
   double load_view_staleness = 0.0;
 
+  // --- Robustness -------------------------------------------------------------
+
+  /// Default per-query deadline in seconds (0 = none beyond query_timeout);
+  /// QueryRequest::deadline overrides it per query.
+  double default_deadline = 0.0;
+  /// Re-mediation attempts after a fully failed attempt (0 = legacy
+  /// single-shot behavior, bit-identical to earlier releases).
+  int max_retries = 0;
+  /// Consecutive failures before a provider is suspected and taken out of
+  /// allocation until a probe revives it (0 = detector off).
+  int failure_threshold = 0;
+  /// Seconds a suspected provider stays out before being probed back in.
+  double probe_delay = 30.0;
+  /// Admission bound: Submit sheds (rejects newest, synchronously) once
+  /// this many queries are in flight. 0 = unbounded.
+  int64_t max_pending = 0;
+  /// Deterministic fault injection interposed at the runtime seam (between
+  /// the mediation stack and its executor). Disabled by default; see
+  /// rt::FaultPlan / FaultProfileByName.
+  rt::FaultPlan fault_plan;
+
   // --- kSimulated only -------------------------------------------------------
 
   /// Model message latencies (log-normal) instead of zero-latency hops.
@@ -101,6 +124,9 @@ struct QueryRequest {
   int n_results = 1;
   /// Work demand in abstract units (seconds on a capacity-1 provider).
   double cost = 1.0;
+  /// Per-query deadline in seconds (0 = EngineOptions::default_deadline).
+  /// The outcome callback fires no later than this after submission.
+  double deadline = 0.0;
 };
 
 /// Everything the engine reports back about one finalized query.
@@ -116,6 +142,14 @@ struct QueryResult {
   bool validated = false;    ///< valid_results reached the consumer quorum
   bool timed_out = false;
   bool unallocated = false;  ///< no provider could be allocated
+  /// Rejected at admission (max_pending overload shedding); no mediation
+  /// happened and the callback ran synchronously inside Submit.
+  bool shed = false;
+  /// Mediation attempts consumed (> 1 after deadline/retry re-mediation).
+  int attempts = 1;
+  /// Terminal outcome classification (satisfied/timed_out/retried/failed/
+  /// shed) — the same taxonomy the mediator and CLI report.
+  core::OutcomeKind outcome = core::OutcomeKind::kSatisfied;
   /// Per-query satisfaction / adequation (paper Equation 1 family).
   double satisfaction = 0;
   double adequation = 0;
@@ -140,6 +174,20 @@ struct EngineStats {
   int64_t instances_failed = 0;
   /// Submitted queries whose outcome has not been delivered yet.
   int64_t queries_in_flight = 0;
+  // Terminal outcome taxonomy. satisfied + recovered + failed + timed_out
+  // covers every finalized query; shed queries never reach the mediator
+  // and are counted at admission.
+  int64_t queries_satisfied = 0;    ///< >= 1 result on the first attempt
+  int64_t queries_recovered = 0;    ///< >= 1 result, but only after retry
+  int64_t queries_failed = 0;       ///< no results (incl. unallocated)
+  int64_t queries_shed = 0;         ///< rejected at admission (max_pending)
+  int64_t retry_attempts = 0;       ///< re-mediations scheduled
+  int64_t providers_suspected = 0;  ///< health detector suspensions
+  int64_t providers_probed = 0;     ///< suspensions probed back in
+  // Fault-plane telemetry (all zero when no fault_plan is configured).
+  int64_t fault_sends_dropped = 0;
+  int64_t fault_sends_delayed = 0;
+  int64_t fault_sends_crashed = 0;
   double mean_response_time = 0;    ///< queries with >= 1 result
   double mean_satisfaction = 0;     ///< mean per-query Equation 1
 };
@@ -212,6 +260,11 @@ class Engine {
   /// (unless the engine is stopped first), on the executor. Thread-safe in
   /// kWallClock mode. Returns the query's ticket (also in the result).
   /// Allocation-free at steady state for inline-sized callbacks.
+  ///
+  /// Overload shedding: when admission is refused (max_pending in-flight
+  /// queries, or the wall-clock submit queue is at max_queue), the query
+  /// is rejected newest-first — the callback runs synchronously on the
+  /// CALLING thread with a kShed result and Submit returns ticket 0.
   uint64_t Submit(const QueryRequest& request, OutcomeCallback callback);
 
   // --- Time ------------------------------------------------------------------

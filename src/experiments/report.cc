@@ -200,6 +200,16 @@ void AppendRunSummaryJson(const RunResult& result, int indent,
   obj.Field("queries_timed_out", s.queries_timed_out);
   obj.Field("queries_delegated", s.queries_delegated);
   obj.Field("queries_borrowed", s.queries_borrowed);
+  obj.Field("queries_satisfied", s.queries_satisfied);
+  obj.Field("queries_recovered", s.queries_recovered);
+  obj.Field("queries_failed", s.queries_failed);
+  obj.Field("retry_attempts", s.retry_attempts);
+  obj.Field("instances_abandoned", s.instances_abandoned);
+  obj.Field("providers_suspected", s.providers_suspected);
+  obj.Field("providers_probed", s.providers_probed);
+  obj.Field("fault_sends_dropped", s.fault_sends_dropped);
+  obj.Field("fault_sends_delayed", s.fault_sends_delayed);
+  obj.Field("fault_sends_crashed", s.fault_sends_crashed);
   obj.Field("fully_served_fraction", s.fully_served_fraction);
   obj.Field("provider_departures", s.provider_departures);
   obj.Field("provider_offline_events", s.provider_offline_events);

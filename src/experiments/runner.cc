@@ -6,12 +6,43 @@
 #include "core/shard_directory.h"
 #include "metrics/collector.h"
 #include "model/reputation.h"
+#include "runtime/fault.h"
 #include "sim/shard_set.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sbqa::experiments {
 
 namespace {
+
+/// Upper bound on one query's lifetime after issue: attempts are clamped
+/// to query_timeout each, retries add capped+jittered backoffs, and the
+/// per-query deadline (when set) caps everything.
+double QueryLifetimeBound(const ScenarioConfig& config) {
+  const core::MediatorConfig& m = config.mediator;
+  double lifetime = m.query_timeout;
+  if (m.max_retries > 0) {
+    lifetime = (m.max_retries + 1) * m.query_timeout +
+               m.max_retries * m.retry_backoff_cap *
+                   (1.0 + m.retry_backoff_jitter);
+  }
+  if (config.query_deadline > 0) {
+    lifetime = std::min(lifetime, config.query_deadline);
+  }
+  return lifetime;
+}
+
+/// Sums injector telemetry into the run summary (no-op when unfaulted).
+void AccumulateFaultStats(
+    const std::vector<std::unique_ptr<rt::FaultInjector>>& injectors,
+    metrics::RunSummary* summary) {
+  for (const auto& injector : injectors) {
+    const rt::FaultStats& f = injector->stats();
+    summary->fault_sends_dropped += f.sends_dropped;
+    summary->fault_sends_delayed += f.sends_delayed;
+    summary->fault_sends_crashed += f.sends_crashed;
+  }
+}
 
 /// Epoch applier of the sharded runner: routes each membership op applied
 /// by Registry::AdvanceEpoch to the owning shard's mediator, and wires
@@ -99,13 +130,25 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
 
   model::ReputationRegistry reputation(registry.provider_count());
 
-  // One mediator per shard, then the cross-shard wiring.
+  // One mediator per shard, each optionally behind a fault injector whose
+  // streams derive from (fault_plan.seed, shard): bit-reproducible per
+  // (seed, plan, shard_count), and stream 0 IS the root plan seed so a
+  // 1-shard chaos run matches the unsharded path bit for bit. Injectors
+  // are declared before (so destroyed after) the mediators they back.
+  std::vector<std::unique_ptr<rt::FaultInjector>> injectors;
   std::vector<std::unique_ptr<core::Mediator>> mediators;
   std::vector<core::Mediator*> mediator_ptrs;
   mediators.reserve(shard_count);
   for (uint32_t s = 0; s < shard_count; ++s) {
+    rt::Runtime* runtime = &shards.shard(s).runtime();
+    if (config.fault_plan.enabled()) {
+      rt::FaultPlan plan = config.fault_plan;
+      plan.seed = util::Rng::StreamSeed(config.fault_plan.seed, s);
+      injectors.push_back(std::make_unique<rt::FaultInjector>(runtime, plan));
+      runtime = injectors.back().get();
+    }
     mediators.push_back(std::make_unique<core::Mediator>(
-        &shards.shard(s), &registry, &reputation, MakeMethod(config.method),
+        runtime, &registry, &reputation, MakeMethod(config.method),
         config.mediator));
     mediator_ptrs.push_back(mediators.back().get());
   }
@@ -166,6 +209,7 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
     workload::ArrivalParams arrivals;
     arrivals.rate = project.arrival_rate;
     arrivals.end_time = config.duration;
+    arrivals.deadline = config.query_deadline;
     generators.push_back(std::make_unique<workload::QueryGenerator>(
         &shards.shard(shard), mediator_ptrs[shard], ids[shard].get(),
         population.projects[i], arrivals, project.cost));
@@ -253,13 +297,15 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
 
   shards.RunUntil(config.duration);
   // Drain in-flight queries (and cross-shard mailboxes) so satisfaction /
-  // response accounting is complete.
-  const double drain_horizon = config.duration + config.mediator.query_timeout;
+  // response accounting is complete. The horizon covers the full retry
+  // budget when re-mediation is on.
+  const double drain_horizon = config.duration + QueryLifetimeBound(config);
   shards.RunUntil(drain_horizon);
   collector.FlushSharedObservers();  // settlement-window stragglers
 
   RunResult result;
   result.summary = collector.Summarize(config.duration);
+  AccumulateFaultStats(injectors, &result.summary);
   result.series = collector.series();
   result.consumers = collector.ConsumerSnapshots();
   result.providers = collector.ProviderSnapshots();
@@ -294,12 +340,22 @@ RunResult RunScenario(const ScenarioConfig& config) {
   // own method instance so per-method state like round-robin cursors stays
   // local, as it would on separate machines).
   const size_t mediator_count = std::max<size_t>(config.mediator_count, 1);
+  std::vector<std::unique_ptr<rt::FaultInjector>> injectors;
   std::vector<std::unique_ptr<core::Mediator>> mediators;
   std::vector<core::Mediator*> mediator_ptrs;
   mediators.reserve(mediator_count);
   for (size_t m = 0; m < mediator_count; ++m) {
+    rt::Runtime* runtime = &simulation.runtime();
+    if (config.fault_plan.enabled()) {
+      // Same stream derivation as the sharded path (mediator m == shard m),
+      // so mediator_count = 1 uses the root plan seed directly.
+      rt::FaultPlan plan = config.fault_plan;
+      plan.seed = util::Rng::StreamSeed(config.fault_plan.seed, m);
+      injectors.push_back(std::make_unique<rt::FaultInjector>(runtime, plan));
+      runtime = injectors.back().get();
+    }
     mediators.push_back(std::make_unique<core::Mediator>(
-        &simulation, &registry, &reputation, MakeMethod(config.method),
+        runtime, &registry, &reputation, MakeMethod(config.method),
         config.mediator));
     mediator_ptrs.push_back(mediators.back().get());
   }
@@ -333,6 +389,7 @@ RunResult RunScenario(const ScenarioConfig& config) {
     workload::ArrivalParams arrivals;
     arrivals.rate = project.arrival_rate;
     arrivals.end_time = config.duration;
+    arrivals.deadline = config.query_deadline;
     generators.push_back(std::make_unique<workload::QueryGenerator>(
         &simulation, mediator_ptrs[i % mediator_count], &ids,
         population.projects[i], arrivals, project.cost));
@@ -356,12 +413,14 @@ RunResult RunScenario(const ScenarioConfig& config) {
   collector.Start(config.duration);
   simulation.RunUntil(config.duration);
   // Drain in-flight queries so satisfaction/response accounting is complete
-  // (no new queries are generated past `duration`).
-  const double drain_horizon = config.duration + config.mediator.query_timeout;
+  // (no new queries are generated past `duration`). The horizon covers the
+  // full retry budget when re-mediation is on.
+  const double drain_horizon = config.duration + QueryLifetimeBound(config);
   simulation.RunUntil(drain_horizon);
 
   RunResult result;
   result.summary = collector.Summarize(config.duration);
+  AccumulateFaultStats(injectors, &result.summary);
   result.series = collector.series();
   result.consumers = collector.ConsumerSnapshots();
   result.providers = collector.ProviderSnapshots();

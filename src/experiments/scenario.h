@@ -13,6 +13,7 @@
 #include "core/departure.h"
 #include "core/mediator.h"
 #include "experiments/methods.h"
+#include "runtime/fault.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 #include "workload/churn.h"
@@ -37,8 +38,24 @@ struct ScenarioConfig {
   /// Allocation technique under test.
   MethodSpec method;
 
-  /// Mediator knobs (network simulation on/off, query timeout).
+  /// Mediator knobs (network simulation on/off, query timeout, retry
+  /// budget, provider health detection).
   core::MediatorConfig mediator;
+
+  /// Deterministic fault injection between each mediator and its
+  /// scheduler (dropped/delayed dispatches, provider crash windows,
+  /// latency skew). Disabled by default. Sharded runs derive shard s's
+  /// injector streams as StreamSeed(fault_plan.seed, s) — stream 0 is the
+  /// root seed, so a 1-shard chaos run is bit-identical to the unsharded
+  /// path. Faults act on the data plane only (provider dispatches); the
+  /// mediator inbox stays lossless so every query reaches a terminal
+  /// outcome.
+  rt::FaultPlan fault_plan;
+
+  /// Per-query deadline stamped on every generated query, in seconds
+  /// after issue (0 = none beyond the mediator's query_timeout). Bounds
+  /// retries: no attempt or backoff extends past issued_at + deadline.
+  double query_deadline = 0.0;
 
   /// Federation size: consumers are sharded round-robin over this many
   /// mediators, all sharing the registry/reputation. Each mediator keeps

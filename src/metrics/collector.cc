@@ -153,6 +153,14 @@ core::MediatorStats Collector::AggregateStats() const {
     total.consumer_retirements += s.consumer_retirements;
     total.queries_delegated += s.queries_delegated;
     total.queries_borrowed += s.queries_borrowed;
+    total.queries_satisfied += s.queries_satisfied;
+    total.queries_recovered += s.queries_recovered;
+    total.queries_failed += s.queries_failed;
+    total.retry_attempts += s.retry_attempts;
+    total.instances_abandoned += s.instances_abandoned;
+    total.instances_dispatched_dead += s.instances_dispatched_dead;
+    total.providers_suspected += s.providers_suspected;
+    total.providers_probed += s.providers_probed;
     total.response_time.Merge(s.response_time);
     total.query_satisfaction.Merge(s.query_satisfaction);
   }
@@ -318,6 +326,13 @@ RunSummary Collector::Summarize(double duration) const {
   s.queries_timed_out = ms.queries_timed_out;
   s.queries_delegated = ms.queries_delegated;
   s.queries_borrowed = ms.queries_borrowed;
+  s.queries_satisfied = ms.queries_satisfied;
+  s.queries_recovered = ms.queries_recovered;
+  s.queries_failed = ms.queries_failed;
+  s.retry_attempts = ms.retry_attempts;
+  s.instances_abandoned = ms.instances_abandoned;
+  s.providers_suspected = ms.providers_suspected;
+  s.providers_probed = ms.providers_probed;
   s.throughput = static_cast<double>(ms.queries_finalized) / duration;
   s.fully_served_fraction =
       ms.queries_finalized

@@ -62,6 +62,21 @@ struct RunSummary {
   double instances_cv = 0;       ///< CV of per-provider performed instances
   double mean_provider_busy_fraction = 0;  ///< busy_seconds / duration
 
+  // Robustness: terminal-outcome taxonomy and recovery counters (all zero
+  // unless retries / health detection are configured).
+  int64_t queries_satisfied = 0;    ///< >= 1 result on the first attempt
+  int64_t queries_recovered = 0;    ///< >= 1 result only after re-mediation
+  int64_t queries_failed = 0;       ///< allocated but no results at all
+  int64_t retry_attempts = 0;       ///< re-mediations scheduled
+  int64_t instances_abandoned = 0;  ///< pending instances written off by retries
+  int64_t providers_suspected = 0;  ///< health-detector suspensions
+  int64_t providers_probed = 0;     ///< suspensions probed back in
+
+  // Fault plane (all zero unless the scenario configures a fault plan).
+  int64_t fault_sends_dropped = 0;  ///< dispatches dropped by the injector
+  int64_t fault_sends_delayed = 0;  ///< dispatches deferred by the injector
+  int64_t fault_sends_crashed = 0;  ///< dispatches lost to crash windows
+
   // Validation (BOINC layer).
   double validated_fraction = 0;  ///< queries meeting their quorum
 

@@ -26,6 +26,11 @@ struct Query {
   double cost = 1.0;
   /// Simulation time at which the consumer issued the query.
   double issued_at = 0.0;
+  /// Optional per-query deadline in seconds after issue; 0 means "use the
+  /// mediator's default query timeout". The query reaches a terminal
+  /// outcome no later than issued_at + deadline (attempt timeouts and
+  /// retry backoffs are clamped to it).
+  double deadline = 0.0;
 };
 
 }  // namespace sbqa::model

@@ -167,6 +167,18 @@ void WallClockRuntime::Post(TaskFn fn) {
   submit_cv_.notify_one();
 }
 
+bool WallClockRuntime::TryPost(TaskFn fn) {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (options_.max_queue > 0 && submit_queue_.size() >= options_.max_queue) {
+      return false;  // reject-newest: fn is destroyed without running
+    }
+    submit_queue_.push_back(std::move(fn));
+  }
+  submit_cv_.notify_one();
+  return true;
+}
+
 Destination WallClockRuntime::RegisterDestination() {
   return next_destination_++;
 }

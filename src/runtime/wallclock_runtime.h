@@ -51,6 +51,12 @@ struct WallClockOptions {
   /// Test/replay seam: no service thread, no steady clock — the caller is
   /// the executor and drives time with AdvanceTo().
   bool manual_clock = false;
+  /// Bound on queued-but-undrained submissions: TryPost rejects (returns
+  /// false) once this many tasks are waiting for the executor, giving
+  /// callers a deterministic overload signal instead of an unbounded
+  /// queue. 0 = unbounded. Post itself is never bounded (internal
+  /// control-plane traffic must not be droppable).
+  size_t max_queue = 0;
 };
 
 /// rt::Runtime serving wall-clock traffic. Single executor thread; Post is
@@ -80,6 +86,13 @@ class WallClockRuntime final : public Runtime {
   TaskId ScheduleAt(Time when, TaskFn fn) override;
   bool Cancel(TaskId id) override;
   void Post(TaskFn fn) override;
+  /// Bounded admission variant of Post: enqueues and returns true unless
+  /// options.max_queue > 0 and that many submissions are already waiting,
+  /// in which case the task is rejected (returns false, fn destroyed).
+  /// Thread-safe like Post; the reject decision is made atomically under
+  /// the queue lock, so concurrent submitters shed deterministically by
+  /// arrival order at the lock.
+  bool TryPost(TaskFn fn);
   Destination RegisterDestination() override;
   /// Zero-latency deferred delivery: runs on the next service pass (never
   /// re-entrantly), preserving send order per pass.

@@ -61,6 +61,7 @@ void QueryGenerator::Issue() {
   query.query_class = consumer.params().query_class;
   query.n_results = consumer.params().n_results;
   query.cost = cost_.Sample(rng_);
+  query.deadline = arrivals_.deadline;
   ++issued_;
   mediator_->SubmitQuery(query);
   ScheduleNext();

@@ -54,6 +54,9 @@ struct ArrivalParams {
   /// Generation window.
   double start_time = 0.0;
   double end_time = 1e18;
+  /// Per-query deadline stamped on every issued query (seconds after
+  /// issue; 0 = none beyond the mediator's default timeout).
+  double deadline = 0.0;
 };
 
 /// Drives one consumer's query stream into the mediator.
