@@ -7,7 +7,7 @@
 /// allocations per query (measured live by the counting allocator).
 ///
 ///   sbqa_serve [--queries=N] [--rate=Q_PER_S] [--providers=N]
-///              [--method=NAME] [--seed=N]
+///              [--shards=N] [--method=NAME] [--seed=N]
 ///              [--fault-profile=none|drops|delays|crashes|chaos]
 ///              [--deadline-ms=N] [--max-retries=N] [--max-pending=N]
 ///
@@ -17,7 +17,13 @@
 /// --max-pending sheds (newest first, synchronously on the driver thread)
 /// once that many queries are in flight. The tail of the report breaks
 /// every outcome down by the terminal taxonomy.
+///
+/// --shards=N serves on the thread-per-shard backend (one worker per
+/// shard, barrier-connected); while traffic flows the driver prints a
+/// live per-shard stats line — queries/s, pending, shed and cross-shard
+/// borrow counts — read at a quiescent barrier via Engine::ShardStats().
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "sbqa.h"
 #include "util/counting_alloc.h"
@@ -37,6 +44,7 @@ struct Flags {
   long queries = 5000;
   double rate = 2000;  // queries per wall second
   int providers = 16;
+  int shards = 1;
   std::string method = "sbqa";
   uint64_t seed = 42;
   std::string fault_profile = "none";
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
       flags.rate = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--providers", &value)) {
       flags.providers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      flags.shards = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--method", &value)) {
       flags.method = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
@@ -81,7 +91,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: sbqa_serve [--queries=N] [--rate=Q_PER_S] "
-                   "[--providers=N] [--method=NAME] [--seed=N]\n"
+                   "[--providers=N] [--shards=N] [--method=NAME] [--seed=N]\n"
                    "                  [--fault-profile=%s]\n"
                    "                  [--deadline-ms=N] [--max-retries=N] "
                    "[--max-pending=N]\n",
@@ -90,20 +100,22 @@ int main(int argc, char** argv) {
     }
   }
   if (flags.queries <= 0 || flags.rate <= 0 || flags.providers <= 0 ||
-      flags.deadline_ms < 0 || flags.max_retries < 0 ||
+      flags.shards <= 0 || flags.deadline_ms < 0 || flags.max_retries < 0 ||
       flags.max_pending < 0) {
     return 2;
   }
 
   std::printf("sbqa_serve: %ld queries at ~%.0f/s over %d providers, "
-              "method %s (wall-clock runtime)\n\n",
+              "method %s (wall-clock runtime, %d shard%s)\n\n",
               flags.queries, flags.rate, flags.providers,
-              flags.method.c_str());
+              flags.method.c_str(), flags.shards,
+              flags.shards == 1 ? "" : "s");
 
   EngineOptions options;
   options.mode = EngineMode::kWallClock;
   options.seed = flags.seed;
   options.method = flags.method;
+  options.shards = static_cast<uint32_t>(flags.shards);
   // Short safety-net timeout: the sweep then passes often enough for the
   // FIFO timeout ring to stay compact at steady state.
   options.query_timeout = 2.0;
@@ -192,6 +204,29 @@ int main(int argc, char** argv) {
   request.n_results = 2;
   request.cost = 0.0005;  // ~0.5 ms of work on a capacity-1 provider
 
+  // Live per-shard stats line, ~1/s while traffic flows (sharded runs
+  // only): ShardStats() reads every shard at a quiescent barrier, so the
+  // rows are a consistent cross-shard cut even mid-traffic.
+  std::vector<long long> last_finalized(
+      flags.shards > 1 ? static_cast<size_t>(flags.shards) : 0, 0);
+  auto last_stats = std::chrono::steady_clock::now();
+  const auto print_shard_stats = [&](double dt) {
+    const std::vector<EngineShardStats> rows = engine.ShardStats();
+    std::printf("  [shards]");
+    for (const EngineShardStats& row : rows) {
+      const long long finalized = row.queries_finalized;
+      const double qps =
+          (finalized - last_finalized[row.shard]) / std::max(dt, 1e-9);
+      last_finalized[row.shard] = finalized;
+      std::printf(" s%u %.0f/s pend %lld", row.shard, qps,
+                  static_cast<long long>(row.queries_submitted - finalized));
+    }
+    long long borrowed = 0;
+    for (const EngineShardStats& row : rows) borrowed += row.queries_borrowed;
+    std::printf(" | shed %ld | borrowed %lld\n", shed.load(), borrowed);
+    std::fflush(stdout);
+  };
+
   const auto t0 = std::chrono::steady_clock::now();
   for (long submitted = 0; submitted < flags.queries;) {
     if (submitted == warmup) {
@@ -203,6 +238,15 @@ int main(int argc, char** argv) {
       engine.Submit(request, OutcomeCallback(callback));
     }
     std::this_thread::sleep_for(burst_gap);
+    if (flags.shards > 1) {
+      const auto now = std::chrono::steady_clock::now();
+      const double dt =
+          std::chrono::duration<double>(now - last_stats).count();
+      if (dt >= 1.0) {
+        last_stats = now;
+        print_shard_stats(dt);
+      }
+    }
   }
   const bool drained = engine.WaitIdle(10.0);
   const uint64_t steady_allocs =

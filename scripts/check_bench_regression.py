@@ -32,6 +32,19 @@ and a fast one cannot mask a real one.
     wall-clock parallel speedup cannot exist without hardware
     parallelism, so single-core hosts only run the allocation gate.
 
+--mode serve: gates a freshly measured BENCH_serve.json (the
+thread-per-shard wall-clock saturation sweep) and fails (exit 1) when
+
+  * the steady-state allocations-per-query of any sweep row is nonzero —
+    the live Submit -> mediate -> callback path must stay allocation-free
+    at every shard count (enforced on every host), or
+  * any sweep row did not terminate cleanly (submitted != finalized), or
+  * the 4-shard throughput speedup over 1 shard drops below
+    --min-speedup (default 2.0) — enforced only when the measuring host
+    has >= 4 cores (the JSON records host_cores); a single-core host
+    cannot exhibit parallel speedup, so it only runs the allocation and
+    completeness gates.
+
 --mode chaos: gates a freshly measured BENCH_chaos.json and fails
 (exit 1) when
 
@@ -47,7 +60,7 @@ and a fast one cannot mask a real one.
     ratio, so no machine normalization is needed.
 
 Usage: check_bench_regression.py <fresh.json> [<committed-baseline.json>]
-       [--max-regression 2.0] [--mode event_engine|sharding|chaos]
+       [--max-regression 2.0] [--mode event_engine|sharding|serve|chaos]
        [--min-speedup 2.0] [--max-epoch-share 0.05]
        [--max-fault-degradation 2.0]
 """
@@ -167,6 +180,50 @@ def check_sharding(fresh, min_speedup, max_epoch_share):
     return failed
 
 
+def check_serve(fresh, min_speedup):
+    failed = False
+    host_cores = int(fresh.get("host_cores", 0))
+
+    rows = {int(r["shards"]): r for r in fresh.get("sweep", [])}
+    if not rows:
+        print("FAIL: the serve bench JSON has no sweep rows")
+        return True
+    for shards in sorted(rows):
+        row = rows[shards]
+        allocs = float(row["allocs_per_query"])
+        complete = int(row["queries_finalized"]) == int(row["queries"])
+        print(f"{shards} shard(s): {row['qps']:.0f} queries/s, "
+              f"{allocs:.4f} allocs/query, "
+              f"{row['queries_finalized']}/{row['queries']} finalized")
+        if allocs != 0.0:
+            print(f"FAIL: the {shards}-shard serving steady state is no "
+                  "longer allocation-free")
+            failed = True
+        if not complete:
+            print(f"FAIL: the {shards}-shard run leaked queries "
+                  "(submitted != finalized)")
+            failed = True
+
+    one = rows.get(1)
+    four = rows.get(4)
+    if four is None:
+        print("NOTE: no 4-shard row (trimmed sweep) — speedup bar skipped")
+        return failed
+    speedup = float(four["qps"]) / float(one["qps"]) if one else 0.0
+    print(f"4-shard throughput speedup over 1 shard: {speedup:.2f}x on a "
+          f"{host_cores}-core host (bar {min_speedup:.2f}x, enforced at "
+          ">= 4 cores)")
+    if host_cores >= 4:
+        if speedup < min_speedup:
+            print("FAIL: 4-shard serving throughput speedup dropped below "
+                  "the bar")
+            failed = True
+    else:
+        print("NOTE: < 4 cores — the parallel-speedup bar is not "
+              "enforceable on this host; allocation gate only")
+    return failed
+
+
 def check_chaos(fresh, max_fault_degradation):
     failed = False
 
@@ -222,11 +279,12 @@ def main():
                              "fresh ns/query exceeds baseline by more than "
                              "this factor")
     parser.add_argument("--mode",
-                        choices=["event_engine", "sharding", "chaos"],
+                        choices=["event_engine", "sharding", "serve",
+                                 "chaos"],
                         default="event_engine")
     parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="sharding: minimum 4-shard end-to-end speedup "
-                             "on the largest sweep (hosts with >= 4 cores)")
+                        help="sharding/serve: minimum 4-shard speedup over "
+                             "1 shard (hosts with >= 4 cores)")
     parser.add_argument("--max-epoch-share", type=float, default=0.05,
                         help="sharding: maximum fraction of the turnover "
                              "run's wall time spent applying membership "
@@ -248,6 +306,8 @@ def main():
         failed = check_event_engine(fresh, baseline, args.max_regression)
     elif args.mode == "chaos":
         failed = check_chaos(fresh, args.max_fault_degradation)
+    elif args.mode == "serve":
+        failed = check_serve(fresh, args.min_speedup)
     else:
         failed = check_sharding(fresh, args.min_speedup,
                                 args.max_epoch_share)

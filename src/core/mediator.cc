@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "core/shard_directory.h"
-#include "sim/shard_set.h"
 #include "util/check.h"
 
 namespace sbqa::core {
@@ -67,7 +66,7 @@ void Mediator::NotifyPeersProviderGone(model::ProviderId provider) {
   }
 }
 
-void Mediator::ConfigureSharding(sim::ShardSet* shards, uint32_t shard,
+void Mediator::ConfigureSharding(rt::ShardFabric* shards, uint32_t shard,
                                  const ShardDirectory* directory,
                                  std::vector<Mediator*> shard_mediators) {
   SBQA_CHECK(shards != nullptr);
@@ -124,47 +123,15 @@ double Mediator::RoundTripLatency(size_t fanout) {
 // --- In-flight pool ----------------------------------------------------------
 
 Mediator::InflightHandle Mediator::AcquireInflight() {
-  uint32_t slot;
-  if (inflight_free_ != kNoSlot) {
-    slot = inflight_free_;
-    inflight_free_ = inflight_pool_[slot].next_free;
-    inflight_pool_[slot].next_free = kNoSlot;
-  } else {
-    inflight_pool_.emplace_back();
-    slot = static_cast<uint32_t>(inflight_pool_.size() - 1);
-  }
-  InFlight& f = inflight_pool_[slot];
-  f.live = true;
+  const InflightHandle h = inflight_pool_.Acquire();
+  InFlight& f = inflight_pool_.at(SlotOf(h));
   f.pending = 0;
   f.decision.Clear();
   f.instances.clear();
   f.attempt = 1;
   f.abs_deadline = kNoDeadline;
   f.tried.clear();
-  ++inflight_live_;
-  return (static_cast<InflightHandle>(f.generation) << 32) | slot;
-}
-
-Mediator::InFlight* Mediator::Resolve(InflightHandle handle) {
-  const uint32_t slot = SlotOf(handle);
-  const uint32_t generation = static_cast<uint32_t>(handle >> 32);
-  if (slot >= inflight_pool_.size()) return nullptr;
-  InFlight& f = inflight_pool_[slot];
-  if (!f.live || f.generation != generation) return nullptr;
-  return &f;
-}
-
-void Mediator::ReleaseInflight(InflightHandle handle) {
-  const uint32_t slot = SlotOf(handle);
-  InFlight& f = inflight_pool_[slot];
-  SBQA_CHECK(f.live);
-  f.live = false;
-  // Invalidate every handle ever issued for this slot; skip 0 so a handle
-  // can never alias a default-constructed one.
-  if (++f.generation == 0) f.generation = 1;
-  f.next_free = inflight_free_;
-  inflight_free_ = slot;
-  --inflight_live_;
+  return h;
 }
 
 void Mediator::EnsureProviderTables(model::ProviderId provider) {
@@ -183,6 +150,66 @@ void Mediator::EnsureProviderTables(model::ProviderId provider) {
   while (provider_dest_.size() < needed) {
     provider_dest_.push_back(rt_->RegisterDestination());
   }
+}
+
+void Mediator::ReserveProviderTables(model::ProviderId provider) {
+  EnsureProviderTables(provider);
+  PinDecisionSlots(static_cast<size_t>(provider) + 1);
+}
+
+void Mediator::PinDecisionSlots(size_t population) {
+  // Slot decision vectors hold consultation-width data, never
+  // full-population data: selected/instances are n_results-bounded, tried
+  // is attempts x n_results, consulted and the intention vectors are
+  // k-bounded. Pin them to min(population, a constant that comfortably
+  // exceeds any sane consultation width); past the cap a join can't widen
+  // what a slot needs, so membership epochs stay O(1) here — an uncapped
+  // population bound would re-walk every slot on every join and make
+  // epoch application dominate a churn sweep's wall time. The pin itself
+  // matters at Start: the pool's free list is LIFO, so the deepest slots
+  // are first touched at peak in-flight, which may land mid-measurement
+  // rather than in warm-up.
+  constexpr size_t kDecisionSlotReserve = 128;
+  const size_t bound = std::min(population, kDecisionSlotReserve);
+  if (bound <= decision_pin_bound_) return;
+  // Round up to a power of two so a wave of one-at-a-time joins below the
+  // cap re-walks the pool O(log cap) times total, not once per join.
+  size_t target = 16;
+  while (target < bound) target <<= 1;
+  decision_pin_bound_ = target;
+  const auto pin = [target](auto& vec) {
+    if (vec.capacity() < target) vec.reserve(target);
+  };
+  for (uint32_t slot = 0; slot < inflight_pool_.size(); ++slot) {
+    InFlight& f = inflight_pool_.at(slot);
+    pin(f.decision.selected);
+    pin(f.decision.consulted);
+    pin(f.decision.provider_intentions);
+    pin(f.decision.consumer_intentions);
+    pin(f.tried);
+    pin(f.instances);
+  }
+}
+
+void Mediator::ProvisionInflight(size_t slots) {
+  inflight_pool_.Provision(slots);
+  if (registry_->provider_count() > 0) {
+    // Re-pin from scratch: pre-Start joins may have pinned the slots that
+    // existed then, but Provision just created the rest.
+    decision_pin_bound_ = 0;
+    ReserveProviderTables(
+        static_cast<model::ProviderId>(registry_->provider_count() - 1));
+  }
+  // One provider can hold at most one link per live query, and allocation
+  // skew under saturation really does concentrate most of the cap on the
+  // most attractive providers — reserve each list to the full bound.
+  for (std::vector<InflightHandle>& list : provider_inflight_) {
+    list.reserve(slots);
+  }
+  // Floor for the timeout ring; its true high-water is time-based
+  // (timeout window x arrival rate), which steady traffic pins during
+  // warm-up once the capacity survives compaction (erase/clear keep it).
+  timeout_ring_.reserve(2 * slots);
 }
 
 void Mediator::LinkProviderInflight(model::ProviderId provider,
@@ -237,7 +264,7 @@ bool Mediator::TryDelegate(const model::Query& query) {
   Mediator* peer = shard_mediators_[target];
   const uint32_t origin = shard_id_;
   shard_set_->PostTo(shard_id_, target, rt_->now() + OneWayLatency(),
-                     sim::EventFn([peer, query, origin] {
+                     rt::TaskFn([peer, query, origin] {
                        peer->OnDelegatedQuery(query, origin);
                      }));
   return true;
@@ -250,7 +277,7 @@ void Mediator::RouteOutcomeHome(uint32_t origin_shard,
   // inline buffer). Acceptable: the borrow path is the rare fallback, not
   // the steady-state allocation-free path.
   shard_set_->PostTo(shard_id_, origin_shard, rt_->now() + OneWayLatency(),
-                     sim::EventFn([home, copy = outcome]() mutable {
+                     rt::TaskFn([home, copy = outcome]() mutable {
                        home->OnDelegatedOutcome(std::move(copy));
                      }));
 }
@@ -277,7 +304,7 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
   }
 
   const InflightHandle h = AcquireInflight();
-  InFlight& f = inflight_pool_[SlotOf(h)];
+  InFlight& f = inflight_pool_.at(SlotOf(h));
   f.query = query;
   f.origin_shard = origin_shard;
   if (query.deadline > 0) f.abs_deadline = query.issued_at + query.deadline;
@@ -285,7 +312,7 @@ void Mediator::Mediate(model::Query query, uint32_t origin_shard) {
 }
 
 void Mediator::Allocate(InflightHandle h, const CandidateSet& candidates) {
-  InFlight& f = inflight_pool_[SlotOf(h)];
+  InFlight& f = inflight_pool_.at(SlotOf(h));
   AllocationContext ctx;
   ctx.query = &f.query;
   ctx.candidates = &candidates;

@@ -39,11 +39,12 @@
 #include "model/query.h"
 #include "model/reputation.h"
 #include "runtime/runtime.h"
+#include "runtime/shard_fabric.h"
 #include "util/rng.h"
+#include "util/slot_pool.h"
 #include "util/stats.h"
 
 namespace sbqa::sim {
-class ShardSet;
 class Simulation;
 }  // namespace sbqa::sim
 
@@ -163,7 +164,8 @@ class Mediator {
   void SetPeers(std::vector<Mediator*> peers);
 
   /// Sharded mode: wires this mediator as shard `shard`'s mediator of a
-  /// ShardSet. Its candidate pool becomes registry partition `shard`, its
+  /// shard fabric (sim::ShardSet or rt::WallClockShardSet). Its candidate
+  /// pool becomes registry partition `shard`, its
   /// departure sweep covers only shard-owned participants, and a dry
   /// candidate pool triggers the cross-shard borrow path: the query is
   /// forwarded over the mailbox to the first shard (fixed wrap-around
@@ -173,7 +175,7 @@ class Mediator {
   /// ever touched by its owning shard, and consumer state by its own.
   /// `shards` and `directory` must outlive the mediator;
   /// `shard_mediators[s]` is shard s's mediator (including this one).
-  void ConfigureSharding(sim::ShardSet* shards, uint32_t shard,
+  void ConfigureSharding(rt::ShardFabric* shards, uint32_t shard,
                          const ShardDirectory* directory,
                          std::vector<Mediator*> shard_mediators);
 
@@ -206,7 +208,7 @@ class Mediator {
 
   /// Whether membership mutations (availability churn, departures, joins)
   /// defer to the registry's epoch log instead of applying immediately.
-  /// True exactly when the mediator is wired into a ShardSet.
+  /// True exactly when the mediator is wired into a shard fabric.
   bool deferred_membership() const { return shard_set_ != nullptr; }
 
   // --- Epoch-applier entry points (barrier driver, workers parked) ----------
@@ -223,6 +225,23 @@ class Mediator {
   /// Idempotent — the membership log may hold duplicate departure ops for
   /// one window.
   void ApplyProviderDeparture(model::ProviderId provider);
+
+  /// Pre-grows the dense per-provider tables to cover `provider`
+  /// (inclusive) and, while the population is still below the
+  /// consultation-width cap, pins every pooled in-flight decision's
+  /// vectors — so the growth allocations happen at the barrier, not on a
+  /// recycled slot's first wide mediation mid-query. Beyond the cap a
+  /// join is O(population) amortized, independent of the pool size.
+  /// Must run on this mediator's shard context (or with its worker parked).
+  void ReserveProviderTables(model::ProviderId provider);
+
+  /// Pre-sizes the in-flight pool to `slots` slots and pins every slot's
+  /// decision vectors at the consultation-width bound. With an admission
+  /// cap of `slots` in-flight queries the mediation path then never grows
+  /// the pool or a pooled vector: the high-water mark exists before the
+  /// first query instead of being discovered (allocation by allocation)
+  /// under load. Call at Start, after the population is registered.
+  void ProvisionInflight(size_t slots);
 
   // --- Helpers for allocation methods --------------------------------------
 
@@ -294,7 +313,7 @@ class Mediator {
   AllocationMethod& method() { return *method_; }
   const MediatorConfig& config() const { return config_; }
   /// Queries submitted but not yet finalized.
-  size_t inflight_count() const { return inflight_live_; }
+  size_t inflight_count() const { return inflight_pool_.live_count(); }
   /// In-flight pool slots ever created (high-water mark of concurrency;
   /// steady-state mediation recycles them without allocating).
   size_t inflight_slot_capacity() const { return inflight_pool_.size(); }
@@ -307,8 +326,6 @@ class Mediator {
 
  private:
   enum class InstanceStatus { kPending, kCompleted, kFailed };
-
-  static constexpr uint32_t kNoSlot = UINT32_MAX;
 
   /// Slot-versioned handle to a pooled InFlight entry; scheduled events and
   /// the per-provider inflight lists carry these 8-byte handles instead of
@@ -334,13 +351,10 @@ class Mediator {
     AllocationDecision decision;
     std::vector<Instance> instances;
     int pending = 0;
-    uint32_t generation = 1;
-    uint32_t next_free = kNoSlot;
     /// Shard whose consumer issued the query (== the mediator's own shard
     /// except for borrowed queries, whose outcomes route home over the
     /// mailbox).
     uint32_t origin_shard = 0;
-    bool live = false;
     /// Mediation attempt currently in flight (1 = first). Deadline events
     /// and late instance traffic from an abandoned attempt are recognized
     /// as stale by comparing against this.
@@ -375,10 +389,15 @@ class Mediator {
   /// round-trip to the consumer and the consulted providers in parallel).
   double RoundTripLatency(size_t fanout);
 
-  /// Pool plumbing.
+  /// Pool plumbing. Acquire resets the per-query fields (the pool keeps
+  /// payloads across reuse for their vector capacities).
   InflightHandle AcquireInflight();
-  InFlight* Resolve(InflightHandle handle);
-  void ReleaseInflight(InflightHandle handle);
+  InFlight* Resolve(InflightHandle handle) {
+    return inflight_pool_.Resolve(handle);
+  }
+  void ReleaseInflight(InflightHandle handle) {
+    inflight_pool_.Release(handle);
+  }
   static uint32_t SlotOf(InflightHandle handle) {
     return static_cast<uint32_t>(handle);
   }
@@ -386,6 +405,9 @@ class Mediator {
   /// Dense per-provider tables (load view, inflight lists, batching
   /// destinations) sized on demand when providers join at runtime.
   void EnsureProviderTables(model::ProviderId provider);
+  /// Reserves every pooled slot's decision vectors at
+  /// min(population, consultation-width cap); no-op once pinned there.
+  void PinDecisionSlots(size_t population);
   void LinkProviderInflight(model::ProviderId provider, InflightHandle h);
   void UnlinkProviderInflight(model::ProviderId provider, InflightHandle h);
 
@@ -483,7 +505,7 @@ class Mediator {
 
   /// Sharded-mode wiring (null/empty when unsharded; shard_id_ 0 then
   /// selects registry partition 0 == the whole population).
-  sim::ShardSet* shard_set_ = nullptr;
+  rt::ShardFabric* shard_set_ = nullptr;
   const ShardDirectory* directory_ = nullptr;
   std::vector<Mediator*> shard_mediators_;
   uint32_t shard_id_ = 0;
@@ -496,10 +518,12 @@ class Mediator {
   };
   std::vector<LoadReport> load_view_;
 
-  /// Slot-versioned in-flight pool + free list.
-  std::vector<InFlight> inflight_pool_;
-  uint32_t inflight_free_ = kNoSlot;
-  size_t inflight_live_ = 0;
+  /// Slot-versioned in-flight pool.
+  util::SlotPool<InFlight> inflight_pool_;
+  /// Bound every pooled slot's decision vectors are currently reserved at
+  /// (power of two, capped at the consultation width — see
+  /// PinDecisionSlots).
+  size_t decision_pin_bound_ = 0;
 
   /// FIFO timeout ring (deadline-ordered by construction) + the single
   /// armed sweep event.

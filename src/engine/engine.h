@@ -114,6 +114,26 @@ struct EngineOptions {
   /// caller-driven replay executor (AdvanceTo instead of a service
   /// thread) — the deterministic-test seam.
   rt::WallClockOptions wallclock;
+
+  /// Thread-per-shard serving (kWallClock only): shards > 1 partitions the
+  /// mediation stack into that many wall-clock shards — one worker thread,
+  /// runtime and mediator partition each — exchanging traffic through the
+  /// barrier mailbox protocol (rt::WallClockShardSet). Submit hash-routes
+  /// each query to its consumer's owner shard; a shard whose candidate
+  /// pool runs dry borrows from the least-loaded peer, exactly like the
+  /// sharded simulation. shards == 1 is the classic single-runtime engine,
+  /// behaviorally identical to earlier releases. With
+  /// `wallclock.manual_clock` the shard set runs without worker threads
+  /// and RunFor drives deterministic lock-step barrier windows.
+  uint32_t shards = 1;
+  /// Barrier window width in seconds (sharded only): cross-shard hops and
+  /// control-plane ops (Stats, post-Start membership) pay at most one
+  /// window of extra latency; every window costs one all-shard rendezvous.
+  double shard_barrier_tick = 0.002;
+  /// Outbox fill count at which a shard pulls the barrier early instead of
+  /// letting buffered cross-shard traffic ripen a whole tick (0 = barriers
+  /// fire on time only).
+  size_t shard_outbox_fill = 64;
 };
 
 /// One query submission.
@@ -188,8 +208,26 @@ struct EngineStats {
   int64_t fault_sends_dropped = 0;
   int64_t fault_sends_delayed = 0;
   int64_t fault_sends_crashed = 0;
+  // Sharded serving (all zero when shards == 1).
+  int64_t queries_delegated = 0;    ///< cross-shard borrows forwarded
+  int64_t queries_borrowed = 0;     ///< queries mediated for a peer shard
+  int64_t shard_barriers = 0;       ///< barrier rendezvous performed
+  int64_t shard_early_barriers = 0; ///< barriers pulled by outbox fill
   double mean_response_time = 0;    ///< queries with >= 1 result
   double mean_satisfaction = 0;     ///< mean per-query Equation 1
+};
+
+/// One shard's live counters (sharded kWallClock engines only; see
+/// Engine::ShardStats). Read at a barrier, so the rows are a consistent
+/// cross-shard cut.
+struct EngineShardStats {
+  uint32_t shard = 0;
+  int64_t queries_submitted = 0;
+  int64_t queries_finalized = 0;
+  int64_t queries_delegated = 0;  ///< borrows this shard sent to peers
+  int64_t queries_borrowed = 0;   ///< borrows this shard served for peers
+  int64_t pending_timers = 0;     ///< live timers on the shard's wheel
+  int64_t tasks_executed = 0;     ///< tasks the shard's executor ran
 };
 
 /// Point-in-time view of one participant.
@@ -235,7 +273,16 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // --- Population building (before Start) ------------------------------------
+  // --- Population building ---------------------------------------------------
+  //
+  // Before Start() these mutate the registry directly. AFTER Start() they
+  // remain valid from any driver thread: the mutation is applied at a
+  // quiescent point of the running engine — through the registry's epoch
+  // JOIN LOG at the next barrier in sharded mode (every worker parked, the
+  // owner shard assigned by the deterministic join hash), or on the
+  // executor in single-runtime mode — and the call blocks until it took
+  // effect. In-flight queries are unaffected. Do not call from an outcome
+  // callback (executor context): the quiescent point would wait on itself.
 
   model::ProviderId AddProvider(const ProviderOptions& options);
   model::ConsumerId AddConsumer(const ConsumerOptions& options);
@@ -285,6 +332,9 @@ class Engine {
 
   EngineStats Stats() const;
   EngineSnapshot Snapshot() const;
+  /// Per-shard counters, one consistent barrier cut (empty when the engine
+  /// is not sharded). Thread-safe like Stats.
+  std::vector<EngineShardStats> ShardStats() const;
 
  private:
   struct Impl;

@@ -72,6 +72,11 @@ class RunnerMembership final : public core::MembershipApplier {
 
   void OnProviderJoined(model::ProviderId provider) override {
     reputation_->GrowTo(registry_->provider_count());
+    // Table growth happens here at the barrier, never on first contact
+    // mid-query — keeps the per-query steady state allocation-free.
+    for (core::Mediator* mediator : mediators_) {
+      mediator->ReserveProviderTables(provider);
+    }
     if (churn_.enabled) {
       // The newcomer's availability process lives on its owner shard; its
       // first toggle (possibly "start offline") queues into the NEXT

@@ -17,10 +17,6 @@ uint32_t RoundUpPow2(uint32_t n) {
 
 uint32_t SlotOf(TaskId id) { return static_cast<uint32_t>(id); }
 
-TaskId MakeId(uint32_t generation, uint32_t slot) {
-  return (static_cast<TaskId>(generation) << 32) | slot;
-}
-
 }  // namespace
 
 WallClockRuntime::WallClockRuntime(const WallClockOptions& options)
@@ -44,6 +40,16 @@ WallClockRuntime::WallClockRuntime(const WallClockOptions& options)
   due_scratch_.reserve(256);
   drain_scratch_.reserve(256);
   submit_queue_.reserve(256);
+  if (options_.reserve_timers > 0) {
+    timers_.Provision(options_.reserve_timers);
+    slot_capacity_.store(timers_.size(), std::memory_order_relaxed);
+    // The zero-delay queue and the due-timer scratch scale with the same
+    // in-flight bound as the pool itself: a saturated pass can have every
+    // provisioned timer due (or chained) at once.
+    immediate_.reserve(options_.reserve_timers);
+    immediate_scratch_.reserve(options_.reserve_timers);
+    due_scratch_.reserve(options_.reserve_timers);
+  }
 }
 
 WallClockRuntime::~WallClockRuntime() { Stop(); }
@@ -85,39 +91,9 @@ double WallClockRuntime::SecondsSinceStart() const {
 
 // --- Timer pool --------------------------------------------------------------
 
-uint32_t WallClockRuntime::AcquireSlot() {
-  uint32_t slot;
-  if (free_head_ != kNoSlot) {
-    slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = kNoSlot;
-  } else {
-    slots_.emplace_back();
-    slot = static_cast<uint32_t>(slots_.size() - 1);
-    slot_capacity_.store(slots_.size(), std::memory_order_relaxed);
-  }
-  return slot;
-}
-
-void WallClockRuntime::ReleaseSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
-  SBQA_CHECK(s.live);
-  s.live = false;
-  // Invalidate every handle ever issued for this slot; skip 0 so a handle
-  // can never alias the null TaskId.
-  if (++s.generation == 0) s.generation = 1;
-  s.next_free = free_head_;
-  free_head_ = slot;
+void WallClockRuntime::ReleaseTimer(uint32_t slot) {
+  timers_.ReleaseSlot(slot);
   live_timers_.fetch_sub(1, std::memory_order_relaxed);
-}
-
-WallClockRuntime::Slot* WallClockRuntime::ResolveTimer(TaskId id) {
-  const uint32_t slot = SlotOf(id);
-  const uint32_t generation = static_cast<uint32_t>(id >> 32);
-  if (slot >= slots_.size()) return nullptr;
-  Slot& s = slots_[slot];
-  if (!s.live || s.generation != generation) return nullptr;
-  return &s;
 }
 
 // --- Runtime interface -------------------------------------------------------
@@ -129,33 +105,32 @@ TaskId WallClockRuntime::Schedule(Time delay, TaskFn fn) {
 
 TaskId WallClockRuntime::ScheduleAt(Time when, TaskFn fn) {
   if (when < now()) when = now();
-  const uint32_t slot = AcquireSlot();
-  Slot& s = slots_[slot];
+  const TaskId id = timers_.Acquire();
+  slot_capacity_.store(timers_.size(), std::memory_order_relaxed);
+  Slot& s = timers_.at(SlotOf(id));
   s.fn = std::move(fn);
   s.when = when;
   s.seq = next_seq_++;
-  s.live = true;
   if (when <= now()) {
     // Zero-delay fast path: already due, runs this pass right after the
     // wheel's due timers (its seq is necessarily the newest).
-    immediate_.push_back(MakeId(s.generation, slot));
+    immediate_.push_back(id);
   } else {
     // The tick can never trail current_tick_ (when > now); the max() is a
     // belt against floating-point edge cases only.
     const int64_t tick = std::max(TickOf(when), current_tick_);
-    wheel_[static_cast<size_t>(tick) & wheel_mask_].push_back(
-        MakeId(s.generation, slot));
+    wheel_[static_cast<size_t>(tick) & wheel_mask_].push_back(id);
     if (when < next_due_) next_due_ = when;
   }
   live_timers_.fetch_add(1, std::memory_order_relaxed);
-  return MakeId(s.generation, slot);
+  return id;
 }
 
 bool WallClockRuntime::Cancel(TaskId id) {
   Slot* s = ResolveTimer(id);
   if (s == nullptr) return false;
   s->fn = TaskFn();  // destroy the callable now; the bucket entry goes stale
-  ReleaseSlot(SlotOf(id));
+  ReleaseTimer(SlotOf(id));
   return true;
 }
 
@@ -258,7 +233,7 @@ size_t WallClockRuntime::FireDueTimers(Time t) {
     Slot* s = ResolveTimer(due.id);
     if (s == nullptr) continue;  // cancelled by an earlier task this pass
     TaskFn fn = std::move(s->fn);
-    ReleaseSlot(SlotOf(due.id));  // released first: the task may reschedule
+    ReleaseTimer(SlotOf(due.id));  // released first: the task may reschedule
     fn();
     ++fired;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -274,7 +249,7 @@ size_t WallClockRuntime::RunImmediate() {
     Slot* s = ResolveTimer(id);
     if (s == nullptr) continue;  // cancelled before it ran
     TaskFn fn = std::move(s->fn);
-    ReleaseSlot(SlotOf(id));
+    ReleaseTimer(SlotOf(id));
     fn();
     ++ran;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -285,8 +260,10 @@ size_t WallClockRuntime::RunImmediate() {
 
 void WallClockRuntime::RecomputeNextDue() {
   next_due_ = kNever;
-  for (const Slot& s : slots_) {
-    if (s.live && s.when < next_due_) next_due_ = s.when;
+  for (uint32_t slot = 0; slot < timers_.size(); ++slot) {
+    if (timers_.live(slot) && timers_.at(slot).when < next_due_) {
+      next_due_ = timers_.at(slot).when;
+    }
   }
 }
 
@@ -307,6 +284,13 @@ void WallClockRuntime::AdvanceTo(Time t) {
     RecomputeNextDue();
   }
   mid_pass_.store(false, std::memory_order_relaxed);
+}
+
+void WallClockRuntime::WaitForWork(double max_wait_seconds) {
+  std::unique_lock<std::mutex> lock(submit_mu_);
+  if (!submit_queue_.empty() || stop_requested_) return;
+  if (max_wait_seconds <= 0) return;
+  submit_cv_.wait_for(lock, std::chrono::duration<double>(max_wait_seconds));
 }
 
 void WallClockRuntime::ServiceLoop() {

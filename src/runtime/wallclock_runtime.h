@@ -32,6 +32,7 @@
 
 #include "runtime/runtime.h"
 #include "util/rng.h"
+#include "util/slot_pool.h"
 
 namespace sbqa::rt {
 
@@ -57,6 +58,11 @@ struct WallClockOptions {
   /// queue. 0 = unbounded. Post itself is never bounded (internal
   /// control-plane traffic must not be droppable).
   size_t max_queue = 0;
+  /// Pre-sizes the timer pool to this many slots at construction. Callers
+  /// with a hard in-flight bound (the engine's max_pending admission cap)
+  /// set it so the pool's high-water mark exists before the first query —
+  /// scheduling then never grows the pool under load. 0 = grow on demand.
+  size_t reserve_timers = 0;
 };
 
 /// rt::Runtime serving wall-clock traffic. Single executor thread; Post is
@@ -110,6 +116,24 @@ class WallClockRuntime final : public Runtime {
   /// drive it directly.
   void AdvanceTo(Time t);
 
+  /// Parks the calling thread (which must be the executor) until a Post
+  /// arrives, WakeExecutor() is called, or `max_wait_seconds` elapsed —
+  /// whichever comes first. Returns immediately when submissions are
+  /// already queued. The external executor's replacement for the built-in
+  /// service loop's parking (rt::WallClockShardSet workers between
+  /// barriers).
+  void WaitForWork(double max_wait_seconds);
+
+  /// Thread-safe nudge: wakes the executor out of WaitForWork (or the
+  /// built-in service loop's park) without enqueueing a task.
+  void WakeExecutor() { submit_cv_.notify_one(); }
+
+  /// Lower bound on the earliest pending timer deadline (kNever when no
+  /// timer is armed). Executor context only — this is the parking horizon
+  /// the executor itself maintains.
+  double next_timer_due() const { return next_due_; }
+  static constexpr double kNever = 1e300;
+
   // --- Telemetry (safe from any thread) --------------------------------------
 
   /// Tasks executed since construction (timers + posted).
@@ -129,17 +153,13 @@ class WallClockRuntime final : public Runtime {
   }
 
  private:
-  static constexpr uint32_t kNoSlot = UINT32_MAX;
-
-  /// One pooled timer. A wheel-bucket entry is the timer's TaskId; the
-  /// generation check rejects entries whose slot was cancelled/recycled.
+  /// One pooled timer (util::SlotPool payload). A wheel-bucket entry is the
+  /// timer's TaskId; the pool's generation check rejects entries whose slot
+  /// was cancelled/recycled.
   struct Slot {
     TaskFn fn;
     double when = 0;
     uint64_t seq = 0;
-    uint32_t generation = 1;
-    uint32_t next_free = kNoSlot;
-    bool live = false;
   };
 
   /// A due timer extracted from its bucket, ordered (when, seq).
@@ -153,9 +173,9 @@ class WallClockRuntime final : public Runtime {
     return static_cast<int64_t>(when / options_.wheel_tick);
   }
 
-  Slot* ResolveTimer(TaskId id);
-  uint32_t AcquireSlot();
-  void ReleaseSlot(uint32_t slot);
+  Slot* ResolveTimer(TaskId id) { return timers_.Resolve(id); }
+  /// Pool release + the cross-thread live-timer gauge.
+  void ReleaseTimer(uint32_t slot);
 
   /// Runs queued submissions (FIFO). Returns tasks run.
   size_t DrainSubmitQueue();
@@ -181,8 +201,7 @@ class WallClockRuntime final : public Runtime {
   // all writes come from the executor.
   std::atomic<double> now_{0};
   int64_t current_tick_ = 0;
-  std::vector<Slot> slots_;
-  uint32_t free_head_ = kNoSlot;
+  util::SlotPool<Slot> timers_;
   uint64_t next_seq_ = 1;
   std::vector<std::vector<TaskId>> wheel_;
   /// Zero-delay fast path: tasks due immediately (Schedule(0) chains,
@@ -198,7 +217,6 @@ class WallClockRuntime final : public Runtime {
   /// runs an empty pass and recomputes; never stale high, so no timer
   /// oversleeps.
   double next_due_ = kNever;
-  static constexpr double kNever = 1e300;
 
   // MPSC submit queue + service-thread parking.
   mutable std::mutex submit_mu_;

@@ -1,0 +1,315 @@
+#include "runtime/wallclock_shard_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sbqa::rt {
+
+WallClockShardSet::WallClockShardSet(const WallClockShardOptions& options)
+    : options_(options) {
+  SBQA_CHECK_GT(options_.shard_count, 0u);
+  SBQA_CHECK_GT(options_.barrier_tick, 0);
+  const uint32_t n = options_.shard_count;
+  runtimes_.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    WallClockOptions rt_options = options_.runtime;
+    rt_options.seed = util::Rng::StreamSeed(options_.seed, s);
+    // The shard worker (or the manual driver) IS the executor: the
+    // runtime must never spawn its own service thread.
+    rt_options.manual_clock = true;
+    runtimes_.push_back(std::make_unique<WallClockRuntime>(rt_options));
+  }
+  out_.resize(n);
+  for (Outbox& box : out_) {
+    box.to.resize(n);
+    for (std::vector<Pending>& channel : box.to) {
+      channel.reserve(std::max<size_t>(options_.outbox_fill_threshold, 16));
+    }
+  }
+  control_queue_.reserve(16);
+  control_scratch_.reserve(16);
+}
+
+WallClockShardSet::~WallClockShardSet() { Stop(); }
+
+double WallClockShardSet::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void WallClockShardSet::AddBarrierHook(std::function<void(Time)> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void WallClockShardSet::SetMembershipHook(std::function<void(Time)> hook) {
+  membership_hook_ = std::move(hook);
+}
+
+void WallClockShardSet::Start() {
+  if (started_) return;
+  started_ = true;
+  if (options_.manual_clock) return;
+  epoch_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+    stopped_ = false;
+    arrived_ = 0;
+    window_seq_ = 1;
+    window_end_ = options_.barrier_tick;
+  }
+  barrier_now_requested_.store(false, std::memory_order_relaxed);
+  workers_.reserve(shard_count());
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+void WallClockShardSet::Stop() {
+  if (!started_) return;
+  if (workers_.empty()) {
+    // Manual mode: flush whatever control ops are still queued so
+    // RunAtBarrier callers posted-then-stopped are not silently dropped.
+    if (started_) BarrierPhase(now());
+    started_ = false;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  barrier_now_requested_.store(true, std::memory_order_relaxed);
+  WakeAllShards();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+// --- ShardFabric -------------------------------------------------------------
+
+void WallClockShardSet::PostTo(uint32_t src, uint32_t dst, Time deliver_at,
+                               TaskFn fn) {
+  Outbox& box = out_[src];
+  box.to[dst].push_back(Pending{deliver_at, std::move(fn)});
+  ++box.posted;
+  ++box.buffered;
+  if (options_.outbox_fill_threshold > 0 &&
+      box.buffered >= options_.outbox_fill_threshold && !workers_.empty() &&
+      !barrier_now_requested_.exchange(true, std::memory_order_relaxed)) {
+    early_barriers_.fetch_add(1, std::memory_order_relaxed);
+    WakeAllShards();
+  }
+}
+
+// --- Control plane -----------------------------------------------------------
+
+void WallClockShardSet::PostControl(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_queue_.push_back(std::move(fn));
+  }
+  // Pull the barrier early so control ops (Stats reads, membership) see
+  // bounded latency instead of waiting out the window.
+  if (!workers_.empty() &&
+      !barrier_now_requested_.exchange(true, std::memory_order_relaxed)) {
+    WakeAllShards();
+  }
+}
+
+void WallClockShardSet::RunAtBarrier(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // Manual mode, pre-Start or post-Stop: the caller is the quiescent
+    // driver context already — run inline, same guarantees.
+    fn();
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  PostControl([&] {
+    fn();
+    // Notify under the lock: these are stack locals, and the waiter
+    // destroys them the moment it observes `done`. Notifying after the
+    // unlock would let destruction race the tail of notify_one().
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+// --- Barrier machinery -------------------------------------------------------
+
+bool WallClockShardSet::MailboxesNonEmpty() const {
+  for (const Outbox& box : out_) {
+    for (const std::vector<Pending>& channel : box.to) {
+      if (!channel.empty()) return true;
+    }
+  }
+  return false;
+}
+
+size_t WallClockShardSet::DrainMailboxes(Time barrier_time) {
+  size_t delivered = 0;
+  const uint32_t n = shard_count();
+  for (uint32_t dst = 0; dst < n; ++dst) {
+    WallClockRuntime& rt = *runtimes_[dst];
+    for (uint32_t src = 0; src < n; ++src) {
+      std::vector<Pending>& channel = out_[src].to[dst];
+      for (Pending& p : channel) {
+        // A message that ripened mid-window is clamped to the barrier — it
+        // fires on dst's first pass of the next window, so the mailbox adds
+        // at most one window of latency, exactly like the simulation.
+        rt.ScheduleAt(std::max(p.deliver_at, barrier_time), std::move(p.fn));
+        ++delivered;
+      }
+      channel.clear();  // capacity retained
+    }
+  }
+  for (Outbox& box : out_) box.buffered = 0;
+  return delivered;
+}
+
+bool WallClockShardSet::BarrierPhase(Time barrier_time) {
+  const size_t delivered = DrainMailboxes(barrier_time);
+  size_t control_ran = 0;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_scratch_.swap(control_queue_);  // capacities circulate
+  }
+  for (std::function<void()>& op : control_scratch_) {
+    op();
+    ++control_ran;
+  }
+  control_scratch_.clear();
+  if (membership_hook_) membership_hook_(barrier_time);
+  for (const std::function<void(Time)>& hook : hooks_) {
+    hook(barrier_time);
+  }
+  // Control ops and membership application may themselves post cross-shard
+  // traffic (departure outcome re-homing); the caller settles until false.
+  return delivered > 0 || control_ran > 0 || MailboxesNonEmpty();
+}
+
+void WallClockShardSet::WakeAllShards() {
+  for (const std::unique_ptr<WallClockRuntime>& rt : runtimes_) {
+    rt->WakeExecutor();
+  }
+}
+
+void WallClockShardSet::WorkerLoop(uint32_t s) {
+  WallClockRuntime& rt = *runtimes_[s];
+  uint64_t seq;
+  Time window_end;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = window_seq_;
+    window_end = window_end_;
+  }
+  while (true) {
+    // Service the shard until the window closes: advance to wall time
+    // (capped at the window edge), then park until the next deadline, a
+    // Post, or a barrier pull.
+    while (true) {
+      const double t = ElapsedSeconds();
+      rt.AdvanceTo(std::min(t, window_end));
+      if (t >= window_end ||
+          barrier_now_requested_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      // Park up to the window edge or the shard's next timer deadline.
+      // A wake (Post / barrier pull) that lands between the flag check
+      // above and the wait inside is bounded by the window width.
+      const double horizon = std::min(window_end, rt.next_timer_due());
+      rt.WaitForWork(horizon - ElapsedSeconds());
+    }
+
+    // Rendezvous: the LAST arriver leads the barrier while every other
+    // worker is verifiably parked in cv_.wait (a worker holds mu_ from its
+    // arrival increment until the wait releases it, so the leader can only
+    // observe arrived_ == shard_count with all peers waiting).
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) break;  // the final barrier already ran without us
+    ++arrived_;
+    if (arrived_ == shard_count()) {
+      const bool stopping = stop_requested_;
+      const Time barrier_time = ElapsedSeconds();
+      BarrierPhase(barrier_time);
+      barrier_now_.store(barrier_time, std::memory_order_relaxed);
+      barriers_.fetch_add(1, std::memory_order_relaxed);
+      arrived_ = 0;
+      window_end_ = ElapsedSeconds() + options_.barrier_tick;
+      barrier_now_requested_.store(false, std::memory_order_relaxed);
+      if (stopping) stopped_ = true;
+      ++window_seq_;
+      seq = window_seq_;
+      window_end = window_end_;
+      lock.unlock();
+      cv_.notify_all();
+      if (stopping) break;
+    } else {
+      cv_.wait(lock, [&] { return window_seq_ != seq; });
+      seq = window_seq_;
+      window_end = window_end_;
+      const bool finished = stopped_;
+      lock.unlock();
+      if (finished) break;
+      // A stop REQUEST alone must not end the loop here: every live
+      // worker has to make it back to the rendezvous or the final barrier
+      // can never assemble shard_count arrivals (a follower that bailed on
+      // the request would strand the eventual leader in cv_.wait — and
+      // Stop() in its join — forever). Exit happens only through the
+      // barrier that was actually led with the stop flag set.
+    }
+  }
+  // Final service pass: run what the last barrier delivered plus any
+  // still-queued submissions. Cross-shard messages produced here are
+  // dropped (callers WaitIdle before Stop).
+  rt.AdvanceTo(ElapsedSeconds());
+}
+
+// --- Manual-mode driver ------------------------------------------------------
+
+void WallClockShardSet::RunUntil(Time t) {
+  SBQA_CHECK(workers_.empty());  // manual_clock (or pre-Start) only
+  const uint32_t n = shard_count();
+  Time cursor = now();
+  while (cursor < t) {
+    const Time window = std::min(t, cursor + options_.barrier_tick);
+    for (uint32_t s = 0; s < n; ++s) runtimes_[s]->AdvanceTo(window);
+    cursor = window;
+    barrier_now_.store(cursor, std::memory_order_relaxed);
+    BarrierPhase(cursor);
+    barriers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Settlement: messages clamped to the final barrier (and any traffic the
+  // membership phase produced) are delivered and run through zero-width
+  // windows until the horizon is quiescent.
+  while (true) {
+    for (uint32_t s = 0; s < n; ++s) runtimes_[s]->AdvanceTo(t);
+    if (!MailboxesNonEmpty() && !HasPendingControl()) break;
+    BarrierPhase(t);
+    barriers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  barrier_now_.store(t, std::memory_order_relaxed);
+}
+
+uint64_t WallClockShardSet::cross_shard_messages() const {
+  uint64_t total = 0;
+  for (const Outbox& box : out_) total += box.posted;
+  return total;
+}
+
+bool WallClockShardSet::HasPendingControl() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return !control_queue_.empty();
+}
+
+}  // namespace sbqa::rt

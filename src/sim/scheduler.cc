@@ -39,27 +39,6 @@ void Scheduler::EventHeap::pop() {
   entries_[i] = last;
 }
 
-uint32_t Scheduler::AcquireSlot() {
-  if (free_head_ != kNoSlot) {
-    const uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = kNoSlot;
-    return slot;
-  }
-  slots_.emplace_back();
-  return static_cast<uint32_t>(slots_.size() - 1);
-}
-
-void Scheduler::ReleaseSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.seq = 0;
-  // Bumping the generation invalidates every EventId ever issued for this
-  // slot; skip 0 on wraparound so an id can never be the 0 sentinel.
-  if (++s.generation == 0) s.generation = 1;
-  s.next_free = free_head_;
-  free_head_ = slot;
-}
-
 EventId Scheduler::Schedule(Time delay, EventFn cb) {
   SBQA_CHECK_GE(delay, 0);
   return ScheduleAt(now_ + delay, std::move(cb));
@@ -67,36 +46,38 @@ EventId Scheduler::Schedule(Time delay, EventFn cb) {
 
 EventId Scheduler::ScheduleAt(Time when, EventFn cb) {
   SBQA_CHECK_GE(when, now_);
-  const uint32_t slot = AcquireSlot();
+  const EventId id = pool_.Acquire();
+  const uint32_t slot = util::SlotPool<Slot>::SlotOf(id);
   SBQA_DCHECK_LT(slot, kSlotMask);
-  Slot& s = slots_[slot];
+  Slot& s = pool_.at(slot);
   s.seq = next_seq_++;
   SBQA_DCHECK_LT(s.seq, uint64_t{1} << (64 - kSlotBits));
   s.fn = std::move(cb);
   queue_.push(HeapEntry{when, (s.seq << kSlotBits) | slot});
-  ++live_;
-  return (static_cast<EventId>(s.generation) << 32) | slot;
+  return id;
 }
 
 bool Scheduler::Cancel(EventId id) {
-  const uint32_t slot = static_cast<uint32_t>(id);
-  const uint32_t generation = static_cast<uint32_t>(id >> 32);
-  if (slot >= slots_.size()) return false;
-  Slot& s = slots_[slot];
-  // seq == 0 means the slot is free (the event fired or was cancelled); a
-  // generation mismatch means the slot now belongs to a newer event. Either
-  // way the cancel is a stale no-op.
-  if (s.seq == 0 || s.generation != generation) return false;
-  s.fn = EventFn();
-  ReleaseSlot(slot);
-  --live_;
+  // Resolve() rejects freed slots (the event fired or was already
+  // cancelled) and generation mismatches (the slot now belongs to a newer
+  // event); either way the cancel is a stale no-op.
+  Slot* s = pool_.Resolve(id);
+  if (s == nullptr) return false;
+  s->fn = EventFn();
+  pool_.Release(id);
   return true;
 }
 
 void Scheduler::SkipStale() {
+  // A heap entry is live iff its slot is live AND still carries its seq —
+  // the pool keeps payloads on release, so the slot-live check is what
+  // actually rejects a fired/cancelled event's leftover entry.
   while (!queue_.empty()) {
     const HeapEntry& top = queue_.top();
-    if (slots_[top.key & kSlotMask].seq == top.key >> kSlotBits) return;
+    const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+    if (pool_.live(slot) && pool_.at(slot).seq == top.key >> kSlotBits) {
+      return;
+    }
     queue_.pop();
   }
 }
@@ -109,9 +90,8 @@ bool Scheduler::Step() {
   const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
   // Move the callback out and release the slot before invoking, so
   // self-scheduling callbacks are safe (they may reuse this very slot).
-  EventFn fn = std::move(slots_[slot].fn);
-  ReleaseSlot(slot);
-  --live_;
+  EventFn fn = std::move(pool_.at(slot).fn);
+  pool_.ReleaseSlot(slot);
   now_ = top.when;
   ++executed_;
   fn();

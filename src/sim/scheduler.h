@@ -9,15 +9,17 @@
 ///
 /// The engine is allocation-free in steady state: callbacks are EventFn
 /// (small-buffer-optimized, no heap for the simulator's closures) and live
-/// in a slot-versioned event pool. An EventId is (generation << 32) | slot;
-/// Schedule and Cancel are O(1) with no hashing — cancellation just bumps
-/// the slot's sequence, leaving the heap entry to be discarded lazily on
-/// pop, and the generation makes a stale id from a recycled slot harmless.
+/// in a util::SlotPool (the shared slot-versioned pool implementation). An
+/// EventId is the pool handle, (generation << 32) | slot; Schedule and
+/// Cancel are O(1) with no hashing — cancellation just releases the slot,
+/// leaving the heap entry to be discarded lazily on pop, and the
+/// generation makes a stale id from a recycled slot harmless.
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/event_fn.h"
+#include "util/slot_pool.h"
 
 namespace sbqa::sim {
 
@@ -71,7 +73,7 @@ class Scheduler {
   void RequestStop() { stop_requested_ = true; }
 
   Time now() const { return now_; }
-  bool empty() const { return live_ == 0; }
+  bool empty() const { return pool_.live_count() == 0; }
   /// Lower bound on the next event's timestamp (conservative: a lazily
   /// cancelled heap top may report earlier than the next live event);
   /// +infinity when nothing is pending. Lets the sharded driver skip
@@ -81,26 +83,25 @@ class Scheduler {
   }
   static constexpr Time kNoEvent = 1e300;
   /// Pending (non-cancelled) events.
-  size_t pending() const { return live_; }
+  size_t pending() const { return pool_.live_count(); }
   /// Total events executed since construction.
   uint64_t executed() const { return executed_; }
   /// Cancelled events still awaiting lazy removal from the heap (bounded by
   /// the queue size; exposed for leak regression tests).
-  size_t cancelled_backlog() const { return queue_.size() - live_; }
+  size_t cancelled_backlog() const {
+    return queue_.size() - pool_.live_count();
+  }
   /// Event slots ever created (high-water mark of concurrently pending
   /// events; steady-state scheduling recycles them without allocating).
-  size_t slot_capacity() const { return slots_.size(); }
+  size_t slot_capacity() const { return pool_.size(); }
 
  private:
-  static constexpr uint32_t kNoSlot = UINT32_MAX;
-
-  /// One pooled event. `seq` doubles as the liveness check: a heap entry is
-  /// live iff its recorded seq still matches the slot's (0 = slot free).
+  /// One pooled event. `seq` doubles as the heap-entry liveness check: an
+  /// entry is live iff its slot is live AND its recorded seq matches (a
+  /// recycled slot carries a newer event's seq).
   struct Slot {
     EventFn fn;
     uint64_t seq = 0;
-    uint32_t generation = 1;
-    uint32_t next_free = kNoSlot;
   };
 
   /// What the event heap orders. The callback stays in the slot; the heap
@@ -136,16 +137,12 @@ class Scheduler {
     std::vector<HeapEntry> entries_;
   };
 
-  uint32_t AcquireSlot();
-  void ReleaseSlot(uint32_t slot);
   /// Pops heap entries whose slot no longer carries their seq (lazily
   /// cancelled events).
   void SkipStale();
 
   EventHeap queue_;
-  std::vector<Slot> slots_;
-  uint32_t free_head_ = kNoSlot;
-  size_t live_ = 0;
+  util::SlotPool<Slot> pool_;
   uint64_t next_seq_ = 1;
   Time now_ = 0;
   uint64_t executed_ = 0;

@@ -34,14 +34,16 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/shard_fabric.h"
 #include "sim/event_fn.h"
 #include "sim/scheduler.h"
 #include "sim/simulation.h"
 
 namespace sbqa::sim {
 
-/// Owns the shards and runs the barrier protocol.
-class ShardSet {
+/// Owns the shards and runs the barrier protocol. Implements the abstract
+/// rt::ShardFabric transport, which is all the mediator sees of it.
+class ShardSet : public rt::ShardFabric {
  public:
   /// Builds `config.shard_count` shards; shard s is a Simulation seeded
   /// with StreamSeed(config.seed, s). Worker threads (when enabled and
@@ -49,9 +51,9 @@ class ShardSet {
   explicit ShardSet(const SimulationConfig& config);
   ShardSet(const ShardSet&) = delete;
   ShardSet& operator=(const ShardSet&) = delete;
-  ~ShardSet();
+  ~ShardSet() override;
 
-  uint32_t shard_count() const {
+  uint32_t shard_count() const override {
     return static_cast<uint32_t>(shards_.size());
   }
   Simulation& shard(uint32_t s) { return *shards_[s]; }
@@ -67,7 +69,8 @@ class ShardSet {
   /// driver between windows): the (src, dst) outbox is lock-free because
   /// src is its only writer. Delivery order is deterministic: barriers
   /// drain outboxes in (destination, source, FIFO) order.
-  void PostTo(uint32_t src, uint32_t dst, Time deliver_at, EventFn fn);
+  void PostTo(uint32_t src, uint32_t dst, Time deliver_at,
+              EventFn fn) override;
 
   /// Registers a hook run by the driver thread at every barrier (all
   /// workers parked, mailboxes already drained and the membership phase

@@ -1,0 +1,427 @@
+// Thread-per-shard wall-clock serving tests: the rt::WallClockShardSet
+// barrier fabric (manual lock-step windows, mailbox FIFO, fill-triggered
+// early barriers, control ops) and the sharded sbqa::Engine built on it —
+// cross-shard query serving, post-Start membership through the epoch join
+// log, the shards=1 pass-through, and the counting-allocator gate holding
+// the sharded Submit path to ZERO heap allocations per query at steady
+// state, membership churn included.
+//
+// Lives in its own test binary because it replaces the global operator
+// new/delete (via util/counting_alloc.h; counting only, allocation
+// behavior is unchanged). The threaded tests double as the TSan targets
+// for the rendezvous protocol.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "runtime/wallclock_shard_set.h"
+#include "util/counting_alloc.h"
+
+namespace sbqa {
+namespace {
+
+using util::AllocationCount;
+
+// --- WallClockShardSet fabric ------------------------------------------------
+
+rt::WallClockShardOptions ManualFabric(uint32_t shards) {
+  rt::WallClockShardOptions options;
+  options.shard_count = shards;
+  options.manual_clock = true;
+  options.barrier_tick = 0.002;
+  return options;
+}
+
+TEST(WallClockShardSetTest, ManualWindowsDeliverMailboxesInFifoOrder) {
+  rt::WallClockShardSet shards(ManualFabric(2));
+  shards.Start();
+  std::vector<int> order;
+  // Driver context between windows counts as any shard's execution
+  // context, so it may write the (0, 1) and (1, 0) channels directly.
+  shards.PostTo(0, 1, 0.0, [&order] { order.push_back(1); });
+  shards.PostTo(0, 1, 0.0, [&order] { order.push_back(2); });
+  shards.PostTo(1, 0, 0.0, [&order] { order.push_back(3); });
+  shards.RunUntil(0.01);
+  // (destination, source, FIFO) drain: dst 0 gets shard 1's message first.
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(shards.cross_shard_messages(), 3u);
+  EXPECT_GT(shards.barriers(), 0u);
+  EXPECT_EQ(shards.now(), 0.01);
+  shards.Stop();
+}
+
+TEST(WallClockShardSetTest, ManualCrossShardChainsSettleAtTheHorizon) {
+  rt::WallClockShardSet shards(ManualFabric(2));
+  shards.Start();
+  int hops = 0;
+  // A ping-pong chain: each delivery posts the next hop back. RunUntil
+  // must settle every hop due at the horizon, not leave them buffered.
+  std::function<void(uint32_t)> hop = [&](uint32_t at) {
+    if (++hops >= 6) return;
+    shards.PostTo(at, 1 - at, shards.runtime(at).now(),
+                  [&hop, at] { hop(1 - at); });
+  };
+  shards.PostTo(0, 1, 0.0, [&hop] { hop(1); });
+  shards.RunUntil(0.05);
+  EXPECT_EQ(hops, 6);
+  shards.Stop();
+}
+
+TEST(WallClockShardSetTest, ManualRunAtBarrierRunsInline) {
+  rt::WallClockShardSet shards(ManualFabric(2));
+  shards.Start();
+  bool ran = false;
+  shards.RunAtBarrier([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // no workers: the caller IS the quiescent driver
+  shards.Stop();
+}
+
+TEST(WallClockShardSetTest, ThreadedBarriersDeliverCrossShardTraffic) {
+  rt::WallClockShardOptions options;
+  options.shard_count = 2;
+  options.barrier_tick = 0.001;
+  rt::WallClockShardSet shards(options);
+  shards.Start();
+  std::atomic<int> delivered{0};
+  // Cross-shard posts must originate in the source shard's executor
+  // context: hop through shard 0's submit queue.
+  for (int i = 0; i < 8; ++i) {
+    shards.runtime(0).Post([&shards, &delivered] {
+      shards.PostTo(0, 1, shards.runtime(0).now(), [&delivered] {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (int spin = 0; spin < 2000 && delivered.load() < 8; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), 8);
+  EXPECT_GT(shards.barriers(), 0u);
+  shards.Stop();
+}
+
+TEST(WallClockShardSetTest, ThreadedFillThresholdPullsTheBarrierEarly) {
+  rt::WallClockShardOptions options;
+  options.shard_count = 2;
+  options.barrier_tick = 2.0;  // far beyond the test's patience on purpose
+  options.outbox_fill_threshold = 4;
+  rt::WallClockShardSet shards(options);
+  shards.Start();
+  std::atomic<int> delivered{0};
+  shards.runtime(0).Post([&shards, &delivered] {
+    for (int i = 0; i < 4; ++i) {
+      shards.PostTo(0, 1, shards.runtime(0).now(), [&delivered] {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  // Only the fill trigger can deliver these within the 2 s window.
+  for (int spin = 0; spin < 2000 && delivered.load() < 4; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), 4);
+  EXPECT_GE(shards.early_barriers(), 1u);
+  shards.Stop();
+}
+
+TEST(WallClockShardSetTest, ThreadedRunAtBarrierSeesAllShardsParked) {
+  rt::WallClockShardOptions options;
+  options.shard_count = 4;
+  options.barrier_tick = 0.001;
+  rt::WallClockShardSet shards(options);
+  shards.Start();
+  // The control op runs on the barrier leader with every worker parked —
+  // reading all four shard clocks here is the quiescent-read contract.
+  double clocks = -1;
+  shards.RunAtBarrier([&shards, &clocks] {
+    clocks = 0;
+    for (uint32_t s = 0; s < shards.shard_count(); ++s) {
+      clocks += shards.runtime(s).now();
+    }
+  });
+  EXPECT_GE(clocks, 0);
+  shards.Stop();
+}
+
+// --- Sharded engine ----------------------------------------------------------
+
+EngineOptions ShardedManualOptions(uint64_t seed, uint32_t shards) {
+  EngineOptions options;
+  options.mode = EngineMode::kWallClock;
+  options.wallclock.manual_clock = true;
+  options.wallclock.wheel_slots = 64;
+  options.seed = seed;
+  options.shards = shards;
+  options.shard_barrier_tick = 0.005;
+  options.query_timeout = 5.0;
+  return options;
+}
+
+/// A population that puts work on every shard: one consumer per shard
+/// (consumers go round-robin by id) and 3 providers per shard (contiguous
+/// blocks), all mutually interested.
+void BuildShardedPopulation(Engine* engine, uint32_t shards,
+                            std::vector<model::ConsumerId>* consumers) {
+  for (uint32_t s = 0; s < shards; ++s) {
+    core::ConsumerParams consumer_params;
+    consumer_params.n_results = 2;
+    consumer_params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+    consumers->push_back(engine->AddConsumer(consumer_params));
+  }
+  const uint32_t provider_count = 3 * shards;
+  for (uint32_t i = 0; i < provider_count; ++i) {
+    core::ProviderParams provider_params;
+    provider_params.capacity = 1.0 + 0.25 * (i % 4);
+    const model::ProviderId p = engine->AddProvider(provider_params);
+    for (model::ConsumerId c : *consumers) {
+      engine->SetConsumerPreference(c, p, 0.6);
+      engine->SetProviderPreference(p, c, 0.5);
+    }
+  }
+}
+
+struct ShardedRun {
+  int64_t callbacks = 0;
+  double satisfaction_sum = 0;
+  EngineStats stats;
+  std::vector<EngineShardStats> shard_stats;
+};
+
+ShardedRun RunManualShardedEngine(uint64_t seed, uint32_t shards,
+                                  int queries) {
+  Engine engine(ShardedManualOptions(seed, shards));
+  std::vector<model::ConsumerId> consumers;
+  BuildShardedPopulation(&engine, shards, &consumers);
+  engine.Start();
+  ShardedRun run;
+  for (int i = 0; i < queries; ++i) {
+    const model::ConsumerId consumer = consumers[i % consumers.size()];
+    engine.Submit({consumer, 0, 2, 0.1}, [&run](const QueryResult& result) {
+      ++run.callbacks;
+      run.satisfaction_sum += result.satisfaction;
+    });
+    engine.RunFor(0.02);
+  }
+  EXPECT_TRUE(engine.WaitIdle(30.0));
+  run.stats = engine.Stats();
+  run.shard_stats = engine.ShardStats();
+  return run;
+}
+
+TEST(EngineShardedTest, ManualShardedEngineServesEveryShard) {
+  const ShardedRun run = RunManualShardedEngine(7, 4, 120);
+  EXPECT_EQ(run.callbacks, 120);
+  EXPECT_EQ(run.stats.queries_finalized, 120);
+  EXPECT_EQ(run.stats.queries_in_flight, 0);
+  EXPECT_GT(run.stats.shard_barriers, 0);
+  // Outcome taxonomy is conserved across shards.
+  EXPECT_EQ(run.stats.queries_satisfied + run.stats.queries_recovered +
+                run.stats.queries_failed + run.stats.queries_unallocated +
+                run.stats.queries_timed_out,
+            run.stats.queries_finalized);
+  // The round-robin workload reaches all four shards.
+  ASSERT_EQ(run.shard_stats.size(), 4u);
+  int64_t total_submitted = 0;
+  for (const EngineShardStats& row : run.shard_stats) {
+    EXPECT_GT(row.queries_submitted, 0) << "shard " << row.shard;
+    total_submitted += row.queries_submitted;
+    // One recurring timer per shard stays armed at idle: the mediator's
+    // timeout-ring sweep. Anything beyond that would be a leaked query.
+    EXPECT_LE(row.pending_timers, 1);
+  }
+  EXPECT_GE(total_submitted, 120);  // borrows may re-submit on a peer
+}
+
+TEST(EngineShardedTest, ManualShardedRunsAreReproducible) {
+  const ShardedRun a = RunManualShardedEngine(21, 2, 80);
+  const ShardedRun b = RunManualShardedEngine(21, 2, 80);
+  EXPECT_EQ(a.callbacks, b.callbacks);
+  EXPECT_EQ(a.satisfaction_sum, b.satisfaction_sum);
+  EXPECT_EQ(a.stats.mean_response_time, b.stats.mean_response_time);
+  EXPECT_EQ(a.stats.queries_satisfied, b.stats.queries_satisfied);
+}
+
+TEST(EngineShardedTest, ShardsOneIsTheClassicSingleRuntimeEngine) {
+  // shards == 1 must not even build the shard fabric: identical options
+  // except `shards` produce bit-equal runs through the classic path.
+  EngineOptions classic = ShardedManualOptions(33, 1);
+  EXPECT_EQ(classic.shards, 1u);
+  Engine engine(std::move(classic));
+  std::vector<model::ConsumerId> consumers;
+  BuildShardedPopulation(&engine, 1, &consumers);
+  engine.Start();
+  int64_t callbacks = 0;
+  for (int i = 0; i < 50; ++i) {
+    engine.Submit({consumers[0], 0, 2, 0.1},
+                  [&callbacks](const QueryResult&) { ++callbacks; });
+    engine.RunFor(0.02);
+  }
+  EXPECT_TRUE(engine.WaitIdle(30.0));
+  EXPECT_EQ(callbacks, 50);
+  EXPECT_TRUE(engine.ShardStats().empty());  // no fabric, no shard rows
+  EXPECT_EQ(engine.Stats().shard_barriers, 0);
+}
+
+TEST(EngineShardedTest, PostStartMembershipJoinsThroughTheEpochLog) {
+  const uint32_t kShards = 2;
+  Engine engine(ShardedManualOptions(5, kShards));
+  std::vector<model::ConsumerId> consumers;
+  BuildShardedPopulation(&engine, kShards, &consumers);
+  engine.Start();
+  const size_t base_providers = engine.Snapshot().providers.size();
+
+  int64_t callbacks = 0;
+  auto submit = [&engine, &callbacks](model::ConsumerId consumer) {
+    engine.Submit({consumer, 0, 2, 0.1},
+                  [&callbacks](const QueryResult&) { ++callbacks; });
+  };
+  // Traffic in flight while membership changes land.
+  for (int i = 0; i < 20; ++i) {
+    submit(consumers[i % consumers.size()]);
+    engine.RunFor(0.01);
+  }
+
+  // Mid-traffic joins: a provider (through the epoch join log, applied at
+  // a barrier) and a consumer, then preferences wiring the newcomers in.
+  core::ProviderParams new_provider_params;
+  new_provider_params.capacity = 2.0;
+  const model::ProviderId new_provider = engine.AddProvider(new_provider_params);
+  EXPECT_EQ(static_cast<size_t>(new_provider), base_providers);
+  core::ConsumerParams new_consumer_params;
+  new_consumer_params.n_results = 2;
+  new_consumer_params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+  const model::ConsumerId new_consumer = engine.AddConsumer(new_consumer_params);
+  engine.SetConsumerPreference(new_consumer, new_provider, 0.9);
+  for (model::ConsumerId c : consumers) {
+    engine.SetConsumerPreference(c, new_provider, 0.7);
+  }
+  engine.SetProviderPreference(new_provider, new_consumer, 0.8);
+  const std::vector<model::ProviderId> existing = [&] {
+    std::vector<model::ProviderId> ids;
+    for (const ProviderSnapshot& p : engine.Snapshot().providers) {
+      ids.push_back(p.id);
+    }
+    return ids;
+  }();
+  for (model::ProviderId p : existing) {
+    engine.SetProviderPreference(p, new_consumer, 0.5);
+  }
+
+  // The newcomers serve and issue traffic.
+  for (int i = 0; i < 20; ++i) {
+    submit(new_consumer);
+    engine.RunFor(0.01);
+  }
+  EXPECT_TRUE(engine.WaitIdle(30.0));
+
+  // Nothing in flight was lost across the membership epochs.
+  EXPECT_EQ(callbacks, 40);
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_finalized, 40);
+  EXPECT_EQ(stats.queries_in_flight, 0);
+  const EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.providers.size(), base_providers + 1);
+  // The joined provider actually worked.
+  EXPECT_GT(snapshot.providers.back().instances_performed, 0);
+}
+
+TEST(EngineShardedTest, ShardedSteadyStateSubmitPathIsAllocationFree) {
+  // The acceptance gate, sharded flavour: submit -> hash-route -> mediate
+  // -> (sometimes borrow cross-shard) -> outcome callback performs ZERO
+  // heap allocations per query once the pools are warm — including after
+  // membership churn (post-Start joins) re-shaped the population. Manual
+  // clock: the measurement is single-threaded and exact.
+  const uint32_t kShards = 2;
+  Engine engine(ShardedManualOptions(42, kShards));
+  std::vector<model::ConsumerId> consumers;
+  BuildShardedPopulation(&engine, kShards, &consumers);
+  engine.Start();
+  int64_t callbacks = 0;
+  auto pump = [&engine, &callbacks, &consumers](int queries) {
+    for (int i = 0; i < queries; ++i) {
+      const model::ConsumerId consumer = consumers[i % consumers.size()];
+      engine.Submit({consumer, 0, 2, 0.1},
+                    [&callbacks](const QueryResult&) { ++callbacks; });
+      engine.RunFor(0.02);
+    }
+    (void)engine.WaitIdle(30.0);
+  };
+
+  pump(200);  // warm-up: pools reach their high-water marks
+
+  // Membership churn: joins allocate (the population grows), but must not
+  // disturb the per-query steady state that follows.
+  for (int i = 0; i < 2; ++i) {
+    core::ProviderParams params;
+    params.capacity = 1.5;
+    const model::ProviderId p = engine.AddProvider(params);
+    for (model::ConsumerId c : consumers) {
+      engine.SetConsumerPreference(c, p, 0.6);
+      engine.SetProviderPreference(p, c, 0.5);
+    }
+  }
+
+  pump(100);  // re-warm: the grown tables reach their new high-water marks
+
+  const uint64_t before = AllocationCount();
+  pump(150);
+  EXPECT_EQ(AllocationCount() - before, 0u)
+      << "sharded Submit path must not allocate at steady state";
+  EXPECT_EQ(callbacks, 450);
+}
+
+TEST(EngineShardedTest, ThreadedShardedEngineServesDriverTraffic) {
+  // Real worker threads (the TSan target): driver-thread Submit fan-in,
+  // cross-shard barriers, a mid-traffic membership join, Stats from a
+  // foreign thread — then a clean drain.
+  EngineOptions options;
+  options.mode = EngineMode::kWallClock;
+  options.seed = 9;
+  options.shards = 2;
+  options.shard_barrier_tick = 0.001;
+  options.query_timeout = 5.0;
+  Engine engine(std::move(options));
+  std::vector<model::ConsumerId> consumers;
+  BuildShardedPopulation(&engine, 2, &consumers);
+  engine.Start();
+  std::atomic<int64_t> callbacks{0};
+  constexpr int kQueries = 300;
+  std::thread driver([&engine, &callbacks, &consumers] {
+    for (int i = 0; i < kQueries; ++i) {
+      engine.Submit({consumers[i % consumers.size()], 0, 2, 0.001},
+                    [&callbacks](const QueryResult&) {
+                      callbacks.fetch_add(1, std::memory_order_relaxed);
+                    });
+      if (i % 50 == 49) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  // A membership join races the traffic (it lands at a barrier).
+  core::ProviderParams params;
+  params.capacity = 2.0;
+  const model::ProviderId joined = engine.AddProvider(params);
+  for (model::ConsumerId c : consumers) {
+    engine.SetConsumerPreference(c, joined, 0.6);
+  }
+  const EngineStats mid = engine.Stats();  // foreign-thread barrier read
+  EXPECT_GE(mid.queries_submitted, 0);
+  driver.join();
+  EXPECT_TRUE(engine.WaitIdle(10.0));
+  EXPECT_EQ(callbacks.load(), kQueries);
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_finalized, kQueries);
+  EXPECT_EQ(stats.queries_in_flight, 0);
+  EXPECT_GT(stats.shard_barriers, 0);
+  const std::vector<EngineShardStats> rows = engine.ShardStats();
+  ASSERT_EQ(rows.size(), 2u);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace sbqa
