@@ -7,15 +7,22 @@
 ///    priority_queue entry carrying the closure, an unordered_set for
 ///    lazy cancellation — and (b) the EventFn + slot-versioned pool
 ///    engine that replaced it.
-/// 2. Batched dispatch: same-destination fan-in through the Network's
+/// 2. Pending-depth sweep: the 4-ary heap vs the ladder queue behind the
+///    unified timer core, at standing event depths 1k -> 1M. The heap pays
+///    O(log n) per operation against the standing depth; the ladder is
+///    amortized O(1), which is the whole point of carrying it — the gate
+///    requires the ladder to match the heap at shallow depths and beat it
+///    >= 3x at million-event depth, at zero allocations per event.
+/// 3. Batched dispatch: same-destination fan-in through the Network's
 ///    per-(destination, tick) batches — scheduler events consumed per
-///    message as the fan-in rate grows.
-/// 3. End-to-end: the 800-volunteer demo scenario (the BENCH_scaling.json
+///    message as the fan-in rate grows (1 / 8 / 64 msgs per ms, the sweep
+///    behind the delivery_batch_tick default documented in src/sim/README).
+/// 4. End-to-end: the 800-volunteer demo scenario (the BENCH_scaling.json
 ///    `end_to_end` configuration) — wall time, ns per finalized query and
 ///    steady-state heap allocations per query (counting allocator; the
 ///    committed number must be zero).
 ///
-/// The JSON dump (BENCH_event_engine.json) records all three layers plus
+/// The JSON dump (BENCH_event_engine.json) records all four layers plus
 /// the committed BENCH_scaling.json baseline for the regression gate in CI.
 
 #include <atomic>
@@ -108,6 +115,83 @@ struct EngineRow {
   double events_per_sec = 0;
   double allocs_per_event = 0;
 };
+
+/// Depth-sweep flavour of MeasureEngine: same standing-depth shape, but
+/// the event body is a trivial counter bump, so the measurement is
+/// dominated by the scheduling machinery instead of closure construction
+/// and callback work. The common per-event overhead (slot pool, EventFn
+/// moves, dispatch) is identical between the two queue kinds by
+/// construction.
+template <typename ScheduleFn, typename RunUntilFn>
+EngineRow MeasureQueueDepth(ScheduleFn&& schedule, RunUntilFn&& run_until,
+                            size_t depth) {
+  uint64_t sink = 0;
+  const auto tick = [&sink] { ++sink; };
+  for (size_t i = 0; i < depth; ++i) {
+    schedule(1e9 + static_cast<double>(i), tick);
+  }
+  double horizon = 0;
+  const auto round = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      schedule(static_cast<double>(i % 7) * 1e-3, tick);
+    }
+    horizon += 1.0;
+    return run_until(horizon);
+  };
+  for (int r = 0; r < 10; ++r) round(64);
+  using Clock = std::chrono::steady_clock;
+  const uint64_t allocs_before = AllocationCount();
+  const auto start = Clock::now();
+  uint64_t events = 0;
+  double elapsed = 0;
+  while (elapsed < 0.2) {
+    events += round(64);
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  EngineRow row;
+  row.events_per_sec = static_cast<double>(events) / elapsed;
+  row.allocs_per_event = static_cast<double>(AllocationCount() - allocs_before) /
+                         static_cast<double>(events);
+  return row;
+}
+
+/// Raw-structure flavour: drives the two priority structures themselves
+/// (util::LadderQueue vs util::TimerCore::EventHeap, bare 16-byte
+/// entries, no pool and no callbacks) through the same standing-depth
+/// workload. This is where the asymptotic difference is visible
+/// undiluted — the heap's sift cost grows with the standing depth, the
+/// ladder's per-entry cost does not — and it is the layer the CI gate
+/// holds to the >= 3x bar at million-event depth.
+template <typename PushFn, typename PopDueFn>
+EngineRow MeasureRawQueue(PushFn&& push, PopDueFn&& pop_due, size_t depth) {
+  uint64_t seq = 1;
+  for (size_t i = 0; i < depth; ++i) {
+    push(1e9 + static_cast<double>(i), seq++);
+  }
+  double horizon = 0;
+  const auto round = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      push(horizon + static_cast<double>(i % 7) * 1e-3, seq++);
+    }
+    horizon += 1.0;
+    return pop_due(horizon);
+  };
+  for (int r = 0; r < 10; ++r) round(64);
+  using Clock = std::chrono::steady_clock;
+  const uint64_t allocs_before = AllocationCount();
+  const auto start = Clock::now();
+  uint64_t events = 0;
+  double elapsed = 0;
+  while (elapsed < 0.2) {
+    events += round(64);
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  EngineRow row;
+  row.events_per_sec = static_cast<double>(events) / elapsed;
+  row.allocs_per_event = static_cast<double>(AllocationCount() - allocs_before) /
+                         static_cast<double>(events);
+  return row;
+}
 
 /// Schedules 64 small-closure events per round on top of a standing heap
 /// of `depth` pending far-future events, runs just the due ones (bounded
@@ -324,7 +408,87 @@ int main() {
   }
   std::printf("%s\n", engine_table.ToString().c_str());
 
-  // 2. Batched dispatch: fan-in of `burst` same-destination messages per
+  // 2. Pending-depth sweep: heap vs ladder (same timer core, same slot
+  // pool, same (when, seq) pop order — only the priority structure
+  // differs) with 1k -> 1M far-future events standing in the queue while
+  // the due traffic churns. This is the tentpole measurement: the heap's
+  // per-event cost grows with the standing depth, the ladder's does not.
+  util::TextTable depth_table;
+  depth_table.SetHeader(
+      {"layer", "queue", "depth", "events/sec", "allocs/event", "vs.heap"});
+  struct DepthResult {
+    const char* layer;
+    const char* engine;
+    size_t depth;
+    EngineRow row;
+  };
+  std::vector<DepthResult> depth_sweep;
+  const auto add_depth_row = [&](const char* layer, const char* engine,
+                                 size_t depth, const EngineRow& row,
+                                 double heap_rate) {
+    depth_sweep.push_back({layer, engine, depth, row});
+    depth_table.AddRow(
+        {layer, engine, util::StrFormat("%zu", depth),
+         util::FormatDouble(row.events_per_sec / 1e6, 1) + "M",
+         util::FormatDouble(row.allocs_per_event, 2),
+         heap_rate <= 0
+             ? "1.00x"
+             : util::StrFormat("%.2fx", row.events_per_sec / heap_rate)});
+  };
+  for (size_t depth : {1000u, 10000u, 100000u, 1000000u}) {
+    // Raw structures: bare entries, the gated layer.
+    util::TimerCore::EventHeap raw_heap;
+    const EngineRow raw_heap_row = MeasureRawQueue(
+        [&raw_heap](double when, uint64_t key) {
+          raw_heap.push(util::LadderQueue::Entry{when, key});
+        },
+        [&raw_heap](double t) {
+          size_t n = 0;
+          while (!raw_heap.empty() && raw_heap.top().when <= t) {
+            raw_heap.pop();
+            ++n;
+          }
+          return n;
+        },
+        depth);
+    util::LadderQueue raw_ladder;
+    const EngineRow raw_ladder_row = MeasureRawQueue(
+        [&raw_ladder](double when, uint64_t key) {
+          raw_ladder.Push(when, key);
+        },
+        [&raw_ladder](double t) {
+          size_t n = 0;
+          for (const util::LadderQueue::Entry* e = raw_ladder.Front();
+               e != nullptr && e->when <= t; e = raw_ladder.Front()) {
+            raw_ladder.PopFront();
+            ++n;
+          }
+          return n;
+        },
+        depth);
+    add_depth_row("structure", "heap", depth, raw_heap_row, 0);
+    add_depth_row("structure", "ladder", depth, raw_ladder_row,
+                  raw_heap_row.events_per_sec);
+    // Full scheduler: the same sweep through sim::Scheduler (slot pool +
+    // EventFn dispatch around the queue) — what consumers actually feel.
+    double heap_rate = 0;
+    for (const sim::SchedulerKind kind :
+         {sim::SchedulerKind::kHeap, sim::SchedulerKind::kLadder}) {
+      sim::Scheduler scheduler(kind);
+      const EngineRow row = MeasureQueueDepth(
+          [&scheduler](double d, auto cb) {
+            scheduler.Schedule(d, std::move(cb));
+          },
+          [&scheduler](double t) { return scheduler.RunUntil(t); }, depth);
+      const bool is_heap = kind == sim::SchedulerKind::kHeap;
+      if (is_heap) heap_rate = row.events_per_sec;
+      add_depth_row("scheduler", is_heap ? "heap" : "ladder", depth, row,
+                    is_heap ? 0 : heap_rate);
+    }
+  }
+  std::printf("%s\n", depth_table.ToString().c_str());
+
+  // 3. Batched dispatch: fan-in of `burst` same-destination messages per
   // simulated millisecond through a 1 ms batch tick.
   util::TextTable batch_table;
   batch_table.SetHeader({"burst/ms", "messages", "scheduler.events",
@@ -336,7 +500,7 @@ int main() {
     uint64_t coalesced;
   };
   std::vector<BatchResult> batches;
-  for (size_t burst : {1u, 4u, 16u, 64u}) {
+  for (size_t burst : {1u, 8u, 64u}) {
     sim::Scheduler scheduler;
     sim::NetworkConfig net_config;
     net_config.batch_tick = 0.001;
@@ -370,7 +534,7 @@ int main() {
   }
   std::printf("%s\n", batch_table.ToString().c_str());
 
-  // 3. End-to-end + allocations.
+  // 4. End-to-end + allocations.
   const size_t volunteers = bench::EnvOr("SBQA_BENCH_VOLUNTEERS", 800);
   const double duration =
       static_cast<double>(bench::EnvOr("SBQA_BENCH_DURATION", 300));
@@ -412,6 +576,17 @@ int main() {
     json.BeginArray("scheduler");
     for (const auto& r : engines) {
       json.BeginObject();
+      json.Field("engine", r.engine);
+      json.Field("depth", r.depth);
+      json.Field("events_per_sec", r.row.events_per_sec, 0);
+      json.Field("allocs_per_event", r.row.allocs_per_event, 3);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.BeginArray("depth_sweep");
+    for (const auto& r : depth_sweep) {
+      json.BeginObject();
+      json.Field("layer", r.layer);
       json.Field("engine", r.engine);
       json.Field("depth", r.depth);
       json.Field("events_per_sec", r.row.events_per_sec, 0);

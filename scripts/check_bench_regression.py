@@ -9,7 +9,12 @@ and fails (exit 1) when
 
   * the end-to-end ns/query of the `exact` run regressed by more than the
     allowed factor, after normalizing for machine speed, or
-  * the steady-state allocations-per-query count became nonzero.
+  * the steady-state allocations-per-query count became nonzero, or
+  * the pending-depth sweep (raw `structure` layer: util::LadderQueue vs
+    the 4-ary EventHeap over bare entries) shows the ladder behind the
+    heap at depths <= 10k, below 3x the heap at depths >= 1M, or
+    allocating in steady state — at any layer or depth (a same-host
+    ratio, so no machine normalization is needed).
 
 Machine normalization: every bench run also measures the seed-engine
 replica ("legacy" scheduler rows), a fixed workload whose throughput is a
@@ -85,6 +90,51 @@ def legacy_events_per_sec(doc):
     return sum(rates) / len(rates)
 
 
+def check_depth_sweep(fresh):
+    sweep = fresh.get("depth_sweep")
+    if sweep is None:
+        print("NOTE: no depth_sweep section (pre-ladder JSON) — "
+              "depth gate skipped")
+        return False
+    failed = False
+
+    # Ladder steady state must be allocation-free at every layer/depth.
+    for row in sweep:
+        if row["engine"] != "ladder":
+            continue
+        allocs = float(row["allocs_per_event"])
+        if allocs != 0.0:
+            print(f"FAIL: ladder ({row['layer']}, depth {row['depth']}) "
+                  f"allocates {allocs:.3f}/event in steady state")
+            failed = True
+
+    # Throughput bars run on the raw structures, where the asymptotic
+    # difference is undiluted by the (shared) pool/dispatch overhead.
+    by_depth = {}
+    for row in sweep:
+        if row.get("layer") == "structure":
+            by_depth.setdefault(int(row["depth"]), {})[row["engine"]] = row
+    if not by_depth:
+        print("FAIL: depth_sweep has no raw 'structure' rows")
+        return True
+    for depth in sorted(by_depth):
+        pair = by_depth[depth]
+        if "heap" not in pair or "ladder" not in pair:
+            print(f"FAIL: depth {depth} is missing a heap or ladder row")
+            failed = True
+            continue
+        ratio = (float(pair["ladder"]["events_per_sec"]) /
+                 float(pair["heap"]["events_per_sec"]))
+        bar = 3.0 if depth >= 1_000_000 else 1.0
+        print(f"depth {depth:>8}: ladder {ratio:.2f}x heap "
+              f"(bar {bar:.2f}x)")
+        if ratio < bar:
+            print(f"FAIL: ladder fell below the {bar:.2f}x bar at "
+                  f"depth {depth}")
+            failed = True
+    return failed
+
+
 def check_event_engine(fresh, baseline, max_regression):
     machine_speed = legacy_events_per_sec(fresh) / legacy_events_per_sec(
         baseline)
@@ -106,6 +156,9 @@ def check_event_engine(fresh, baseline, max_regression):
     print(f"steady-state allocations/query: {allocs:.3f}")
     if allocs != 0.0:
         print("FAIL: steady-state mediation is no longer allocation-free")
+        failed = True
+
+    if check_depth_sweep(fresh):
         failed = True
     return failed
 

@@ -273,19 +273,61 @@ bool Mediator::TryDelegate(const model::Query& query) {
 void Mediator::RouteOutcomeHome(uint32_t origin_shard,
                                 const QueryOutcome& outcome) {
   Mediator* home = shard_mediators_[origin_shard];
-  // The outcome is copied into the closure (heap EventFn: it exceeds the
-  // inline buffer). Acceptable: the borrow path is the rare fallback, not
-  // the steady-state allocation-free path.
+  // The outcome rides home in a pooled slab slot owned by this (the
+  // performing) shard: the mailbox closure carries {home, this, payload,
+  // slot} — well inside the EventFn inline buffer — instead of a
+  // QueryOutcome copy that exceeds it and heap-allocates. The payload
+  // pointer is captured here because the deque's block map may NOT be
+  // indexed from the home shard: this shard keeps acquiring slots (deque
+  // push_back) while home reads, and only the element addresses are
+  // stable under that.
+  const uint32_t slot = AcquireOutboundOutcome(outcome);
+  const QueryOutcome* payload = &outbound_outcomes_[slot];
+  Mediator* self = this;
   shard_set_->PostTo(shard_id_, origin_shard, rt_->now() + OneWayLatency(),
-                     rt::TaskFn([home, copy = outcome]() mutable {
-                       home->OnDelegatedOutcome(std::move(copy));
+                     rt::TaskFn([home, self, payload, slot] {
+                       home->OnDelegatedOutcome(*payload, self, slot);
                      }));
 }
 
-void Mediator::OnDelegatedOutcome(QueryOutcome outcome) {
-  // Re-stamp arrival-side timing: the response time the consumer
-  // experienced includes the two mailbox hops of the borrow round trip.
-  FinalizeOutcome(shard_id_, &outcome);
+uint32_t Mediator::AcquireOutboundOutcome(const QueryOutcome& outcome) {
+  uint32_t slot;
+  if (!outbound_free_.empty()) {
+    slot = outbound_free_.back();
+    outbound_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(outbound_outcomes_.size());
+    outbound_outcomes_.emplace_back();
+  }
+  // Copy-assign into the kept-constructed payload: a warmed slot's
+  // performers vector reuses its high-water capacity, so steady-state
+  // delegation copies without touching the heap.
+  outbound_outcomes_[slot] = outcome;
+  return slot;
+}
+
+void Mediator::ReleaseOutboundOutcome(uint32_t slot) {
+  outbound_free_.push_back(slot);
+}
+
+void Mediator::OnDelegatedOutcome(const QueryOutcome& outcome,
+                                  Mediator* performer, uint32_t slot) {
+  // Copy into the home scratch (same reused buffer every finalize runs
+  // through) and re-stamp arrival-side timing: the response time the
+  // consumer experienced includes the two mailbox hops of the borrow
+  // round trip.
+  outcome_scratch_ = outcome;
+  FinalizeOutcome(shard_id_, &outcome_scratch_);
+  // Hand the slab slot back to its owner over the mailbox: the free list
+  // must only ever be touched on the performer's own context, and the
+  // barrier that carries this message orders the release after the read
+  // above. Until it lands the performer simply acquires fresh slots, so
+  // the slab's high-water mark is the number of outcomes in flight across
+  // one barrier round trip.
+  shard_set_->PostTo(shard_id_, performer->shard_id_, rt_->now(),
+                     rt::TaskFn([performer, slot] {
+                       performer->ReleaseOutboundOutcome(slot);
+                     }));
 }
 
 void Mediator::Mediate(model::Query query, uint32_t origin_shard) {

@@ -28,6 +28,7 @@
 /// heap allocation and no hashing.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -188,8 +189,15 @@ class Mediator {
   /// A peer shard's mediator forwarded `query` here (its pool was dry).
   void OnDelegatedQuery(model::Query query, uint32_t origin_shard);
   /// A borrowed query finalized on its executing shard; records the
-  /// consumer-side outcome at home.
-  void OnDelegatedOutcome(QueryOutcome outcome);
+  /// consumer-side outcome at home. `outcome` points into the performer's
+  /// pooled outbound slab (stable address, untouched by the performer until
+  /// released); `slot` is mailed back to `performer` afterwards so the slab
+  /// entry recycles on its owning shard.
+  void OnDelegatedOutcome(const QueryOutcome& outcome, Mediator* performer,
+                          uint32_t slot);
+  /// Mailbox return hop of the outcome slab: hands a slot whose outcome the
+  /// home shard consumed back to this (the owning) mediator's free list.
+  void ReleaseOutboundOutcome(uint32_t slot);
 
   /// Entry point: the consumer issues `query` at the current simulation
   /// time (query.issued_at is stamped here). The mediation proceeds through
@@ -422,8 +430,13 @@ class Mediator {
   /// with candidates (per the directory). False when unsharded or nobody
   /// has candidates.
   bool TryDelegate(const model::Query& query);
-  /// Sends a borrowed query's outcome back to its origin shard.
+  /// Sends a borrowed query's outcome back to its origin shard through a
+  /// pooled slab slot (0 heap allocations per delegated query at steady
+  /// state — the mailbox closure carries a pointer, not the outcome).
   void RouteOutcomeHome(uint32_t origin_shard, const QueryOutcome& outcome);
+  /// Copies `outcome` into a free outbound slab slot (growing the slab only
+  /// until its high-water mark) and returns the slot index.
+  uint32_t AcquireOutboundOutcome(const QueryOutcome& outcome);
   void Dispatch(InflightHandle handle);
   void OnInstanceArrival(InflightHandle handle, model::ProviderId provider,
                          double cost);
@@ -509,6 +522,15 @@ class Mediator {
   const ShardDirectory* directory_ = nullptr;
   std::vector<Mediator*> shard_mediators_;
   uint32_t shard_id_ = 0;
+
+  /// Outbound outcome slab for the borrow path's re-homing hop: a deque so
+  /// entries have stable addresses the home shard can read while this shard
+  /// keeps acquiring slots, with payloads (and their performers capacity)
+  /// kept constructed across reuse. Slots are freed by a mailbox message
+  /// from the home shard, so the free list is only ever touched on this
+  /// mediator's own context.
+  std::deque<QueryOutcome> outbound_outcomes_;
+  std::vector<uint32_t> outbound_free_;
 
   /// Cached load reports for the staleness-bounded view, dense by provider
   /// id — no hashing on the hot path.

@@ -16,6 +16,8 @@ Provider::Provider(model::ProviderId id, const ProviderParams& params)
   SBQA_CHECK_LE(params.error_rate, 1);
   hot_ = owned_hot_.get();
   hot_slot_ = hot_->Append(params.capacity, params.tau_utilization);
+  allowed_classes_.insert(params.allowed_classes.begin(),
+                          params.allowed_classes.end());
 }
 
 Provider::Provider(model::ProviderId id, const ProviderParams& params,
@@ -32,6 +34,10 @@ Provider::Provider(model::ProviderId id, const ProviderParams& params,
   SBQA_CHECK_LE(params.error_rate, 1);
   SBQA_CHECK(hot_ != nullptr);
   SBQA_CHECK_LT(hot_slot_, hot_->size());
+  // No observer yet at construction: the registry indexes the provider
+  // (restrictions included) right after, via OnProviderAdded.
+  allowed_classes_.insert(params.allowed_classes.begin(),
+                          params.allowed_classes.end());
 }
 
 double Provider::Backlog(double now) const {

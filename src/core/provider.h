@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "core/hot_state.h"
 #include "core/satisfaction.h"
@@ -43,6 +44,12 @@ struct ProviderParams {
   /// BOINC layer: probability that a returned result is invalid (malicious
   /// or faulty host). Drives reputation through validation.
   double error_rate = 0.0;
+  /// Query classes this provider can treat (BOINC: the applications the
+  /// volunteer attaches to); empty = all. Applied at construction, so
+  /// class-restricted populations can be declared through AddProvider —
+  /// including the engine facade — instead of mutating the registry
+  /// afterwards. RestrictClasses() still works for later changes.
+  std::vector<model::QueryClassId> allowed_classes;
   /// Human-readable label for reports (optional).
   std::string label;
 };

@@ -7,48 +7,26 @@
 
 namespace sbqa::rt {
 
-namespace {
-
-uint32_t RoundUpPow2(uint32_t n) {
-  uint32_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-uint32_t SlotOf(TaskId id) { return static_cast<uint32_t>(id); }
-
-}  // namespace
-
 WallClockRuntime::WallClockRuntime(const WallClockOptions& options)
     : options_(options), rng_(options.seed) {
+  // Retired wheel knobs: still validated so misconfigurations surface, but
+  // the unified timer core fires timers exactly and sizes itself.
   SBQA_CHECK_GT(options_.wheel_tick, 0);
   SBQA_CHECK_GT(options_.wheel_slots, 0u);
-  options_.wheel_slots = RoundUpPow2(options_.wheel_slots);
-  wheel_mask_ = options_.wheel_slots - 1;
-  wheel_.resize(options_.wheel_slots);
-  // Seed every bucket with a little capacity: timers scatter across the
-  // whole wheel (deadline mod rotation), so without this the first visit
-  // to each bucket would allocate long after the rest of the engine
-  // reached its allocation-free steady state.
-  for (std::vector<TaskId>& bucket : wheel_) {
-    bucket.reserve(4);
-  }
   // Executor scratch: sized for a healthy burst up front so the
   // steady-state service pass never grows them.
   immediate_.reserve(256);
   immediate_scratch_.reserve(256);
-  due_scratch_.reserve(256);
   drain_scratch_.reserve(256);
   submit_queue_.reserve(256);
   if (options_.reserve_timers > 0) {
     timers_.Provision(options_.reserve_timers);
-    slot_capacity_.store(timers_.size(), std::memory_order_relaxed);
-    // The zero-delay queue and the due-timer scratch scale with the same
-    // in-flight bound as the pool itself: a saturated pass can have every
-    // provisioned timer due (or chained) at once.
+    slot_capacity_.store(timers_.slot_capacity(), std::memory_order_relaxed);
+    // The zero-delay queue scales with the same in-flight bound as the
+    // pool itself: a saturated pass can have every provisioned timer
+    // chained at once.
     immediate_.reserve(options_.reserve_timers);
     immediate_scratch_.reserve(options_.reserve_timers);
-    due_scratch_.reserve(options_.reserve_timers);
   }
 }
 
@@ -89,13 +67,6 @@ double WallClockRuntime::SecondsSinceStart() const {
       .count();
 }
 
-// --- Timer pool --------------------------------------------------------------
-
-void WallClockRuntime::ReleaseTimer(uint32_t slot) {
-  timers_.ReleaseSlot(slot);
-  live_timers_.fetch_sub(1, std::memory_order_relaxed);
-}
-
 // --- Runtime interface -------------------------------------------------------
 
 TaskId WallClockRuntime::Schedule(Time delay, TaskFn fn) {
@@ -105,32 +76,24 @@ TaskId WallClockRuntime::Schedule(Time delay, TaskFn fn) {
 
 TaskId WallClockRuntime::ScheduleAt(Time when, TaskFn fn) {
   if (when < now()) when = now();
-  const TaskId id = timers_.Acquire();
-  slot_capacity_.store(timers_.size(), std::memory_order_relaxed);
-  Slot& s = timers_.at(SlotOf(id));
-  s.fn = std::move(fn);
-  s.when = when;
-  s.seq = next_seq_++;
+  TaskId id;
   if (when <= now()) {
     // Zero-delay fast path: already due, runs this pass right after the
-    // wheel's due timers (its seq is necessarily the newest).
+    // queued due timers (its seq is necessarily the newest). The slot is
+    // unqueued — the immediate_ FIFO owns the ordering.
+    id = timers_.AcquireUnqueued(std::move(fn));
     immediate_.push_back(id);
   } else {
-    // The tick can never trail current_tick_ (when > now); the max() is a
-    // belt against floating-point edge cases only.
-    const int64_t tick = std::max(TickOf(when), current_tick_);
-    wheel_[static_cast<size_t>(tick) & wheel_mask_].push_back(id);
+    id = timers_.Schedule(when, std::move(fn));
     if (when < next_due_) next_due_ = when;
   }
-  live_timers_.fetch_add(1, std::memory_order_relaxed);
+  SyncTimerGauges();
   return id;
 }
 
 bool WallClockRuntime::Cancel(TaskId id) {
-  Slot* s = ResolveTimer(id);
-  if (s == nullptr) return false;
-  s->fn = TaskFn();  // destroy the callable now; the bucket entry goes stale
-  ReleaseTimer(SlotOf(id));
+  if (!timers_.Cancel(id)) return false;
+  SyncTimerGauges();
   return true;
 }
 
@@ -195,49 +158,20 @@ size_t WallClockRuntime::DrainSubmitQueue() {
 }
 
 size_t WallClockRuntime::FireDueTimers(Time t) {
-  const int64_t target_tick = TickOf(t);
-  // Every wheel bucket repeats each rotation, so a pass never needs to
-  // visit more than the whole wheel once, however far the clock jumped.
-  const int64_t buckets =
-      std::min<int64_t>(target_tick - current_tick_,
-                        static_cast<int64_t>(wheel_mask_)) +
-      1;
-  due_scratch_.clear();
-  for (int64_t i = 0; i < buckets; ++i) {
-    std::vector<TaskId>& bucket =
-        wheel_[static_cast<size_t>(current_tick_ + i) & wheel_mask_];
-    size_t kept = 0;
-    for (size_t j = 0; j < bucket.size(); ++j) {
-      const TaskId id = bucket[j];
-      Slot* s = ResolveTimer(id);
-      if (s == nullptr) continue;  // cancelled: lazy removal
-      if (s->when <= t) {
-        due_scratch_.push_back(Due{s->when, s->seq, id});
-      } else {
-        bucket[kept++] = id;  // a future rotation's timer stays parked
-      }
-    }
-    bucket.resize(kept);
-  }
-  current_tick_ = target_tick;
-
-  // Deterministic firing order within the pass: (due time, submission
-  // seq) — the wall-clock analogue of the simulator's (time, seq) order.
-  std::sort(due_scratch_.begin(), due_scratch_.end(),
-            [](const Due& a, const Due& b) {
-              if (a.when != b.when) return a.when < b.when;
-              return a.seq < b.seq;
-            });
+  // The core pops due timers in (when, seq) order directly — no per-pass
+  // bucket sweep or sort like the old hashed wheel. PopDue releases each
+  // slot before the callback runs, so tasks may freely reschedule, and
+  // discards lazily cancelled entries on the way.
   size_t fired = 0;
-  for (const Due& due : due_scratch_) {
-    Slot* s = ResolveTimer(due.id);
-    if (s == nullptr) continue;  // cancelled by an earlier task this pass
-    TaskFn fn = std::move(s->fn);
-    ReleaseTimer(SlotOf(due.id));  // released first: the task may reschedule
+  TaskFn fn;
+  double when;
+  while (timers_.PopDue(t, &fn, &when)) {
+    SyncTimerGauges();
     fn();
     ++fired;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (fired == 0) SyncTimerGauges();  // stale entries may have been dropped
   return fired;
 }
 
@@ -245,26 +179,16 @@ size_t WallClockRuntime::RunImmediate() {
   if (immediate_.empty()) return 0;
   immediate_scratch_.swap(immediate_);  // capacities circulate
   size_t ran = 0;
+  TaskFn fn;
   for (TaskId id : immediate_scratch_) {
-    Slot* s = ResolveTimer(id);
-    if (s == nullptr) continue;  // cancelled before it ran
-    TaskFn fn = std::move(s->fn);
-    ReleaseTimer(SlotOf(id));
+    if (!timers_.Take(id, &fn)) continue;  // cancelled before it ran
+    SyncTimerGauges();
     fn();
     ++ran;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
   immediate_scratch_.clear();
   return ran;
-}
-
-void WallClockRuntime::RecomputeNextDue() {
-  next_due_ = kNever;
-  for (uint32_t slot = 0; slot < timers_.size(); ++slot) {
-    if (timers_.live(slot) && timers_.at(slot).when < next_due_) {
-      next_due_ = timers_.at(slot).when;
-    }
-  }
 }
 
 void WallClockRuntime::AdvanceTo(Time t) {
@@ -276,13 +200,12 @@ void WallClockRuntime::AdvanceTo(Time t) {
   // pipeline's After(0) chains), exactly like the simulator's RunUntil.
   while (DrainSubmitQueue() + FireDueTimers(t) + RunImmediate() > 0) {
   }
-  // Re-anchor the parking horizon: the pass consumed everything due, so a
-  // next_due_ at or below t belonged to a fired (or cancelled) timer.
-  if (live_timers_.load(std::memory_order_relaxed) == 0) {
-    next_due_ = kNever;
-  } else if (next_due_ <= t) {
-    RecomputeNextDue();
-  }
+  // Re-anchor the parking horizon. The pass consumed everything due at
+  // <= t (including stale entries), so the core's bound now reflects the
+  // earliest remaining timer — exact after a PopDue miss, and in any case
+  // never later than the true deadline (stale-low only costs one empty
+  // pass).
+  next_due_ = timers_.MinBound();
   mid_pass_.store(false, std::memory_order_relaxed);
 }
 

@@ -3,16 +3,17 @@
 
 /// \file
 /// WallClockRuntime: the live-traffic implementation of the runtime seam.
-/// Time is steady-clock seconds since Start(); timers live in a hashed
-/// timer wheel drained by ONE service thread (the executor); external
-/// driver threads inject work through a mutex-guarded MPSC submit queue
-/// (Post), which is the only thread-safe entry point. Message latency is
-/// zero — real traffic brings its own.
+/// Time is steady-clock seconds since Start(); timers live in the unified
+/// timer core (util::TimerCore — the same O(1) ladder queue the simulator
+/// runs on) drained by ONE service thread (the executor); external driver
+/// threads inject work through a mutex-guarded MPSC submit queue (Post),
+/// which is the only thread-safe entry point. Message latency is zero —
+/// real traffic brings its own.
 ///
 /// Like the discrete-event scheduler it mirrors, the steady state is
-/// allocation-free: tasks are TaskFn (small-buffer-optimized) in a
-/// slot-versioned pool, wheel buckets and the submit queue retain their
-/// capacity, and Cancel is O(1) with lazy bucket removal. The
+/// allocation-free: tasks are TaskFn (small-buffer-optimized) in the
+/// core's slot-versioned pool, the ladder's buckets and the submit queue
+/// retain their capacity, and Cancel is O(1) with lazy queue removal. The
 /// engine-facade Submit path is held to 0 heap allocations per query under
 /// this runtime by the same counting-allocator gates as the simulation.
 ///
@@ -32,7 +33,7 @@
 
 #include "runtime/runtime.h"
 #include "util/rng.h"
-#include "util/slot_pool.h"
+#include "util/timer_core.h"
 
 namespace sbqa::rt {
 
@@ -40,14 +41,13 @@ namespace sbqa::rt {
 struct WallClockOptions {
   /// Seed of the runtime's root RNG stream (SplitRng derivations).
   uint64_t seed = 42;
-  /// Timer-wheel granularity in seconds: due timers fire on the service
-  /// pass that crosses their tick. The service thread parks until the
-  /// earliest pending deadline (or a Post), so granularity costs nothing
-  /// while idle.
+  /// Retired: granularity knob of the pre-ladder hashed timer wheel. The
+  /// unified timer core fires timers exactly (no tick quantization), so
+  /// this is validated (> 0) but otherwise ignored. Kept so existing
+  /// option literals keep compiling.
   double wheel_tick = 0.001;
-  /// Wheel size in slots (rounded up to a power of two). One rotation
-  /// spans wheel_slots * wheel_tick seconds; farther deadlines stay parked
-  /// in their bucket and are re-examined once per rotation.
+  /// Retired alongside wheel_tick (bucket count of the old hashed wheel);
+  /// the ladder queue sizes its own rungs. Validated (> 0), ignored.
   uint32_t wheel_slots = 4096;
   /// Test/replay seam: no service thread, no steady clock — the caller is
   /// the executor and drives time with AdvanceTo().
@@ -153,66 +153,45 @@ class WallClockRuntime final : public Runtime {
   }
 
  private:
-  /// One pooled timer (util::SlotPool payload). A wheel-bucket entry is the
-  /// timer's TaskId; the pool's generation check rejects entries whose slot
-  /// was cancelled/recycled.
-  struct Slot {
-    TaskFn fn;
-    double when = 0;
-    uint64_t seq = 0;
-  };
-
-  /// A due timer extracted from its bucket, ordered (when, seq).
-  struct Due {
-    double when;
-    uint64_t seq;
-    TaskId id;
-  };
-
-  int64_t TickOf(double when) const {
-    return static_cast<int64_t>(when / options_.wheel_tick);
+  /// Refreshes the cross-thread gauges from the (executor-owned) core
+  /// after any operation that changed it.
+  void SyncTimerGauges() {
+    live_timers_.store(timers_.pending(), std::memory_order_relaxed);
+    slot_capacity_.store(timers_.slot_capacity(), std::memory_order_relaxed);
   }
-
-  Slot* ResolveTimer(TaskId id) { return timers_.Resolve(id); }
-  /// Pool release + the cross-thread live-timer gauge.
-  void ReleaseTimer(uint32_t slot);
 
   /// Runs queued submissions (FIFO). Returns tasks run.
   size_t DrainSubmitQueue();
-  /// Fires timers due at <= t across the wheel span since the last pass,
-  /// in (when, seq) order. Returns timers fired.
+  /// Fires timers due at <= t in (when, seq) order straight off the core.
+  /// Returns timers fired.
   size_t FireDueTimers(Time t);
   /// Runs the zero-delay queue (FIFO == seq order: an immediate task is
   /// always newer than any due timer of the same pass). Returns tasks run.
   size_t RunImmediate();
-  /// Rescans the live timer pool for the earliest deadline (called only
-  /// when next_due_ went stale after a pass; O(slot high-water)).
-  void RecomputeNextDue();
 
   void ServiceLoop();
   double SecondsSinceStart() const;
 
   WallClockOptions options_;
-  uint32_t wheel_mask_ = 0;
   util::Rng rng_;
 
   // Executor-owned state (service thread, or the caller in manual mode).
   // now_ is atomic only so foreign threads can read the clock (Engine::now);
   // all writes come from the executor.
   std::atomic<double> now_{0};
-  int64_t current_tick_ = 0;
-  util::SlotPool<Slot> timers_;
-  uint64_t next_seq_ = 1;
-  std::vector<std::vector<TaskId>> wheel_;
+  /// The unified timer core (ladder queue + slot pool): every timer with a
+  /// real deadline is queued here; already-due tasks take the immediate_
+  /// lane below with an unqueued slot.
+  util::TimerCore timers_;
   /// Zero-delay fast path: tasks due immediately (Schedule(0) chains,
-  /// SendTo deliveries) bypass the wheel — they are the hot traffic, and
-  /// this keeps the buckets for real timers.
+  /// SendTo deliveries) bypass the queue — they are the hot traffic, and
+  /// this keeps the ladder's buckets for real timers. Entries are unqueued
+  /// core handles, redeemed (or skipped, if cancelled) by Take().
   std::vector<TaskId> immediate_;
   std::vector<TaskId> immediate_scratch_;
-  std::vector<Due> due_scratch_;
   std::vector<TaskFn> drain_scratch_;
   Destination next_destination_ = 0;
-  /// Lower bound on the earliest pending wheel deadline (the service
+  /// Lower bound on the earliest pending timer deadline (the service
   /// thread's parking horizon). Only ever stale LOW — a too-early wakeup
   /// runs an empty pass and recomputes; never stale high, so no timer
   /// oversleeps.

@@ -6,39 +6,6 @@
 
 namespace sbqa::sim {
 
-void Scheduler::EventHeap::push(HeapEntry entry) {
-  size_t i = entries_.size();
-  entries_.push_back(entry);
-  while (i > 0) {
-    const size_t parent = (i - 1) / 4;
-    if (!EntryBefore(entry, entries_[parent])) break;
-    entries_[i] = entries_[parent];
-    i = parent;
-  }
-  entries_[i] = entry;
-}
-
-void Scheduler::EventHeap::pop() {
-  const HeapEntry last = entries_.back();
-  entries_.pop_back();
-  const size_t n = entries_.size();
-  if (n == 0) return;
-  size_t i = 0;
-  while (true) {
-    const size_t first_child = i * 4 + 1;
-    if (first_child >= n) break;
-    size_t best = first_child;
-    const size_t end = first_child + 4 < n ? first_child + 4 : n;
-    for (size_t c = first_child + 1; c < end; ++c) {
-      if (EntryBefore(entries_[c], entries_[best])) best = c;
-    }
-    if (!EntryBefore(entries_[best], last)) break;
-    entries_[i] = entries_[best];
-    i = best;
-  }
-  entries_[i] = last;
-}
-
 EventId Scheduler::Schedule(Time delay, EventFn cb) {
   SBQA_CHECK_GE(delay, 0);
   return ScheduleAt(now_ + delay, std::move(cb));
@@ -46,53 +13,16 @@ EventId Scheduler::Schedule(Time delay, EventFn cb) {
 
 EventId Scheduler::ScheduleAt(Time when, EventFn cb) {
   SBQA_CHECK_GE(when, now_);
-  const EventId id = pool_.Acquire();
-  const uint32_t slot = util::SlotPool<Slot>::SlotOf(id);
-  SBQA_DCHECK_LT(slot, kSlotMask);
-  Slot& s = pool_.at(slot);
-  s.seq = next_seq_++;
-  SBQA_DCHECK_LT(s.seq, uint64_t{1} << (64 - kSlotBits));
-  s.fn = std::move(cb);
-  queue_.push(HeapEntry{when, (s.seq << kSlotBits) | slot});
-  return id;
-}
-
-bool Scheduler::Cancel(EventId id) {
-  // Resolve() rejects freed slots (the event fired or was already
-  // cancelled) and generation mismatches (the slot now belongs to a newer
-  // event); either way the cancel is a stale no-op.
-  Slot* s = pool_.Resolve(id);
-  if (s == nullptr) return false;
-  s->fn = EventFn();
-  pool_.Release(id);
-  return true;
-}
-
-void Scheduler::SkipStale() {
-  // A heap entry is live iff its slot is live AND still carries its seq —
-  // the pool keeps payloads on release, so the slot-live check is what
-  // actually rejects a fired/cancelled event's leftover entry.
-  while (!queue_.empty()) {
-    const HeapEntry& top = queue_.top();
-    const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
-    if (pool_.live(slot) && pool_.at(slot).seq == top.key >> kSlotBits) {
-      return;
-    }
-    queue_.pop();
-  }
+  return core_.Schedule(when, std::move(cb));
 }
 
 bool Scheduler::Step() {
-  SkipStale();
-  if (queue_.empty()) return false;
-  const HeapEntry top = queue_.top();
-  queue_.pop();
-  const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
-  // Move the callback out and release the slot before invoking, so
-  // self-scheduling callbacks are safe (they may reuse this very slot).
-  EventFn fn = std::move(pool_.at(slot).fn);
-  pool_.ReleaseSlot(slot);
-  now_ = top.when;
+  EventFn fn;
+  Time when;
+  // PopDue releases the event's slot before handing the callback back, so
+  // self-scheduling callbacks are safe (they may reuse that very slot).
+  if (!core_.PopDue(kNoEvent, &fn, &when)) return false;
+  now_ = when;
   ++executed_;
   fn();
   return true;
@@ -102,10 +32,12 @@ size_t Scheduler::RunUntil(Time t) {
   SBQA_CHECK_GE(t, now_);
   size_t n = 0;
   stop_requested_ = false;
-  while (!stop_requested_) {
-    SkipStale();
-    if (queue_.empty() || queue_.top().when > t) break;
-    Step();
+  EventFn fn;
+  Time when;
+  while (!stop_requested_ && core_.PopDue(t, &fn, &when)) {
+    now_ = when;
+    ++executed_;
+    fn();
     ++n;
   }
   if (!stop_requested_ && now_ < t) now_ = t;

@@ -7,19 +7,22 @@
 /// ordered, so simultaneous events run in submission order and every run is
 /// deterministic.
 ///
-/// The engine is allocation-free in steady state: callbacks are EventFn
-/// (small-buffer-optimized, no heap for the simulator's closures) and live
-/// in a util::SlotPool (the shared slot-versioned pool implementation). An
-/// EventId is the pool handle, (generation << 32) | slot; Schedule and
-/// Cancel are O(1) with no hashing — cancellation just releases the slot,
-/// leaving the heap entry to be discarded lazily on pop, and the
-/// generation makes a stale id from a recycled slot harmless.
+/// The scheduler is a thin clock-and-run loop over util::TimerCore, the
+/// unified timer engine shared with the wall-clock runtime: callbacks are
+/// EventFn (small-buffer, no heap for the simulator's closures) in a
+/// slot-versioned pool, ordered by the O(1) ladder queue by default —
+/// amortized constant Schedule/Step/Cancel even at million-event depths —
+/// with the 4-ary heap selectable (SchedulerKind::kHeap) for differential
+/// testing. Both kinds pop the identical (time, seq) sequence, so the
+/// choice never changes a trace. An EventId is the pool handle,
+/// (generation << 32) | slot; Cancel just releases the slot, leaving the
+/// queue entry to be discarded lazily on pop, and the generation makes a
+/// stale id from a recycled slot harmless.
 
 #include <cstdint>
-#include <vector>
 
 #include "sim/event_fn.h"
-#include "util/slot_pool.h"
+#include "util/timer_core.h"
 
 namespace sbqa::sim {
 
@@ -31,14 +34,19 @@ using Time = double;
 /// sentinel.
 using EventId = uint64_t;
 
-/// Binary-heap discrete-event scheduler with stable FIFO ordering among
-/// same-timestamp events, a slot-versioned event pool and lazy heap
-/// removal.
+/// Which priority structure orders the event queue (see util::TimerCore):
+/// the O(1) ladder queue by default, the 4-ary heap as the differential-
+/// testing fallback. Pop order is bit-identical either way.
+using SchedulerKind = util::TimerQueueKind;
+
+/// Discrete-event scheduler with stable FIFO ordering among same-timestamp
+/// events, a slot-versioned event pool and lazy queue removal.
 class Scheduler {
  public:
   using Callback = EventFn;
 
-  Scheduler() = default;
+  explicit Scheduler(SchedulerKind kind = SchedulerKind::kLadder)
+      : core_(kind) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -51,8 +59,8 @@ class Scheduler {
   /// Cancels a pending event. Returns false when the event already fired or
   /// was cancelled (including when its slot has been recycled by a newer
   /// event — the generation half of the id rejects the stale handle). O(1),
-  /// no hashing; the dead heap entry is discarded lazily on pop.
-  bool Cancel(EventId id);
+  /// no hashing; the dead queue entry is discarded lazily on pop.
+  bool Cancel(EventId id) { return core_.Cancel(id); }
 
   /// Runs the single next event, if any. Returns false when the queue is
   /// empty (time does not advance in that case).
@@ -73,77 +81,37 @@ class Scheduler {
   void RequestStop() { stop_requested_ = true; }
 
   Time now() const { return now_; }
-  bool empty() const { return pool_.live_count() == 0; }
+  bool empty() const { return core_.pending() == 0; }
   /// Lower bound on the next event's timestamp (conservative: a lazily
-  /// cancelled heap top may report earlier than the next live event);
+  /// cancelled entry may report earlier than the next live event, and the
+  /// ladder may report a bucket threshold rather than an exact time);
   /// +infinity when nothing is pending. Lets the sharded driver skip
   /// waking workers for windows it can prove empty.
   Time next_event_bound() const {
-    return queue_.empty() ? kNoEvent : queue_.top().when;
+    const double bound = core_.MinBound();
+    return bound >= util::TimerCore::kNoDeadline ? kNoEvent : bound;
   }
   static constexpr Time kNoEvent = 1e300;
+  /// Which queue kind this scheduler runs on.
+  SchedulerKind kind() const { return core_.kind(); }
   /// Pending (non-cancelled) events.
-  size_t pending() const { return pool_.live_count(); }
+  size_t pending() const { return core_.pending(); }
   /// Total events executed since construction.
   uint64_t executed() const { return executed_; }
-  /// Cancelled events still awaiting lazy removal from the heap (bounded by
-  /// the queue size; exposed for leak regression tests).
+  /// Cancelled events still awaiting lazy removal from the queue (bounded
+  /// by the queue size; exposed for leak regression tests).
   size_t cancelled_backlog() const {
-    return queue_.size() - pool_.live_count();
+    return core_.queue_size() - core_.pending();
   }
   /// Event slots ever created (high-water mark of concurrently pending
   /// events; steady-state scheduling recycles them without allocating).
-  size_t slot_capacity() const { return pool_.size(); }
+  size_t slot_capacity() const { return core_.slot_capacity(); }
+  /// Pre-sizes the event pool and queue for `n` concurrently pending
+  /// events (see util::TimerCore::Provision).
+  void Provision(size_t n) { core_.Provision(n); }
 
  private:
-  /// One pooled event. `seq` doubles as the heap-entry liveness check: an
-  /// entry is live iff its slot is live AND its recorded seq matches (a
-  /// recycled slot carries a newer event's seq).
-  struct Slot {
-    EventFn fn;
-    uint64_t seq = 0;
-  };
-
-  /// What the event heap orders. The callback stays in the slot; the heap
-  /// shuffles only 16 bytes per event: `key` packs (seq << kSlotBits) |
-  /// slot, so the seq comparison that breaks timestamp ties doubles as the
-  /// slot reference. Capacity: 2^24 concurrently pending events, 2^40
-  /// events per scheduler lifetime (both DCHECK-guarded).
-  struct HeapEntry {
-    Time when;
-    uint64_t key;
-  };
-  static constexpr uint32_t kSlotBits = 24;
-  static constexpr uint64_t kSlotMask = (1u << kSlotBits) - 1;
-  /// Strict (when, seq) order — total, because seqs are unique; any heap
-  /// arity therefore pops in exactly the same deterministic sequence.
-  static bool EntryBefore(const HeapEntry& a, const HeapEntry& b) {
-    if (a.when != b.when) return a.when < b.when;
-    return a.key < b.key;  // FIFO among equals (seq is the high bits)
-  }
-
-  /// 4-ary min-heap over HeapEntry: same pop order as a binary heap (the
-  /// order above is total) at roughly half the sift depth — fewer 16-byte
-  /// moves per operation on the engine's hottest path.
-  class EventHeap {
-   public:
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
-    const HeapEntry& top() const { return entries_.front(); }
-    void push(HeapEntry entry);
-    void pop();
-
-   private:
-    std::vector<HeapEntry> entries_;
-  };
-
-  /// Pops heap entries whose slot no longer carries their seq (lazily
-  /// cancelled events).
-  void SkipStale();
-
-  EventHeap queue_;
-  util::SlotPool<Slot> pool_;
-  uint64_t next_seq_ = 1;
+  util::TimerCore core_;
   Time now_ = 0;
   uint64_t executed_ = 0;
   bool stop_requested_ = false;

@@ -24,8 +24,14 @@ struct SimulationConfig {
   double latency_sigma = 0.35;    ///< log-space spread; 0 = constant latency
   double latency_floor = 0.001;   ///< hard minimum latency (s)
   /// Delivery quantization tick for batched destination-aware sends
-  /// (see NetworkConfig::batch_tick). 0 = exact per-message delivery.
+  /// (see NetworkConfig::batch_tick). 0 = exact per-message delivery —
+  /// the default, and the right one below ~10 same-destination messages
+  /// per tick (see src/sim/README.md for the measured sweep).
   double delivery_batch_tick = 0.0;
+  /// Priority structure of the event queue: the O(1) ladder queue by
+  /// default, the 4-ary heap (SchedulerKind::kHeap) as the differential-
+  /// testing fallback. Traces are bit-identical either way.
+  SchedulerKind scheduler_kind = SchedulerKind::kLadder;
 
   // --- Sharding (consumed by ShardSet and the experiment runner; a
   // --- standalone Simulation ignores these) --------------------------------
@@ -82,7 +88,7 @@ class Simulation {
  private:
   SimulationConfig config_;
   util::Rng rng_;
-  Scheduler scheduler_;
+  Scheduler scheduler_{config_.scheduler_kind};
   std::unique_ptr<Network> network_;
   SimRuntime runtime_{this};
 };

@@ -1,0 +1,38 @@
+#include "util/timer_core.h"
+
+namespace sbqa::util {
+
+void TimerCore::EventHeap::push(LadderQueue::Entry entry) {
+  size_t i = entries_.size();
+  entries_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!LadderQueue::Before(entry, entries_[parent])) break;
+    entries_[i] = entries_[parent];
+    i = parent;
+  }
+  entries_[i] = entry;
+}
+
+void TimerCore::EventHeap::pop() {
+  const LadderQueue::Entry last = entries_.back();
+  entries_.pop_back();
+  const size_t n = entries_.size();
+  if (n == 0) return;
+  size_t i = 0;
+  while (true) {
+    const size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    size_t best = first_child;
+    const size_t end = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (LadderQueue::Before(entries_[c], entries_[best])) best = c;
+    }
+    if (!LadderQueue::Before(entries_[best], last)) break;
+    entries_[i] = entries_[best];
+    i = best;
+  }
+  entries_[i] = last;
+}
+
+}  // namespace sbqa::util

@@ -375,6 +375,65 @@ TEST(EngineShardedTest, ShardedSteadyStateSubmitPathIsAllocationFree) {
   EXPECT_EQ(callbacks, 450);
 }
 
+TEST(EngineShardedTest, DelegatedOutcomeReHomingIsAllocationFree) {
+  // Borrow-path flavour of the gate: shard 1's providers only treat class
+  // 1 while every query asks class 0, so each of its queries crosses the
+  // mailbox twice — delegated out, outcome re-homed through the
+  // performer's pooled slab slot — plus the slot-release hop back. The
+  // whole round trip must perform ZERO heap allocations per query once
+  // the slab, mailboxes and pools are warm.
+  const uint32_t kShards = 2;
+  Engine engine(ShardedManualOptions(11, kShards));
+  std::vector<model::ConsumerId> consumers;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    core::ConsumerParams consumer_params;
+    consumer_params.n_results = 2;
+    consumer_params.policy_kind = model::ConsumerPolicyKind::kPreferenceOnly;
+    consumers.push_back(engine.AddConsumer(consumer_params));
+  }
+  // 3 providers per shard (contiguous id blocks). Shard 1's block is
+  // class-restricted at AddProvider time: its pool for the class-0
+  // traffic is dry from the first directory snapshot on.
+  for (uint32_t i = 0; i < 3 * kShards; ++i) {
+    core::ProviderParams provider_params;
+    provider_params.capacity = 1.0 + 0.25 * (i % 4);
+    if (i >= 3) provider_params.allowed_classes = {model::QueryClassId{1}};
+    const model::ProviderId p = engine.AddProvider(provider_params);
+    for (model::ConsumerId c : consumers) {
+      engine.SetConsumerPreference(c, p, 0.6);
+      engine.SetProviderPreference(p, c, 0.5);
+    }
+  }
+  engine.Start();
+  int64_t callbacks = 0;
+  // Consumer 1 lives on shard 1 (consumers go round-robin by id): every
+  // query below is mediated there and must borrow shard 0's providers.
+  auto pump = [&engine, &callbacks, &consumers](int queries) {
+    for (int i = 0; i < queries; ++i) {
+      engine.Submit({consumers[1], 0, 2, 0.1},
+                    [&callbacks](const QueryResult&) { ++callbacks; });
+      engine.RunFor(0.02);
+    }
+    (void)engine.WaitIdle(30.0);
+  };
+
+  pump(150);  // warm-up: slab and mailboxes reach their high-water marks
+
+  const EngineStats warm = engine.Stats();
+  ASSERT_GT(warm.queries_delegated, 0);
+  ASSERT_EQ(warm.queries_delegated, warm.queries_borrowed);
+
+  const uint64_t before = AllocationCount();
+  pump(100);
+  EXPECT_EQ(AllocationCount() - before, 0u)
+      << "delegated outcome re-homing must not allocate at steady state";
+  // Every measured query went over the mailbox: it is the borrow round
+  // trip that was held to zero, not a local fallback.
+  const EngineStats done = engine.Stats();
+  EXPECT_EQ(done.queries_delegated - warm.queries_delegated, 100);
+  EXPECT_EQ(callbacks, 250);
+}
+
 TEST(EngineShardedTest, ThreadedShardedEngineServesDriverTraffic) {
   // Real worker threads (the TSan target): driver-thread Submit fan-in,
   // cross-shard barriers, a mid-traffic membership join, Stats from a
