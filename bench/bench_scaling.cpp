@@ -34,10 +34,22 @@ namespace {
 constexpr size_t kK = 20;
 constexpr size_t kKn = 8;
 
+core::SbqaParams DefaultBenchParams() {
+  core::SbqaParams sbqa_params;
+  sbqa_params.knbest = core::KnBestParams{kK, kKn};
+  return sbqa_params;
+}
+
 /// One population fixture: registry + mediator wired for decision-only
-/// measurements (no network simulation, no event traffic).
+/// measurements (no network simulation, no event traffic). The kernel
+/// sweep passes `trading_policies` so both the consumer- and the
+/// provider-intention math runs its most expensive (blending) branch.
 struct AllocationFixture {
   explicit AllocationFixture(size_t providers)
+      : AllocationFixture(providers, DefaultBenchParams(), false) {}
+
+  AllocationFixture(size_t providers, const core::SbqaParams& sbqa_params,
+                    bool trading_policies)
       : simulation(sim::SimulationConfig{.seed = 42}) {
     core::ConsumerParams consumer_params;
     consumer_params.policy_kind =
@@ -47,6 +59,9 @@ struct AllocationFixture {
     for (size_t i = 0; i < providers; ++i) {
       core::ProviderParams params;
       params.capacity = setup.Uniform(0.5, 2.0);
+      if (trading_policies) {
+        params.policy_kind = model::ProviderPolicyKind::kUtilizationTrading;
+      }
       const model::ProviderId id = registry.AddProvider(params);
       registry.provider(id).preferences().Set(0, setup.Uniform(-1, 1));
       registry.consumer(0).preferences().Set(id, setup.Uniform(-1, 1));
@@ -57,8 +72,7 @@ struct AllocationFixture {
         std::make_unique<model::ReputationRegistry>(registry.provider_count());
     core::MediatorConfig config;
     config.simulate_network = false;
-    core::SbqaParams sbqa_params;
-    sbqa_params.knbest = core::KnBestParams{kK, kKn};
+    config.scoring_kernel = sbqa_params.scoring_kernel;
     mediator = std::make_unique<core::Mediator>(
         &simulation, &registry, reputation.get(),
         std::make_unique<core::SbqaMethod>(sbqa_params), config);
@@ -172,6 +186,53 @@ struct SweepRow {
   double indexed_ns;
 };
 
+/// One row of the scoring-kernel sweep: per-decision wall cost plus the
+/// kernel's own per-phase breakdown (means over the measured decisions).
+struct KernelSweepRow {
+  size_t kn = 0;
+  const char* kernel = "";
+  int64_t decisions = 0;
+  double decision_ns = 0;
+  double sample_ns = 0;
+  double gather_ns = 0;
+  double intentions_ns = 0;
+  double score_ns = 0;
+  double rank_ns = 0;
+};
+
+/// Measures one (kn, kernel) point: a fixed 2000-provider trading-policy
+/// population, k = 2*kn candidates, decision timing on. The phase means
+/// come from the kernel's own brackets, so exact vs batched pays the same
+/// clock overhead per phase and the ratio isolates the math.
+KernelSweepRow MeasureKernel(size_t kn, core::ScoreKernelKind kind) {
+  core::SbqaParams params;
+  params.knbest = core::KnBestParams{2 * kn, kn};
+  params.scoring_kernel = kind;
+  params.decision_timing = true;
+  AllocationFixture fix(2000, params, /*trading_policies=*/true);
+  std::vector<model::ProviderId> scratch;
+  core::AllocationDecision decision;
+  // Warm the pools before the phase counters start.
+  for (int i = 0; i < 64; ++i) IndexedDecision(fix, scratch, decision);
+  fix.method->kernel().ResetPhases();
+  const double wall_ns = MeasureNsPerCall([&fix, &scratch, &decision] {
+    return IndexedDecision(fix, scratch, decision);
+  });
+  const core::ScoreKernelPhases& phases = fix.method->kernel().phases();
+  const double n = std::max<double>(1.0, static_cast<double>(phases.decisions));
+  KernelSweepRow row;
+  row.kn = kn;
+  row.kernel = core::ToString(kind);
+  row.decisions = phases.decisions;
+  row.decision_ns = wall_ns;
+  row.sample_ns = static_cast<double>(phases.sample_ns) / n;
+  row.gather_ns = static_cast<double>(phases.gather_ns) / n;
+  row.intentions_ns = static_cast<double>(phases.intentions_ns) / n;
+  row.score_ns = static_cast<double>(phases.score_ns) / n;
+  row.rank_ns = static_cast<double>(phases.rank_ns) / n;
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -211,6 +272,41 @@ int main() {
       "Shape check: the full-scan column grows linearly with the population\n"
       "while the indexed column stays near-flat — per-query mediation cost\n"
       "now depends on k/kn, not |P|.\n\n");
+
+  bench::PrintHeader(
+      "Scoring-kernel sweep on the decision hot path",
+      "Per-decision phase breakdown, exact vs batched SoA kernel,\n"
+      "2000 providers, trading policies, k = 2*kn, kn in {8, 32, 128}.");
+
+  std::vector<KernelSweepRow> kernel_sweep;
+  util::TextTable kernel_table;
+  kernel_table.SetHeader({"kn", "kernel", "decision(ns)", "sample", "gather",
+                          "intent", "score", "rank", "hot.speedup"});
+  for (size_t kn : {8u, 32u, 128u}) {
+    double exact_hot = 0;
+    for (core::ScoreKernelKind kind :
+         {core::ScoreKernelKind::kExact, core::ScoreKernelKind::kBatched}) {
+      kernel_sweep.push_back(MeasureKernel(kn, kind));
+      const KernelSweepRow& row = kernel_sweep.back();
+      const double hot = row.intentions_ns + row.score_ns;
+      if (kind == core::ScoreKernelKind::kExact) exact_hot = hot;
+      kernel_table.AddRow(
+          {util::StrFormat("%zu", row.kn), row.kernel,
+           util::FormatDouble(row.decision_ns, 0),
+           util::FormatDouble(row.sample_ns, 0),
+           util::FormatDouble(row.gather_ns, 0),
+           util::FormatDouble(row.intentions_ns, 0),
+           util::FormatDouble(row.score_ns, 0),
+           util::FormatDouble(row.rank_ns, 0),
+           kind == core::ScoreKernelKind::kExact
+               ? std::string("1.0x")
+               : util::StrFormat("%.1fx", hot > 0 ? exact_hot / hot : 0.0)});
+    }
+  }
+  std::printf("%s\n", kernel_table.ToString().c_str());
+  std::printf(
+      "hot.speedup = exact (intentions+score) over batched at the same kn;\n"
+      "the CI gate (--mode scaling) holds the batched kernel above 2x.\n\n");
 
   bench::PrintHeader(
       "End-to-end demo workload at constant offered load",
@@ -276,6 +372,21 @@ int main() {
       json.Field("full_scan_ns_per_query", row.full_scan_ns, 0);
       json.Field("indexed_ns_per_query", row.indexed_ns, 0);
       json.Field("speedup", row.full_scan_ns / row.indexed_ns, 1);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.BeginArray("kernel_sweep");
+    for (const KernelSweepRow& row : kernel_sweep) {
+      json.BeginObject();
+      json.Field("kn", row.kn);
+      json.Field("kernel", row.kernel);
+      json.Field("decisions", row.decisions);
+      json.Field("decision_ns", row.decision_ns, 0);
+      json.Field("sample_ns", row.sample_ns, 0);
+      json.Field("gather_ns", row.gather_ns, 0);
+      json.Field("intentions_ns", row.intentions_ns, 0);
+      json.Field("score_ns", row.score_ns, 0);
+      json.Field("rank_ns", row.rank_ns, 0);
       json.EndObject();
     }
     json.EndArray();

@@ -20,6 +20,12 @@
 /// so a single-core runner only enforces the allocation and completeness
 /// gates.
 ///
+/// A second, shorter sweep ("skew_sweep" in the JSON) repeats the 1- and
+/// max-shard rows with one hot consumer taking 50% of submissions: the
+/// hot consumer's home shard is the bottleneck by construction, so no
+/// speedup is gated there — only that the steady-state guarantees (0
+/// allocations/query, every accepted query finalized) survive imbalance.
+///
 /// Scale knobs: SBQA_BENCH_QUERIES (measured queries per row),
 /// SBQA_BENCH_MAX_SHARDS, SBQA_BENCH_SEED, SBQA_BENCH_JSON.
 
@@ -58,9 +64,12 @@ struct ServeRow {
 
 /// Saturates `engine` with `target` accepted queries and returns once
 /// every outcome callback ran. Returns false if the traffic failed to
-/// drain inside the budget.
+/// drain inside the budget. `skew` routes every other query to
+/// consumers[0] (one hot consumer at 50% of traffic, the rest round-robin)
+/// instead of uniform round-robin.
 bool Blast(Engine* engine, const std::vector<model::ConsumerId>& consumers,
-           int64_t target, std::atomic<int64_t>* delivered, int64_t* shed) {
+           int64_t target, bool skew, std::atomic<int64_t>* delivered,
+           int64_t* shed) {
   QueryRequest request;
   request.n_results = 2;
   request.cost = 0.0001;  // ~0.1 ms of virtual provider work
@@ -69,8 +78,11 @@ bool Blast(Engine* engine, const std::vector<model::ConsumerId>& consumers,
   const int64_t delivered_start =
       delivered->load(std::memory_order_relaxed);
   while (accepted < target) {
-    request.consumer = consumers[static_cast<size_t>(accepted) %
-                                 consumers.size()];
+    const size_t a = static_cast<size_t>(accepted);
+    const size_t pick =
+        skew ? (a % 2 == 0 ? 0 : 1 + (a / 2) % (consumers.size() - 1))
+             : a % consumers.size();
+    request.consumer = consumers[pick];
     if (engine->Submit(request, [delivered](const QueryResult& r) {
           if (!r.shed) delivered->fetch_add(1, std::memory_order_relaxed);
         }) != 0) {
@@ -95,7 +107,8 @@ bool Blast(Engine* engine, const std::vector<model::ConsumerId>& consumers,
   return true;
 }
 
-ServeRow RunShardCount(uint64_t seed, uint32_t shards, int64_t queries) {
+ServeRow RunShardCount(uint64_t seed, uint32_t shards, int64_t queries,
+                       bool skew) {
   EngineOptions options;
   options.mode = EngineMode::kWallClock;
   options.seed = seed;
@@ -157,7 +170,7 @@ ServeRow RunShardCount(uint64_t seed, uint32_t shards, int64_t queries) {
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        warm_start)
                  .count() < 2.5 * warm_window) {
-    if (!Blast(&engine, consumers, warmup_floor, &delivered, &shed)) {
+    if (!Blast(&engine, consumers, warmup_floor, skew, &delivered, &shed)) {
       std::fprintf(stderr, "warm-up traffic failed to drain (%u shards)\n",
                    shards);
       engine.Stop();
@@ -169,7 +182,8 @@ ServeRow RunShardCount(uint64_t seed, uint32_t shards, int64_t queries) {
   shed = 0;  // the reported shed count covers the measured segment only
   const uint64_t allocs_before = util::AllocationCount();
   const auto t0 = std::chrono::steady_clock::now();
-  const bool drained = Blast(&engine, consumers, queries, &delivered, &shed);
+  const bool drained =
+      Blast(&engine, consumers, queries, skew, &delivered, &shed);
   const double wall_ms =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -222,7 +236,7 @@ int main() {
 
   std::vector<ServeRow> sweep;
   for (uint32_t shards = 1; shards <= max_shards; shards *= 2) {
-    sweep.push_back(RunShardCount(seed, shards, queries));
+    sweep.push_back(RunShardCount(seed, shards, queries, /*skew=*/false));
     const ServeRow& row = sweep.back();
     const double speedup =
         sweep.front().qps > 0 ? row.qps / sweep.front().qps : 0;
@@ -238,6 +252,29 @@ int main() {
         static_cast<long long>(row.delegated));
   }
 
+  // Skewed traffic: one hot consumer takes 50% of submissions, the other
+  // seven split the rest. The interesting question is not speedup (the hot
+  // consumer's home shard is the bottleneck by construction) but whether
+  // the steady-state guarantees survive the imbalance: still 0
+  // allocations/query, still every accepted query finalized.
+  std::printf("\nSkewed traffic (consumer[0] gets 50%% of submissions):\n");
+  std::vector<ServeRow> skew_sweep;
+  for (const uint32_t shards : {1u, max_shards}) {
+    if (!skew_sweep.empty() && skew_sweep.back().shards == shards) continue;
+    skew_sweep.push_back(RunShardCount(seed, shards, queries, /*skew=*/true));
+    const ServeRow& row = skew_sweep.back();
+    std::printf(
+        "  %u shard%s | %9.1f ms | %8.0f queries/s | %6.0f ns/query | "
+        "%.4f allocs/query | %6lld shed | %5lld barriers (%lld early) | "
+        "%4lld delegated\n",
+        row.shards, row.shards == 1 ? " " : "s", row.wall_ms, row.qps,
+        row.ns_per_query, row.allocs_per_query,
+        static_cast<long long>(row.shed),
+        static_cast<long long>(row.barriers),
+        static_cast<long long>(row.early_barriers),
+        static_cast<long long>(row.delegated));
+  }
+
   JsonWriter json(BenchJsonPath("serve"));
   if (!json.ok()) return 0;
   json.BeginObject();
@@ -247,8 +284,7 @@ int main() {
   json.Field("queries_per_row", queries);
   json.Field("providers", kProviders);
   json.Field("consumers", kConsumers);
-  json.BeginArray("sweep");
-  for (const ServeRow& row : sweep) {
+  const auto emit_row = [&json](const ServeRow& row, double base_qps) {
     json.BeginObject();
     json.Field("shards", row.shards);
     json.Field("queries", row.queries);
@@ -258,13 +294,19 @@ int main() {
     json.Field("qps", row.qps, 0);
     json.Field("ns_per_query", row.ns_per_query, 0);
     json.Field("allocs_per_query", row.allocs_per_query, 4);
-    json.Field("speedup_vs_1",
-               sweep.front().qps > 0 ? row.qps / sweep.front().qps : 0, 2);
+    json.Field("speedup_vs_1", base_qps > 0 ? row.qps / base_qps : 0, 2);
     json.Field("barriers", row.barriers);
     json.Field("early_barriers", row.early_barriers);
     json.Field("delegated", row.delegated);
     json.Field("borrowed", row.borrowed);
     json.EndObject();
+  };
+  json.BeginArray("sweep");
+  for (const ServeRow& row : sweep) emit_row(row, sweep.front().qps);
+  json.EndArray();
+  json.BeginArray("skew_sweep");
+  for (const ServeRow& row : skew_sweep) {
+    emit_row(row, skew_sweep.front().qps);
   }
   json.EndArray();
   json.EndObject();

@@ -8,6 +8,7 @@
 ///            [--volunteers=N] [--duration=S] [--seed=N]
 ///            [--env=captive|autonomous] [--mediators=N] [--shards=N]
 ///            [--k=N] [--kn=N] [--omega=adaptive|0..1]
+///            [--score-kernel=batched|exact]
 ///            [--fault-profile=none|drops|delays|crashes|chaos]
 ///            [--fault-seed=N] [--deadline-ms=N] [--max-retries=N]
 ///            [--churn] [--joins] [--charts] [--json] [--list-methods]
@@ -22,7 +23,8 @@
 /// detector). --list-methods prints the allocation-technique registry and
 /// exits; --json replaces the tables with a machine-readable run summary
 /// on stdout (comparison pipelines diff/plot it directly), including the
-/// terminal-outcome taxonomy and fault counters.
+/// terminal-outcome taxonomy, fault counters and the per-phase decision
+/// timings of the scoring kernel selected by --score-kernel.
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +52,7 @@ struct Flags {
   size_t k = 20;
   size_t kn = 8;
   std::string omega = "adaptive";
+  std::string score_kernel = "batched";
   std::string fault_profile = "none";
   uint64_t fault_seed = 1;
   double deadline_ms = 0;
@@ -78,6 +81,7 @@ int Usage() {
       "                [--env=captive|autonomous] [--mediators=N]\n"
       "                [--shards=N]\n"
       "                [--k=N] [--kn=N] [--omega=adaptive|0..1]\n"
+      "                [--score-kernel=batched|exact]\n"
       "                [--fault-profile=%s]\n"
       "                [--fault-seed=N] [--deadline-ms=N] [--max-retries=N]\n"
       "                [--churn] [--joins] [--charts] [--json]\n"
@@ -144,6 +148,8 @@ int main(int argc, char** argv) {
       flags.kn = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--omega", &value)) {
       flags.omega = value;
+    } else if (ParseFlag(argv[i], "--score-kernel", &value)) {
+      flags.score_kernel = value;
     } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
       flags.fault_profile = value;
     } else if (ParseFlag(argv[i], "--fault-seed", &value)) {
@@ -183,6 +189,14 @@ int main(int argc, char** argv) {
                : experiments::WithCaptiveEnvironment(config);
   config.mediator_count = flags.mediators;
   config.sim.shard_count = static_cast<uint32_t>(flags.shards);
+  if (!core::ScoreKernelKindFromName(flags.score_kernel,
+                                     &config.sim.scoring_kernel)) {
+    std::fprintf(stderr, "unknown score kernel: %s (known: batched, exact)\n",
+                 flags.score_kernel.c_str());
+    return 2;
+  }
+  // The JSON summary carries the per-phase decision timings.
+  config.sim.decision_timing = flags.json;
   config.method = MakeSpec(flags);
   if (flags.churn) {
     config.churn.enabled = true;

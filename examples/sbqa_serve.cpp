@@ -8,8 +8,15 @@
 ///
 ///   sbqa_serve [--queries=N] [--rate=Q_PER_S] [--providers=N]
 ///              [--shards=N] [--method=NAME] [--seed=N]
+///              [--score-kernel=batched|exact]
 ///              [--fault-profile=none|drops|delays|crashes|chaos]
 ///              [--deadline-ms=N] [--max-retries=N] [--max-pending=N]
+///              [--json]
+///
+/// --score-kernel selects the decision-path scoring kernel (the batched
+/// SoA planes by default; exact = the per-candidate std::pow pipeline);
+/// --json replaces the human report with a machine-readable summary that
+/// includes the kernel name and its per-phase decision timings.
 ///
 /// The robustness flags exercise the hardened lifecycle under live
 /// traffic: --fault-profile interposes the deterministic fault plane,
@@ -47,10 +54,12 @@ struct Flags {
   int shards = 1;
   std::string method = "sbqa";
   uint64_t seed = 42;
+  std::string score_kernel = "batched";
   std::string fault_profile = "none";
   double deadline_ms = 0;
   int max_retries = 0;
   long max_pending = 0;
+  bool json = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
       flags.method = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--score-kernel", &value)) {
+      flags.score_kernel = value;
     } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
       flags.fault_profile = value;
     } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
@@ -88,13 +99,16 @@ int main(int argc, char** argv) {
       flags.max_retries = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--max-pending", &value)) {
       flags.max_pending = std::atol(value.c_str());
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
     } else {
       std::fprintf(stderr,
                    "usage: sbqa_serve [--queries=N] [--rate=Q_PER_S] "
                    "[--providers=N] [--shards=N] [--method=NAME] [--seed=N]\n"
+                   "                  [--score-kernel=batched|exact]\n"
                    "                  [--fault-profile=%s]\n"
                    "                  [--deadline-ms=N] [--max-retries=N] "
-                   "[--max-pending=N]\n",
+                   "[--max-pending=N] [--json]\n",
                    rt::FaultProfileNames().c_str());
       return 2;
     }
@@ -105,16 +119,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("sbqa_serve: %ld queries at ~%.0f/s over %d providers, "
-              "method %s (wall-clock runtime, %d shard%s)\n\n",
-              flags.queries, flags.rate, flags.providers,
-              flags.method.c_str(), flags.shards,
-              flags.shards == 1 ? "" : "s");
+  if (!flags.json) {
+    std::printf("sbqa_serve: %ld queries at ~%.0f/s over %d providers, "
+                "method %s (wall-clock runtime, %d shard%s)\n\n",
+                flags.queries, flags.rate, flags.providers,
+                flags.method.c_str(), flags.shards,
+                flags.shards == 1 ? "" : "s");
+  }
 
   EngineOptions options;
   options.mode = EngineMode::kWallClock;
   options.seed = flags.seed;
   options.method = flags.method;
+  if (!core::ScoreKernelKindFromName(flags.score_kernel,
+                                     &options.scoring_kernel)) {
+    std::fprintf(stderr, "unknown score kernel: %s (known: batched, exact)\n",
+                 flags.score_kernel.c_str());
+    return 2;
+  }
+  // The JSON summary carries the per-phase decision timings.
+  options.decision_timing = flags.json;
   options.shards = static_cast<uint32_t>(flags.shards);
   // Short safety-net timeout: the sweep then passes often enough for the
   // FIFO timeout ring to stay compact at steady state.
@@ -229,7 +253,7 @@ int main(int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   for (long submitted = 0; submitted < flags.queries;) {
-    if (submitted == warmup) {
+    if (steady_queries == 0 && submitted >= warmup) {
       steady_allocs_before = util::AllocationCount();
       steady_queries = flags.queries - submitted;
     }
@@ -238,7 +262,7 @@ int main(int argc, char** argv) {
       engine.Submit(request, OutcomeCallback(callback));
     }
     std::this_thread::sleep_for(burst_gap);
-    if (flags.shards > 1) {
+    if (flags.shards > 1 && !flags.json) {
       const auto now = std::chrono::steady_clock::now();
       const double dt =
           std::chrono::duration<double>(now - last_stats).count();
@@ -256,6 +280,38 @@ int main(int argc, char** argv) {
           .count();
 
   const EngineStats stats = engine.Stats();
+  if (flags.json) {
+    const core::ScoreKernelPhases phases = engine.DecisionPhases();
+    const std::string kernel = engine.ScoringKernelName();
+    engine.Stop();
+    std::printf("{\n");
+    std::printf("  \"queries\": %ld,\n", flags.queries);
+    std::printf("  \"drained\": %s,\n", drained ? "true" : "false");
+    std::printf("  \"outcomes_delivered\": %ld,\n", delivered.load());
+    std::printf("  \"wall_seconds\": %.6f,\n", wall_seconds);
+    std::printf("  \"queries_per_second\": %.1f,\n",
+                static_cast<double>(flags.queries) / wall_seconds);
+    std::printf("  \"mean_response_time\": %.6f,\n",
+                stats.mean_response_time);
+    std::printf("  \"mean_satisfaction\": %.6f,\n", stats.mean_satisfaction);
+    std::printf("  \"steady_allocs_per_query\": %.4f,\n",
+                steady_queries > 0 ? static_cast<double>(steady_allocs) /
+                                         static_cast<double>(steady_queries)
+                                   : 0.0);
+    std::printf("  \"scoring_kernel\": \"%s\",\n", kernel.c_str());
+    std::printf("  \"decisions_timed\": %lld,\n",
+                static_cast<long long>(phases.decisions));
+    std::printf("  \"decision_sample_ns\": %.0f,\n", phases.sample_ns);
+    std::printf("  \"decision_gather_ns\": %.0f,\n", phases.gather_ns);
+    std::printf("  \"decision_intentions_ns\": %.0f,\n",
+                phases.intentions_ns);
+    std::printf("  \"decision_score_ns\": %.0f,\n", phases.score_ns);
+    std::printf("  \"decision_rank_ns\": %.0f\n", phases.rank_ns);
+    std::printf("}\n");
+    const bool ok = drained && delivered.load() == flags.queries;
+    if (!ok) std::fprintf(stderr, "\nFAILED: traffic did not drain cleanly\n");
+    return ok ? 0 : 1;
+  }
   std::printf("drained            : %s\n", drained ? "yes" : "NO");
   std::printf("outcomes delivered : %ld (%ld fully served)\n",
               delivered.load(), served.load());

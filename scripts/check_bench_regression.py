@@ -48,7 +48,21 @@ thread-per-shard wall-clock saturation sweep) and fails (exit 1) when
     --min-speedup (default 2.0) — enforced only when the measuring host
     has >= 4 cores (the JSON records host_cores); a single-core host
     cannot exhibit parallel speedup, so it only runs the allocation and
-    completeness gates.
+    completeness gates, or
+  * any skew_sweep row (one hot consumer at 50% of traffic) allocates or
+    leaks queries — imbalance must not break the steady-state
+    guarantees; no throughput bar applies there because the hot
+    consumer's home shard is the bottleneck by construction.
+
+--mode scaling: gates the scoring-kernel sweep of a freshly measured
+BENCH_scaling.json and fails (exit 1) when
+
+  * the kernel_sweep section is missing, or any kn group is missing its
+    exact or batched row, or
+  * at any kn, the batched kernel's hot phases (intentions + score, the
+    work the SoA kernel vectorizes) are not at least --min-speedup
+    (default 2.0) times faster than the exact std::pow path's — a
+    same-host, same-run ratio, so no machine normalization is needed.
 
 --mode chaos: gates a freshly measured BENCH_chaos.json and fails
 (exit 1) when
@@ -65,7 +79,8 @@ thread-per-shard wall-clock saturation sweep) and fails (exit 1) when
     ratio, so no machine normalization is needed.
 
 Usage: check_bench_regression.py <fresh.json> [<committed-baseline.json>]
-       [--max-regression 2.0] [--mode event_engine|sharding|serve|chaos]
+       [--max-regression 2.0]
+       [--mode event_engine|sharding|serve|scaling|chaos]
        [--min-speedup 2.0] [--max-epoch-share 0.05]
        [--max-fault-degradation 2.0]
 """
@@ -257,6 +272,26 @@ def check_serve(fresh, min_speedup):
                   "(submitted != finalized)")
             failed = True
 
+    skew_rows = fresh.get("skew_sweep", [])
+    if not skew_rows:
+        print("NOTE: no skew_sweep section (pre-skew JSON) — skew gate "
+              "skipped")
+    for row in skew_rows:
+        shards = int(row["shards"])
+        allocs = float(row["allocs_per_query"])
+        complete = int(row["queries_finalized"]) == int(row["queries"])
+        print(f"skewed, {shards} shard(s): {row['qps']:.0f} queries/s, "
+              f"{allocs:.4f} allocs/query, "
+              f"{row['queries_finalized']}/{row['queries']} finalized")
+        if allocs != 0.0:
+            print(f"FAIL: the skewed {shards}-shard steady state is no "
+                  "longer allocation-free")
+            failed = True
+        if not complete:
+            print(f"FAIL: the skewed {shards}-shard run leaked queries "
+                  "(submitted != finalized)")
+            failed = True
+
     one = rows.get(1)
     four = rows.get(4)
     if four is None:
@@ -274,6 +309,41 @@ def check_serve(fresh, min_speedup):
     else:
         print("NOTE: < 4 cores — the parallel-speedup bar is not "
               "enforceable on this host; allocation gate only")
+    return failed
+
+
+def check_scaling(fresh, min_speedup):
+    sweep = fresh.get("kernel_sweep")
+    if not sweep:
+        print("FAIL: the scaling bench JSON has no kernel_sweep section "
+              "(run bench_scaling from this tree)")
+        return True
+    failed = False
+    by_kn = {}
+    for row in sweep:
+        by_kn.setdefault(int(row["kn"]), {})[str(row["kernel"])] = row
+    for kn in sorted(by_kn):
+        pair = by_kn[kn]
+        if "exact" not in pair or "batched" not in pair:
+            print(f"FAIL: kn={kn} is missing an exact or batched row")
+            failed = True
+            continue
+        exact_ns = (float(pair["exact"]["intentions_ns"]) +
+                    float(pair["exact"]["score_ns"]))
+        batched_ns = (float(pair["batched"]["intentions_ns"]) +
+                      float(pair["batched"]["score_ns"]))
+        if batched_ns <= 0:
+            print(f"FAIL: kn={kn} batched hot phases measured <= 0 ns")
+            failed = True
+            continue
+        ratio = exact_ns / batched_ns
+        print(f"kn {kn:>4}: intentions+score exact={exact_ns:.0f}ns "
+              f"batched={batched_ns:.0f}ns -> {ratio:.2f}x "
+              f"(bar {min_speedup:.2f}x)")
+        if ratio < min_speedup:
+            print(f"FAIL: the batched kernel's hot phases fell below the "
+                  f"{min_speedup:.2f}x bar at kn={kn}")
+            failed = True
     return failed
 
 
@@ -333,11 +403,12 @@ def main():
                              "this factor")
     parser.add_argument("--mode",
                         choices=["event_engine", "sharding", "serve",
-                                 "chaos"],
+                                 "scaling", "chaos"],
                         default="event_engine")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="sharding/serve: minimum 4-shard speedup over "
-                             "1 shard (hosts with >= 4 cores)")
+                             "1 shard (hosts with >= 4 cores); scaling: "
+                             "minimum batched-over-exact hot-phase speedup")
     parser.add_argument("--max-epoch-share", type=float, default=0.05,
                         help="sharding: maximum fraction of the turnover "
                              "run's wall time spent applying membership "
@@ -361,6 +432,8 @@ def main():
         failed = check_chaos(fresh, args.max_fault_degradation)
     elif args.mode == "serve":
         failed = check_serve(fresh, args.min_speedup)
+    elif args.mode == "scaling":
+        failed = check_scaling(fresh, args.min_speedup)
     else:
         failed = check_sharding(fresh, args.min_speedup,
                                 args.max_epoch_share)

@@ -56,6 +56,14 @@ struct AllocationDecision {
   /// mediator computes the intentions itself.
   std::vector<double> consumer_intentions;
 
+  /// Normalization context of `consumer_intentions`: the maximum expected
+  /// completion over `consulted` at decision time (0 when none were
+  /// computed). The dispatch path's single-candidate rescore reuses it so a
+  /// provider outside the consulted set is scored in the same normalization
+  /// context as the first attempt instead of against its own expected
+  /// completion alone.
+  double ect_normalizer = 0;
+
   /// True when the method performed an intention round-trip with the
   /// consumer and the consulted providers (SQLB/SbQA); adds one RTT to the
   /// mediation latency.
@@ -71,6 +79,7 @@ struct AllocationDecision {
     consulted.clear();
     provider_intentions.clear();
     consumer_intentions.clear();
+    ect_normalizer = 0;
     used_intention_round = false;
     used_bid_round = false;
   }

@@ -17,6 +17,7 @@ Mediator::Mediator(rt::Runtime* runtime, Registry* registry,
       reputation_(reputation),
       method_(std::move(method)),
       config_(config),
+      kernel_(config.scoring_kernel),
       rng_(runtime->SplitRng()) {
   SBQA_CHECK(rt_ != nullptr);
   SBQA_CHECK(registry_ != nullptr);
@@ -375,8 +376,9 @@ void Mediator::Allocate(InflightHandle h, const CandidateSet& candidates) {
                               &decision.provider_intentions);
   }
   if (decision.consumer_intentions.size() != decision.consulted.size()) {
-    ComputeConsumerIntentions(f.query, decision.consulted,
-                              &decision.consumer_intentions);
+    kernel_.ConsumerIntentions(*this, f.query, decision.consulted,
+                               &decision.consumer_intentions,
+                               &decision.ect_normalizer);
   }
   // Retries never go back to a provider that already failed this query.
   if (!f.tried.empty()) {
@@ -453,7 +455,8 @@ void Mediator::Dispatch(InflightHandle h) {
         it != decision.consulted.end()
             ? decision.consumer_intentions[static_cast<size_t>(
                   it - decision.consulted.begin())]
-            : ComputeConsumerIntention(f->query, p);
+            : kernel_.RescoreConsumerIntention(*this, f->query, p,
+                                               decision.ect_normalizer);
     f->instances.push_back(inst);
   }
   f->pending = static_cast<int>(f->instances.size());
@@ -1022,6 +1025,11 @@ std::vector<double> Mediator::BacklogsOf(
 void Mediator::BacklogsOf(const std::vector<model::ProviderId>& providers,
                           std::vector<double>* out) {
   SBQA_CHECK(out != nullptr);
+  if (config_.load_view_staleness <= 0) {
+    // Always-fresh view: one flat SoA pass over the hot-state arrays.
+    ScoreKernel::GatherBacklogs(registry_->hot(), rt_->now(), providers, out);
+    return;
+  }
   out->clear();
   out->reserve(providers.size());
   for (model::ProviderId p : providers) {
@@ -1042,9 +1050,14 @@ void Mediator::ExpectedCompletionsOf(
     const std::vector<model::ProviderId>& providers,
     std::vector<double>* out) {
   SBQA_CHECK(out != nullptr);
+  const ProviderHotState& hot = registry_->hot();
+  if (config_.load_view_staleness <= 0) {
+    ScoreKernel::GatherExpectedCompletions(hot, rt_->now(), query.cost,
+                                           providers, out);
+    return;
+  }
   out->clear();
   out->reserve(providers.size());
-  const ProviderHotState& hot = registry_->hot();
   for (model::ProviderId p : providers) {
     out->push_back(ViewedBacklog(p) +
                    query.cost / hot.capacity(static_cast<uint32_t>(p)));
@@ -1064,12 +1077,7 @@ void Mediator::ComputeProviderIntentions(
     const std::vector<model::ProviderId>& providers,
     std::vector<double>* out) const {
   SBQA_CHECK(out != nullptr);
-  out->clear();
-  out->reserve(providers.size());
-  const double now = rt_->now();
-  for (model::ProviderId p : providers) {
-    out->push_back(registry_->provider(p).ComputeIntention(query, now));
-  }
+  kernel_.ProviderIntentions(*this, query, providers, out);
 }
 
 double Mediator::ComputeConsumerIntention(const model::Query& query,
@@ -1095,17 +1103,7 @@ void Mediator::ComputeConsumerIntentions(
     const std::vector<model::ProviderId>& providers,
     std::vector<double>* out) {
   SBQA_CHECK(out != nullptr);
-  ExpectedCompletionsOf(query, providers, &ect_scratch_);
-  double max_ect = 0;
-  for (double ect : ect_scratch_) max_ect = std::max(max_ect, ect);
-  const Consumer& consumer = registry_->consumer(query.consumer);
-  out->clear();
-  out->reserve(providers.size());
-  for (size_t i = 0; i < providers.size(); ++i) {
-    out->push_back(consumer.ComputeIntention(query, providers[i],
-                                             reputation_->Get(providers[i]),
-                                             ect_scratch_[i], max_ect));
-  }
+  kernel_.ConsumerIntentions(*this, query, providers, out, nullptr);
 }
 
 }  // namespace sbqa::core

@@ -37,6 +37,7 @@
 #include "core/mediation.h"
 #include "core/registry.h"
 #include "core/satisfaction.h"
+#include "core/score_kernel.h"
 #include "model/query.h"
 #include "model/reputation.h"
 #include "runtime/runtime.h"
@@ -84,6 +85,12 @@ struct MediatorConfig {
   /// back in after probe_delay seconds. 0 disables.
   int failure_threshold = 0;
   double probe_delay = 30.0;
+  /// Kernel backing the mediator's own intention computations (the
+  /// normalization path when a method leaves the intention vectors empty,
+  /// and the dispatch path's single-candidate rescore). Stamped from one
+  /// master switch (SimulationConfig / EngineOptions) together with the
+  /// method's kernel.
+  ScoreKernelKind scoring_kernel = ScoreKernelKind::kBatched;
 };
 
 /// Aggregate counters maintained by the mediator.
@@ -511,6 +518,10 @@ class Mediator {
   model::ReputationRegistry* reputation_;
   std::unique_ptr<AllocationMethod> method_;
   MediatorConfig config_;
+  /// Backs the normalization-path intention computations and the dispatch
+  /// rescore; mutable because the const ComputeProviderIntentions shares
+  /// its pooled planes.
+  mutable ScoreKernel kernel_;
   util::Rng rng_;
   std::vector<MediationObserver*> observers_;
   std::vector<Mediator*> peers_;
@@ -578,7 +589,6 @@ class Mediator {
   std::vector<model::ProviderId> retry_scratch_;
   std::vector<model::ProviderId> sweep_scratch_;
   std::vector<model::ProviderId> consulted_scratch_;
-  std::vector<double> ect_scratch_;
   std::vector<double> performer_intentions_scratch_;
   std::vector<InflightHandle> fail_scratch_;
   QueryOutcome outcome_scratch_;

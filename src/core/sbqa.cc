@@ -16,7 +16,9 @@ SbqaParams SqlbParams(OmegaMode omega_mode, double fixed_omega) {
   return params;
 }
 
-SbqaMethod::SbqaMethod(const SbqaParams& params) : params_(params) {
+SbqaMethod::SbqaMethod(const SbqaParams& params)
+    : params_(params),
+      kernel_(params.scoring_kernel, params.decision_timing) {
   SBQA_CHECK_GT(params.epsilon, 0);
   SBQA_CHECK_GE(params.fixed_omega, 0);
   SBQA_CHECK_LE(params.fixed_omega, 1);
@@ -34,53 +36,24 @@ void SbqaMethod::Allocate(const AllocationContext& ctx,
   // Phase 1 (KnBest): uniform K-sample straight off the candidate index,
   // keep the kn least utilized (Kn) — written directly into the pooled
   // consulted vector. O(k), independent of |Pq|.
+  const int64_t sample_t0 = kernel_.TimingNow();
   SelectKnBestFrom(*ctx.candidates, mediator, params_.knbest,
                    &knbest_scratch_, &decision->consulted);
-  const std::vector<model::ProviderId>& kn = decision->consulted;
-  SBQA_CHECK(!kn.empty());
+  kernel_.AddSampleNs(sample_t0);
+  SBQA_CHECK(!decision->consulted.empty());
 
-  // Phase 2 (SQLB): one round-trip gathers CI_q[p] from the consumer and
-  // PI_q[p] from every p in Kn, into the pooled intention vectors.
-  mediator.ComputeProviderIntentions(query, kn,
-                                     &decision->provider_intentions);
-  mediator.ComputeConsumerIntentions(query, kn,
-                                     &decision->consumer_intentions);
-  const std::vector<double>& pi = decision->provider_intentions;
-  const std::vector<double>& ci = decision->consumer_intentions;
-
-  const Consumer& consumer = mediator.registry().consumer(query.consumer);
-  const double consumer_satisfaction =
-      consumer.satisfaction_tracker().sample_count() == 0
-          ? params_.cold_start_consumer_satisfaction
-          : consumer.satisfaction();
-
-  std::vector<ScoredProvider>& scored = scored_;
-  scored.clear();
-  scored.reserve(kn.size());
-  for (size_t i = 0; i < kn.size(); ++i) {
-    const Provider& provider = mediator.registry().provider(kn[i]);
-    double omega = params_.fixed_omega;
-    if (params_.omega_mode == OmegaMode::kAdaptive) {
-      // Equation 2, evaluated per (consumer, provider) pair.
-      omega = AdaptiveOmega(consumer_satisfaction, provider.satisfaction());
-    }
-    ScoredProvider sp;
-    sp.provider = kn[i];
-    sp.provider_intention = pi[i];
-    sp.consumer_intention = ci[i];
-    sp.omega = omega;
-    sp.score = ProviderScore(pi[i], ci[i], omega, params_.epsilon);
-    scored.push_back(sp);
-  }
-  RankByScore(&scored);
-
-  // Allocate to the min(q.n, kn) best-scored providers.
-  const size_t take =
-      std::min(static_cast<size_t>(query.n_results), scored.size());
-  decision->selected.reserve(take);
-  for (size_t i = 0; i < take; ++i) {
-    decision->selected.push_back(scored[i].provider);
-  }
+  // Phase 2 (SQLB): the scoring kernel gathers CI_q[p] from the consumer
+  // and PI_q[p] from every p in Kn into the pooled intention vectors,
+  // scores Kn with Definition 3 under the self-adaptive omega of Equation 2
+  // (or a fixed application-chosen omega), and selects the min(q.n, kn)
+  // best-scored providers.
+  ScoreSpec spec;
+  spec.omega_mode = params_.omega_mode;
+  spec.fixed_omega = params_.fixed_omega;
+  spec.epsilon = params_.epsilon;
+  spec.cold_start_consumer_satisfaction =
+      params_.cold_start_consumer_satisfaction;
+  kernel_.ScoreAndSelect(mediator, query, ctx.now, spec, decision);
   decision->used_intention_round = true;
 }
 

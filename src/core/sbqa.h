@@ -23,6 +23,7 @@
 #include "core/allocation_method.h"
 #include "core/knbest.h"
 #include "core/score.h"
+#include "core/score_kernel.h"
 
 namespace sbqa::core {
 
@@ -40,6 +41,14 @@ struct SbqaParams {
   /// Consumer satisfaction assumed before any query completed (used by
   /// Equation 2 at cold start; providers start at the paper-mandated 0).
   double cold_start_consumer_satisfaction = 0.5;
+  /// Which decision-path kernel scores Kn (see core/score_kernel.h): the
+  /// batched SoA planes by default, ScoreKernelKind::kExact for the seed's
+  /// bit-exact per-candidate std::pow pipeline.
+  ScoreKernelKind scoring_kernel = ScoreKernelKind::kBatched;
+  /// Collect per-phase decision timings (sample / gather / intentions /
+  /// score / rank ns) on the kernel. Off by default: two steady-clock
+  /// reads per phase.
+  bool decision_timing = false;
   /// Report name; defaults to "SbQA" ("SQLB" via SqlbParams()).
   std::string name = "SbQA";
 };
@@ -60,12 +69,16 @@ class SbqaMethod : public AllocationMethod {
 
   const SbqaParams& params() const { return params_; }
 
+  /// The phase-2 scoring kernel (kind, per-phase timings).
+  const ScoreKernel& kernel() const { return kernel_; }
+  ScoreKernel& kernel() { return kernel_; }
+
  private:
   SbqaParams params_;
-  /// Reused across queries — together with the pooled decision vectors the
-  /// steady-state hot path allocates nothing.
+  /// Owns the SoA planes; reused across queries — together with the pooled
+  /// decision vectors the steady-state hot path allocates nothing.
+  ScoreKernel kernel_;
   KnBestScratch knbest_scratch_;
-  std::vector<ScoredProvider> scored_;
 };
 
 }  // namespace sbqa::core

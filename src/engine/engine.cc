@@ -479,6 +479,10 @@ void Engine::Start() {
   } else {
     SBQA_CHECK(impl.shard_set == nullptr);
   }
+  // One master switch for the run's scoring kernel (a custom_method keeps
+  // its own configuration).
+  spec.sbqa.scoring_kernel = impl.options.scoring_kernel;
+  spec.sbqa.decision_timing = impl.options.decision_timing;
 
   impl.reputation = std::make_unique<model::ReputationRegistry>(
       impl.registry.provider_count());
@@ -496,6 +500,7 @@ void Engine::Start() {
   config.max_retries = impl.options.max_retries;
   config.failure_threshold = impl.options.failure_threshold;
   config.probe_delay = impl.options.probe_delay;
+  config.scoring_kernel = impl.options.scoring_kernel;
 
   if (impl.shard_set != nullptr) {
     // Thread-per-shard wiring: partition the registry, build one mediator
@@ -710,6 +715,44 @@ std::vector<EngineShardStats> Engine::ShardStats() const {
   if (!impl.sharded()) return rows;
   impl.shard_set->RunAtBarrier([&] { rows = impl.GatherShardStats(); });
   return rows;
+}
+
+std::string Engine::ScoringKernelName() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu);
+  if (!impl.started) return "";
+  // The kernel kind is immutable after Start, so no quiescent point needed.
+  std::string name;
+  auto record = [&name](core::Mediator* m) {
+    auto* sbqa = dynamic_cast<core::SbqaMethod*>(&m->method());
+    if (sbqa != nullptr) name = core::ToString(sbqa->kernel().kind());
+  };
+  if (impl.mediator != nullptr) record(impl.mediator.get());
+  for (core::Mediator* m : impl.mediator_ptrs) record(m);
+  return name;
+}
+
+core::ScoreKernelPhases Engine::DecisionPhases() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lifecycle(impl.lifecycle_mu);
+  core::ScoreKernelPhases phases;
+  if (!impl.started) return phases;
+  auto gather = [&] {
+    auto accumulate = [&phases](core::Mediator* m) {
+      auto* sbqa = dynamic_cast<core::SbqaMethod*>(&m->method());
+      if (sbqa != nullptr) phases.Accumulate(sbqa->kernel().phases());
+    };
+    if (impl.mediator != nullptr) accumulate(impl.mediator.get());
+    for (core::Mediator* m : impl.mediator_ptrs) accumulate(m);
+  };
+  if (impl.sharded()) {
+    impl.shard_set->RunAtBarrier(gather);
+  } else if (impl.threaded()) {
+    impl.RunOnExecutor(gather);
+  } else {
+    gather();
+  }
+  return phases;
 }
 
 EngineSnapshot Engine::Snapshot() const {

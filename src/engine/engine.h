@@ -40,6 +40,7 @@
 #include "core/consumer.h"
 #include "core/mediation.h"
 #include "core/provider.h"
+#include "core/score_kernel.h"
 #include "model/types.h"
 #include "runtime/fault.h"
 #include "runtime/wallclock_runtime.h"
@@ -72,6 +73,17 @@ struct EngineOptions {
   std::string method = "sbqa";
   /// Fully configured method instance (overrides `method`).
   std::unique_ptr<core::AllocationMethod> custom_method;
+
+  /// Decision-path scoring kernel (see core/score_kernel.h): the batched
+  /// SoA planes by default, ScoreKernelKind::kExact for the bit-exact
+  /// per-candidate std::pow pipeline. Stamped into both the method (when
+  /// built from `method`; a custom_method keeps its own configuration) and
+  /// the mediators' normalization/rescore kernel.
+  core::ScoreKernelKind scoring_kernel = core::ScoreKernelKind::kBatched;
+  /// Collect per-phase decision timings (sample / gather / intentions /
+  /// score / rank ns); read them via Engine::DecisionPhases(). Off by
+  /// default (two steady-clock reads per phase).
+  bool decision_timing = false;
 
   /// Safety-net finalization deadline per query, in runtime seconds.
   double query_timeout = 600.0;
@@ -335,6 +347,14 @@ class Engine {
   /// Per-shard counters, one consistent barrier cut (empty when the engine
   /// is not sharded). Thread-safe like Stats.
   std::vector<EngineShardStats> ShardStats() const;
+  /// Name of the decision-path scoring kernel ("exact" / "batched"; empty
+  /// before Start or when the method is not SbQA-based).
+  std::string ScoringKernelName() const;
+  /// Accumulated per-phase decision timings, aggregated across shard
+  /// mediators (zeros unless EngineOptions::decision_timing; `decisions`
+  /// counts regardless). Call after Stop(), or from a quiescent point —
+  /// the kernels belong to the worker threads while the engine runs.
+  core::ScoreKernelPhases DecisionPhases() const;
 
  private:
   struct Impl;

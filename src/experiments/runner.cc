@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/sbqa.h"
 #include "core/shard_directory.h"
 #include "metrics/collector.h"
 #include "model/reputation.h"
@@ -30,6 +31,38 @@ double QueryLifetimeBound(const ScenarioConfig& config) {
     lifetime = std::min(lifetime, config.query_deadline);
   }
   return lifetime;
+}
+
+/// Stamps the run's one master scoring-kernel switch (sim.scoring_kernel /
+/// sim.decision_timing) into the method spec: the same run config always
+/// drives both the decision path and the mediator's normalization kernel.
+MethodSpec StampedMethod(const ScenarioConfig& config) {
+  MethodSpec spec = config.method;
+  spec.sbqa.scoring_kernel = config.sim.scoring_kernel;
+  spec.sbqa.decision_timing = config.sim.decision_timing;
+  return spec;
+}
+
+/// The mediator half of the master switch (normalization path + dispatch
+/// rescore).
+core::MediatorConfig StampedMediator(const ScenarioConfig& config) {
+  core::MediatorConfig mediator = config.mediator;
+  mediator.scoring_kernel = config.sim.scoring_kernel;
+  return mediator;
+}
+
+/// Harvests scoring-kernel telemetry from the mediators' methods into the
+/// result (aggregating across shards / federation peers; non-SbQA methods
+/// leave it empty).
+void HarvestDecisionPhases(
+    const std::vector<std::unique_ptr<core::Mediator>>& mediators,
+    RunResult* result) {
+  for (const auto& mediator : mediators) {
+    auto* sbqa = dynamic_cast<core::SbqaMethod*>(&mediator->method());
+    if (sbqa == nullptr) continue;
+    result->scoring_kernel = core::ToString(sbqa->kernel().kind());
+    result->decision_phases.Accumulate(sbqa->kernel().phases());
+  }
 }
 
 /// Sums injector telemetry into the run summary (no-op when unfaulted).
@@ -153,8 +186,8 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
       runtime = injectors.back().get();
     }
     mediators.push_back(std::make_unique<core::Mediator>(
-        runtime, &registry, &reputation, MakeMethod(config.method),
-        config.mediator));
+        runtime, &registry, &reputation, MakeMethod(StampedMethod(config)),
+        StampedMediator(config)));
     mediator_ptrs.push_back(mediators.back().get());
   }
   core::ShardDirectory directory;
@@ -317,6 +350,7 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   result.membership_epochs = registry.membership_epoch();
   result.membership_ops = registry.membership_ops_applied();
   result.membership_apply_seconds = shards.membership_apply_seconds();
+  HarvestDecisionPhases(mediators, &result);
   return result;
 }
 
@@ -360,8 +394,8 @@ RunResult RunScenario(const ScenarioConfig& config) {
       runtime = injectors.back().get();
     }
     mediators.push_back(std::make_unique<core::Mediator>(
-        runtime, &registry, &reputation, MakeMethod(config.method),
-        config.mediator));
+        runtime, &registry, &reputation, MakeMethod(StampedMethod(config)),
+        StampedMediator(config)));
     mediator_ptrs.push_back(mediators.back().get());
   }
   for (const auto& mediator : mediators) {
@@ -429,6 +463,7 @@ RunResult RunScenario(const ScenarioConfig& config) {
   result.series = collector.series();
   result.consumers = collector.ConsumerSnapshots();
   result.providers = collector.ProviderSnapshots();
+  HarvestDecisionPhases(mediators, &result);
   return result;
 }
 

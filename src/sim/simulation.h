@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/score_kernel.h"
 #include "sim/scheduler.h"
 #include "sim/sim_runtime.h"
 #include "util/rng.h"
@@ -32,6 +33,17 @@ struct SimulationConfig {
   /// default, the 4-ary heap (SchedulerKind::kHeap) as the differential-
   /// testing fallback. Traces are bit-identical either way.
   SchedulerKind scheduler_kind = SchedulerKind::kLadder;
+  /// Decision-path scoring kernel: the batched SoA planes by default,
+  /// ScoreKernelKind::kExact for the seed's bit-exact per-candidate
+  /// std::pow pipeline. The experiment runner stamps this into both the
+  /// method's kernel and the mediator's normalization/rescore kernel, so
+  /// it is the one master switch for a run.
+  core::ScoreKernelKind scoring_kernel = core::ScoreKernelKind::kBatched;
+  /// Collect per-phase decision timings (sample / gather / intentions /
+  /// score / rank ns) on the method's kernel; surfaced through
+  /// RunResult::decision_phases and the JSON report. Off by default (two
+  /// steady-clock reads per phase).
+  bool decision_timing = false;
 
   // --- Sharding (consumed by ShardSet and the experiment runner; a
   // --- standalone Simulation ignores these) --------------------------------

@@ -1,0 +1,176 @@
+#ifndef SBQA_UTIL_FASTMATH_H_
+#define SBQA_UTIL_FASTMATH_H_
+
+/// \file
+/// Branch-light polynomial log/exp for the batched scoring kernel
+/// (core/score_kernel.h).
+///
+/// The decision hot path evaluates Definition 3 and the intention blends as
+/// x^w terms. libm's pow carries per-call special-case handling and does not
+/// inline, so a kn-wide scoring loop serializes on it. These routines trade
+/// the last bits of accuracy for inlineable straight-line arithmetic:
+///
+///   FastLog / PlaneLog: exponent/mantissa split, mantissa folded into
+///            [sqrt(1/2), sqrt(2)), atanh series in t = (m-1)/(m+1) up to
+///            t^13, evaluated Estrin-style (~3 FMA levels deep instead of a
+///            6-FMA Horner chain — the kernel's plane sweeps are
+///            latency-bound, not port-bound).
+///   FastExp / PlaneExp: argument reduction r = x - k*ln2 with a hi/lo
+///            split of ln2, degree-12 Taylor polynomial in Estrin form,
+///            exponent reassembled by bit ops.
+///
+/// The Fast* forms are general-purpose scalar calls with the usual edge
+/// handling (subnormal inputs, unbounded domain). The Plane* forms are the
+/// branch-free variants the kernel's flat loops use: every control decision
+/// is a select, so the compiler can if-convert and auto-vectorize a whole
+/// plane sweep. On their shared domain (normal positive x, in-range
+/// exponents) Fast* and Plane* produce bit-identical results because they
+/// run the same reduction and the same polynomial.
+///
+/// All are accurate to ~1 ulp over the kernel's domain (arguments produced
+/// from values in [epsilon, 3]); FastPow(x, y) = FastExp(y * FastLog(x))
+/// stays within ~4e-15 relative of std::pow there. Callers that need the
+/// seed's bit-exact scores use ScoreKernelKind::kExact, which keeps the
+/// std::pow path.
+///
+/// Domain contract: FastLog requires x > 0 and finite. PlaneLog requires
+/// 0 <= x < ~1e254 (the unconditional subnormal prescale overflows above
+/// that) and maps x == 0 to the finite stand-in log(0x1p-1077) ~= -746.6
+/// instead of -inf — multiplied by a blend weight and fed to exp, it
+/// underflows to "ignore this factor" exactly like a true log(0) would,
+/// without NaN risk from 0 * inf. FastExp accepts any finite x and clamps
+/// to 0 / +inf outside the representable range; PlaneExp clamps its
+/// argument to [-708, 709], so deep underflow returns ~3e-308 instead of 0
+/// and overflow saturates near DBL_MAX instead of +inf.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace sbqa::util {
+
+namespace fastmath_internal {
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kLn2 = 6.93147180559945286227e-01;
+inline constexpr double kLog2e = 1.44269504088896338700e+00;
+inline constexpr double kSqrt2 = 1.41421356237309514547e+00;
+
+/// atanh-series core of log(m): p such that log(m) = 2*t*p + e*ln2 for
+/// t = (m-1)/(m+1). Estrin over the odd series 1 + t^2/3 + ... + t^12/13.
+inline double LogSeries(double t2) {
+  const double t4 = t2 * t2;
+  const double t8 = t4 * t4;
+  const double p01 = 1.0 + t2 * (1.0 / 3.0);
+  const double p23 = 1.0 / 5.0 + t2 * (1.0 / 7.0);
+  const double p45 = 1.0 / 9.0 + t2 * (1.0 / 11.0);
+  const double q0 = p01 + t4 * p23;
+  const double q1 = p45 + t4 * (1.0 / 13.0);
+  return q0 + t8 * q1;
+}
+
+/// Degree-12 Taylor polynomial of e^r for r in [-ln2/2, ln2/2], Estrin.
+inline double ExpPoly(double r) {
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  const double r8 = r4 * r4;
+  const double p01 = 1.0 + r;
+  const double p23 = 1.0 / 2.0 + r * (1.0 / 6.0);
+  const double p45 = 1.0 / 24.0 + r * (1.0 / 120.0);
+  const double p67 = 1.0 / 720.0 + r * (1.0 / 5040.0);
+  const double p89 = 1.0 / 40320.0 + r * (1.0 / 362880.0);
+  const double pab = 1.0 / 3628800.0 + r * (1.0 / 39916800.0);
+  const double q0 = p01 + r2 * p23;
+  const double q1 = p45 + r2 * p67;
+  const double q2 = p89 + r2 * pab;
+  const double s0 = q0 + r4 * q1;
+  const double s1 = q2 + r4 * (1.0 / 479001600.0);  // + r^12/12!
+  return s0 + r8 * s1;
+}
+}  // namespace fastmath_internal
+
+/// Natural log of x; requires x > 0, finite.
+inline double FastLog(double x) {
+  using namespace fastmath_internal;
+  uint64_t bits = std::bit_cast<uint64_t>(x);
+  int64_t e = 0;
+  if ((bits & 0x7ff0000000000000ULL) == 0) {
+    // Subnormal: renormalize so the exponent/mantissa split below works.
+    x *= 0x1p54;
+    e -= 54;
+    bits = std::bit_cast<uint64_t>(x);
+  }
+  e += static_cast<int64_t>((bits >> 52) & 0x7ff) - 1023;
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) |
+                                   0x3ff0000000000000ULL);  // m in [1, 2)
+  if (m > kSqrt2) {
+    m *= 0.5;
+    e += 1;
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double p = LogSeries(t * t);
+  return 2.0 * t * p + static_cast<double>(e) * kLn2;
+}
+
+/// Branch-free FastLog for the kernel's SoA sweeps: requires 0 <= x and
+/// x < ~1e254; x == 0 comes back as ~-746.6 (see the header comment).
+/// Every control decision is a select, so plane loops over it vectorize.
+inline double PlaneLog(double x) {
+  using namespace fastmath_internal;
+  // Unconditional prescale: any subnormal (and zero) input lands in the
+  // normal range, and the exponent bias absorbs the 2^54.
+  const double xs = x * 0x1p54;
+  const uint64_t bits = std::bit_cast<uint64_t>(xs);
+  const int32_t e_raw = static_cast<int32_t>(bits >> 52) - (1023 + 54);
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) |
+                                   0x3ff0000000000000ULL);  // m in [1, 2)
+  const bool fold = m > kSqrt2;
+  const double e = static_cast<double>(e_raw) + (fold ? 1.0 : 0.0);
+  m = fold ? 0.5 * m : m;
+  const double t = (m - 1.0) / (m + 1.0);
+  const double p = LogSeries(t * t);
+  return 2.0 * t * p + e * kLn2;
+}
+
+/// e^x for finite x; underflows to 0 and overflows to +inf.
+inline double FastExp(double x) {
+  using namespace fastmath_internal;
+  if (x < -708.0) return 0.0;
+  if (x > 709.0) return std::numeric_limits<double>::infinity();
+  const double kd = static_cast<double>(
+      static_cast<int64_t>(x * kLog2e + (x >= 0 ? 0.5 : -0.5)));
+  // r = x - k*ln2 in [-ln2/2, ln2/2]; the hi/lo split keeps it exact.
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  const double p = ExpPoly(r);
+  // Scale by 2^k: k is in [-1022, 1024] after the range clamps above, so
+  // the biased exponent stays in the normal range.
+  const int64_t k = static_cast<int64_t>(kd);
+  return p * std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
+}
+
+/// Branch-free FastExp for the kernel's SoA sweeps; the argument clamp
+/// replaces the early returns (see the header comment). The rounding to k
+/// uses the shift-by-1.5*2^52 trick so no double<->int64 conversion ever
+/// happens: adding the magic constant leaves round-to-nearest(x*log2e) in
+/// the low mantissa bits, in two's complement, of the unmodified sum.
+inline double PlaneExp(double x) {
+  using namespace fastmath_internal;
+  constexpr double kShift = 0x1.8p52;
+  const double xc = std::min(709.0, std::max(-708.0, x));
+  const double kd_shifted = xc * kLog2e + kShift;
+  const int64_t ki = std::bit_cast<int64_t>(kd_shifted);
+  const double kd = kd_shifted - kShift;
+  const double r = (xc - kd * kLn2Hi) - kd * kLn2Lo;
+  const double p = ExpPoly(r);
+  // (ki + 1023) << 52 == (k + 1023) << 52: the magic constant's low 12
+  // bits are zero, so its contribution shifts out entirely.
+  return p * std::bit_cast<double>(static_cast<uint64_t>(ki + 1023) << 52);
+}
+
+/// x^y for x > 0 via the exp/log identity.
+inline double FastPow(double x, double y) { return FastExp(y * FastLog(x)); }
+
+}  // namespace sbqa::util
+
+#endif  // SBQA_UTIL_FASTMATH_H_
