@@ -84,6 +84,10 @@ void MergeMediatorStats(core::MediatorStats* into,
   into->consumer_retirements += s.consumer_retirements;
   into->queries_delegated += s.queries_delegated;
   into->queries_borrowed += s.queries_borrowed;
+  into->queries_forwarded += s.queries_forwarded;
+  for (size_t i = 0; i < into->borrow_hops.size(); ++i) {
+    into->borrow_hops[i] += s.borrow_hops[i];
+  }
   into->queries_satisfied += s.queries_satisfied;
   into->queries_recovered += s.queries_recovered;
   into->queries_failed += s.queries_failed;
@@ -124,6 +128,9 @@ struct Engine::Impl final : core::MediationObserver {
   std::vector<std::unique_ptr<core::Mediator>> mediators;
   std::vector<core::Mediator*> mediator_ptrs;
   core::ShardDirectory directory;
+  /// Multi-hop borrow routing planes (sharded engines with
+  /// options.federation.enabled only; see src/federation/README.md).
+  federation::Federation federation;
   std::unique_ptr<EngineMembership> membership;
   /// Serializes Start/Stop against Stats/Snapshot: a probe posted to the
   /// executor is only awaited while this lock keeps Stop from joining the
@@ -301,6 +308,7 @@ struct Engine::Impl final : core::MediationObserver {
     }
     out.queries_delegated = s.queries_delegated;
     out.queries_borrowed = s.queries_borrowed;
+    out.queries_forwarded = s.queries_forwarded;
     if (shard_set != nullptr) {
       out.shard_barriers = static_cast<int64_t>(shard_set->barriers());
       out.shard_early_barriers =
@@ -322,6 +330,7 @@ struct Engine::Impl final : core::MediationObserver {
       row.queries_finalized = m.queries_finalized;
       row.queries_delegated = m.queries_delegated;
       row.queries_borrowed = m.queries_borrowed;
+      row.queries_forwarded = m.queries_forwarded;
       const rt::WallClockRuntime& rt = shard_set->runtime(s);
       row.pending_timers = static_cast<int64_t>(rt.pending_timers());
       row.tasks_executed = static_cast<int64_t>(rt.tasks_executed());
@@ -542,6 +551,20 @@ void Engine::Start() {
       im->directory.RefreshIfChanged(im->registry);
     });
     impl.directory.Refresh(impl.registry);
+    if (impl.options.federation.enabled && n > 1) {
+      impl.federation.Build(impl.options.federation, n, &impl.directory);
+      for (core::Mediator* m : impl.mediator_ptrs) {
+        m->ConfigureFederation(&impl.federation);
+      }
+      // Satisfaction exchange: every barrier republishes each shard's
+      // per-(shard, class) digest row while the workers are parked; the
+      // next window's forwards read the refreshed rows.
+      impl.shard_set->AddBarrierHook([im](rt::Time) {
+        for (core::Mediator* m : im->mediator_ptrs) {
+          m->PublishFederationDigest(&im->federation.digest());
+        }
+      });
+    }
   } else {
     // Interpose the fault plane before any destination is registered so
     // the mediator's whole runtime view (sends, latency samples) goes

@@ -5,6 +5,7 @@
 
 #include "core/sbqa.h"
 #include "core/shard_directory.h"
+#include "federation/federation.h"
 #include "metrics/collector.h"
 #include "model/reputation.h"
 #include "runtime/fault.h"
@@ -84,13 +85,19 @@ void AccumulateFaultStats(
 /// whole run; invoked only at barriers with every worker parked.
 class RunnerMembership final : public core::MembershipApplier {
  public:
+  /// `gateways` is the per-shard gateway list (membership ops route to the
+  /// owning shard's gateway); `all_mediators` is every mediator including
+  /// non-gateway group members, whose provider tables must also grow at
+  /// the barrier.
   RunnerMembership(core::Registry* registry, sim::ShardSet* shards,
-                   std::vector<core::Mediator*> mediators,
+                   std::vector<core::Mediator*> gateways,
+                   std::vector<core::Mediator*> all_mediators,
                    model::ReputationRegistry* reputation,
                    const workload::ChurnParams& churn)
       : registry_(registry),
         shards_(shards),
-        mediators_(std::move(mediators)),
+        mediators_(std::move(gateways)),
+        all_mediators_(std::move(all_mediators)),
         reputation_(reputation),
         churn_(churn) {}
 
@@ -107,7 +114,7 @@ class RunnerMembership final : public core::MembershipApplier {
     reputation_->GrowTo(registry_->provider_count());
     // Table growth happens here at the barrier, never on first contact
     // mid-query — keeps the per-query steady state allocation-free.
-    for (core::Mediator* mediator : mediators_) {
+    for (core::Mediator* mediator : all_mediators_) {
       mediator->ReserveProviderTables(provider);
     }
     if (churn_.enabled) {
@@ -129,6 +136,7 @@ class RunnerMembership final : public core::MembershipApplier {
   core::Registry* registry_;
   sim::ShardSet* shards_;
   std::vector<core::Mediator*> mediators_;
+  std::vector<core::Mediator*> all_mediators_;
   model::ReputationRegistry* reputation_;
   workload::ChurnParams churn_;
   std::vector<std::unique_ptr<workload::ChurnProcess>> join_churn_;
@@ -146,8 +154,9 @@ class RunnerMembership final : public core::MembershipApplier {
 /// deferring to epoch barriers).
 RunResult RunShardedScenario(const ScenarioConfig& config) {
   SBQA_CHECK_GT(config.duration, 0);
-  // In-shard federation is subsumed by sharding itself.
-  SBQA_CHECK_LE(config.mediator_count, 1u);
+  // Per-shard mediator group size: the first member of each group is the
+  // shard's gateway for cross-shard traffic.
+  const size_t group = std::max<size_t>(config.mediator_count, 1);
 
   sim::SimulationConfig sim_config = config.sim;
   sim_config.seed = config.seed;
@@ -168,15 +177,20 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
 
   model::ReputationRegistry reputation(registry.provider_count());
 
-  // One mediator per shard, each optionally behind a fault injector whose
-  // streams derive from (fault_plan.seed, shard): bit-reproducible per
-  // (seed, plan, shard_count), and stream 0 IS the root plan seed so a
-  // 1-shard chaos run matches the unsharded path bit for bit. Injectors
-  // are declared before (so destroyed after) the mediators they back.
+  // A mediator group per shard (usually group == 1), each shard optionally
+  // behind a fault injector whose streams derive from (fault_plan.seed,
+  // shard): bit-reproducible per (seed, plan, shard_count), and stream 0
+  // IS the root plan seed so a 1-shard chaos run matches the unsharded
+  // path bit for bit. Injectors are declared before (so destroyed after)
+  // the mediators they back. Construction is shard-major so the per-shard
+  // RNG split order at group == 1 is unchanged from earlier releases.
   std::vector<std::unique_ptr<rt::FaultInjector>> injectors;
   std::vector<std::unique_ptr<core::Mediator>> mediators;
-  std::vector<core::Mediator*> mediator_ptrs;
-  mediators.reserve(shard_count);
+  std::vector<core::Mediator*> mediator_ptrs;  // all, shard-major
+  std::vector<core::Mediator*> gateways;       // first of each group
+  core::ShardDirectory directory;
+  federation::Federation federation;
+  mediators.reserve(shard_count * group);
   for (uint32_t s = 0; s < shard_count; ++s) {
     rt::Runtime* runtime = &shards.shard(s).runtime();
     if (config.fault_plan.enabled()) {
@@ -185,24 +199,55 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
       injectors.push_back(std::make_unique<rt::FaultInjector>(runtime, plan));
       runtime = injectors.back().get();
     }
-    mediators.push_back(std::make_unique<core::Mediator>(
-        runtime, &registry, &reputation, MakeMethod(StampedMethod(config)),
-        StampedMediator(config)));
-    mediator_ptrs.push_back(mediators.back().get());
+    for (size_t m = 0; m < group; ++m) {
+      mediators.push_back(std::make_unique<core::Mediator>(
+          runtime, &registry, &reputation, MakeMethod(StampedMethod(config)),
+          StampedMediator(config)));
+      mediator_ptrs.push_back(mediators.back().get());
+      if (m == 0) gateways.push_back(mediators.back().get());
+    }
   }
-  core::ShardDirectory directory;
   directory.Refresh(registry);
   if (shard_count > 1) {
     for (uint32_t s = 0; s < shard_count; ++s) {
-      mediators[s]->ConfigureSharding(&shards, s, &directory, mediator_ptrs);
+      for (size_t m = 0; m < group; ++m) {
+        // Every group member can delegate cross-shard; incoming traffic
+        // lands on the gateway (the list entry for each shard).
+        mediator_ptrs[s * group + m]->ConfigureSharding(&shards, s,
+                                                        &directory, gateways);
+      }
+    }
+  }
+  if (group > 1) {
+    // In-shard peer propagation (provider failures reach every group
+    // member's in-flight instances), as in the unsharded federation path.
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      std::vector<core::Mediator*> in_shard(
+          mediator_ptrs.begin() + static_cast<long>(s * group),
+          mediator_ptrs.begin() + static_cast<long>((s + 1) * group));
+      for (core::Mediator* mediator : in_shard) {
+        mediator->SetPeers(in_shard);
+      }
+    }
+  }
+  if (config.federation.enabled && shard_count > 1) {
+    federation.Build(config.federation, shard_count, &directory);
+    // Gateways only: a chain's RouteState ticket must re-home to the pool
+    // it was acquired from, and re-homed outcomes always land on the
+    // origin shard's gateway. Non-gateway group members keep the legacy
+    // single-hop delegation (which is group-safe).
+    for (core::Mediator* gateway : gateways) {
+      gateway->ConfigureFederation(&federation);
     }
   }
   if (config.departure.providers_can_leave ||
       config.departure.consumers_can_leave) {
-    for (auto& mediator : mediators) {
-      // Every shard sweeps its own partition (the single-engine path's
-      // "one sweeper" rule, per shard).
-      mediator->SetDepartureModel(config.departure, /*run_sweep=*/true);
+    for (size_t i = 0; i < mediator_ptrs.size(); ++i) {
+      // The gateway sweeps its shard's partition (the single-engine path's
+      // "one sweeper" rule, per shard); other group members check only on
+      // their own mediation events.
+      mediator_ptrs[i]->SetDepartureModel(config.departure,
+                                          /*run_sweep=*/i % group == 0);
     }
   }
 
@@ -217,7 +262,9 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
                                config.sample_interval);
   for (core::MediationObserver* observer : config.observers) {
     if (shard_count == 1) {
-      mediators[0]->AddObserver(observer);
+      for (core::Mediator* mediator : mediator_ptrs) {
+        mediator->AddObserver(observer);
+      }
     } else {
       collector.AttachSharedObserver(observer);
     }
@@ -226,7 +273,7 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
     for (uint32_t s = 0; s < shard_count; ++s) {
       if (core::MediationObserver* observer =
               config.shard_observer_factory(s)) {
-        mediators[s]->AddObserver(observer);
+        gateways[s]->AddObserver(observer);
       }
     }
   }
@@ -241,6 +288,10 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   }
   std::vector<std::unique_ptr<workload::QueryGenerator>> generators;
   SBQA_CHECK_EQ(population.projects.size(), config.population.projects.size());
+  // With a mediator group per shard, a shard's projects round-robin over
+  // its group members (at group == 1 this is the classic one-per-shard
+  // assignment, untouched).
+  std::vector<size_t> group_cursor(shard_count, 0);
   for (size_t i = 0; i < population.projects.size(); ++i) {
     const boinc::ProjectSpec& project = config.population.projects[i];
     const uint32_t shard = registry.ConsumerShard(population.projects[i]);
@@ -248,8 +299,10 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
     arrivals.rate = project.arrival_rate;
     arrivals.end_time = config.duration;
     arrivals.deadline = config.query_deadline;
+    core::Mediator* mediator =
+        mediator_ptrs[shard * group + group_cursor[shard]++ % group];
     generators.push_back(std::make_unique<workload::QueryGenerator>(
-        &shards.shard(shard), mediator_ptrs[shard], ids[shard].get(),
+        &shards.shard(shard), mediator, ids[shard].get(),
         population.projects[i], arrivals, project.cost));
     generators.back()->Start();
   }
@@ -264,7 +317,7 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   }
   std::vector<std::vector<std::unique_ptr<workload::ChurnProcess>>> churn;
   for (uint32_t s = 0; s < shard_count; ++s) {
-    churn.push_back(workload::StartChurn(&shards.shard(s), mediator_ptrs[s],
+    churn.push_back(workload::StartChurn(&shards.shard(s), gateways[s],
                                          churn_slices[s], config.churn));
   }
 
@@ -285,7 +338,7 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
                 : 0;
       }
       joins.push_back(std::make_unique<boinc::VolunteerJoinProcess>(
-          &shards.shard(s), mediator_ptrs[s], &reputation, config.population,
+          &shards.shard(s), gateways[s], &reputation, config.population,
           population.projects, join_params, config.churn));
       joins.back()->Start();
     }
@@ -296,8 +349,8 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
   // every queued op through the owning shard's mediator while all workers
   // are parked. Initial ops (churn's "start offline" draws) are applied
   // right here so the t = 0 population state matches the classic engine.
-  RunnerMembership membership(&registry, &shards, mediator_ptrs, &reputation,
-                              config.churn);
+  RunnerMembership membership(&registry, &shards, gateways, mediator_ptrs,
+                              &reputation, config.churn);
   if (shard_count > 1) {
     shards.SetMembershipHook([&registry, &membership](double) {
       registry.AdvanceEpoch(&membership);
@@ -317,6 +370,17 @@ RunResult RunShardedScenario(const ScenarioConfig& config) {
     shards.AddBarrierHook([&directory, &registry](double) {
       directory.RefreshIfChanged(registry);
     });
+    if (config.federation.enabled) {
+      // Satisfaction exchange: each gateway republishes its shard's
+      // per-(shard, class) digest row while every worker is parked; the
+      // next window's RouteScorer reads the refreshed rows. Shard order is
+      // fixed, so the exchange is deterministic.
+      shards.AddBarrierHook([&federation, &gateways](double) {
+        for (core::Mediator* gateway : gateways) {
+          gateway->PublishFederationDigest(&federation.digest());
+        }
+      });
+    }
   }
   if (collector.has_shared_observers()) {
     shards.AddBarrierHook(

@@ -50,8 +50,10 @@ RunResult RunScenario(const ScenarioConfig& config);
 /// feature set: availability churn and runtime volunteer joins become
 /// barrier-applied epoch ops of the registry's membership log, and shared
 /// observers are replayed through the collector's deterministic
-/// cross-shard mux. Requires mediator_count <= 1 (in-shard federation is
-/// subsumed by sharding itself).
+/// cross-shard mux. mediator_count > 1 runs a mediator GROUP per shard
+/// (the first member is the shard's cross-shard gateway), and
+/// config.federation enables multi-hop borrow chains between shard
+/// gateways (see src/federation/README.md).
 RunResult RunShardedScenario(const ScenarioConfig& config);
 
 /// Runs the same scenario once per method, holding everything else equal

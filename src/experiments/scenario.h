@@ -13,6 +13,7 @@
 #include "core/departure.h"
 #include "core/mediator.h"
 #include "experiments/methods.h"
+#include "federation/federation.h"
 #include "runtime/fault.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -57,10 +58,21 @@ struct ScenarioConfig {
   /// retries: no attempt or backoff extends past issued_at + deadline.
   double query_deadline = 0.0;
 
-  /// Federation size: consumers are sharded round-robin over this many
+  /// Mediator group size: consumers are sharded round-robin over this many
   /// mediators, all sharing the registry/reputation. Each mediator keeps
-  /// its own RNG stream and (stale) load view.
+  /// its own RNG stream and (stale) load view. With sim.shard_count > 1
+  /// this becomes the PER-SHARD group size: every shard runs this many
+  /// mediators on its worker thread, the first one acting as the shard's
+  /// gateway for cross-shard traffic (delegation targets, membership ops,
+  /// departure sweeps).
   size_t mediator_count = 1;
+
+  /// Multi-hop borrow federation (sharded runs only; ignored at
+  /// shard_count <= 1). Off by default: a dry shard falls back to the
+  /// classic single-hop delegation. When enabled with hop_budget = 1 on
+  /// the default full mesh with digest_weight = 0, runs are bit-identical
+  /// to the classic delegation path.
+  federation::FederationConfig federation;
 
   /// Captive (disabled) vs autonomous (enabled) environment.
   core::DepartureConfig departure;

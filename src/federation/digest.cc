@@ -1,0 +1,42 @@
+#include "federation/digest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sbqa::federation {
+
+void SatisfactionDigest::Reset(uint32_t shard_count) {
+  rows_.resize(shard_count);
+  for (Row& row : rows_) {
+    row.satisfaction = kNeutral;
+    row.classes.clear();
+  }
+}
+
+void SatisfactionDigest::BeginShard(uint32_t shard, double satisfaction) {
+  Row& row = rows_[shard];
+  row.satisfaction = satisfaction;
+  row.classes.clear();
+}
+
+void SatisfactionDigest::RecordClass(uint32_t shard,
+                                     model::QueryClassId query_class,
+                                     double satisfaction) {
+  Row& row = rows_[shard];
+  SBQA_CHECK(row.classes.empty() || row.classes.back().first < query_class);
+  row.classes.emplace_back(query_class, satisfaction);
+}
+
+double SatisfactionDigest::ClassSatisfaction(
+    uint32_t shard, model::QueryClassId query_class) const {
+  const Row& row = rows_[shard];
+  const auto it = std::lower_bound(
+      row.classes.begin(), row.classes.end(), query_class,
+      [](const std::pair<model::QueryClassId, double>& e,
+         model::QueryClassId c) { return e.first < c; });
+  if (it != row.classes.end() && it->first == query_class) return it->second;
+  return row.satisfaction;
+}
+
+}  // namespace sbqa::federation

@@ -1,0 +1,75 @@
+#ifndef SBQA_FEDERATION_DIGEST_H_
+#define SBQA_FEDERATION_DIGEST_H_
+
+/// \file
+/// SatisfactionDigest: the cross-mediator satisfaction exchange. Each
+/// barrier window, every shard's mediator publishes a compact row — its
+/// recent provider-satisfaction mean plus per-(shard, class) satisfaction
+/// means for the classes it actually served — into this digest, and every
+/// mediator reads all rows when scoring forward targets in the next
+/// window. The exchange piggybacks on the existing barrier machinery:
+/// rows are written by the barrier hook on the driver thread while all
+/// shard workers are parked, and workers treat the digest as read-only
+/// during a window (the same publish contract as core::ShardDirectory).
+///
+/// Rows are value-only (doubles indexed by shard/class) — no pointers, no
+/// RNG, and refreshed deterministically once per barrier, so digest-fed
+/// routing stays bit-reproducible per (seed, shard_count).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "model/types.h"
+
+namespace sbqa::federation {
+
+class SatisfactionDigest {
+ public:
+  /// A neutral satisfaction: shards that have not reported yet score as
+  /// neither attractive nor repellent (weight term multiplies to 1).
+  static constexpr double kNeutral = 0.5;
+
+  /// Sizes the digest for `shard_count` rows. Keeps per-shard row
+  /// capacity across calls (barrier-rate refreshes allocate nothing at
+  /// steady state).
+  void Reset(uint32_t shard_count);
+
+  /// Begins `shard`'s row for this window: clears its class rows and
+  /// stores the shard-level satisfaction mean (kNeutral when the shard
+  /// has no signal yet).
+  void BeginShard(uint32_t shard, double satisfaction);
+
+  /// Appends a per-class satisfaction mean to `shard`'s row. Classes must
+  /// be recorded in ascending order (the mediator walks its dense class
+  /// table in index order, so this holds naturally).
+  void RecordClass(uint32_t shard, model::QueryClassId query_class,
+                   double satisfaction);
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(rows_.size());
+  }
+
+  /// Shard-level satisfaction mean (kNeutral before any publish).
+  double ShardSatisfaction(uint32_t shard) const {
+    return rows_[shard].satisfaction;
+  }
+
+  /// Per-(shard, class) satisfaction; falls back to the shard mean when
+  /// the shard never served the class.
+  double ClassSatisfaction(uint32_t shard,
+                           model::QueryClassId query_class) const;
+
+ private:
+  struct Row {
+    double satisfaction = kNeutral;
+    /// (class, satisfaction mean), ascending by class.
+    std::vector<std::pair<model::QueryClassId, double>> classes;
+  };
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace sbqa::federation
+
+#endif  // SBQA_FEDERATION_DIGEST_H_
